@@ -1,0 +1,235 @@
+package xftl_test
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation. Each benchmark drives the same code path as the
+// corresponding xftlbench experiment at a reduced size and reports the
+// simulated I/O time per unit of work as a custom metric
+// (sim-ms/op), alongside Go's own wall-clock numbers. The full-size
+// regeneration lives in cmd/xftlbench; EXPERIMENTS.md records its
+// output.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/storage"
+	"repro/internal/workload/android"
+	"repro/internal/workload/fio"
+	"repro/internal/workload/synth"
+	"repro/internal/workload/tpcc"
+)
+
+var quick = bench.Options{Quick: true}
+
+func modes() []xftl.Mode {
+	return []xftl.Mode{xftl.ModeRollback, xftl.ModeWAL, xftl.ModeXFTL}
+}
+
+// BenchmarkFig5 measures synthetic update transactions per mode
+// (Figure 5's midline point: 5 updates/txn, ~50% GC validity).
+func BenchmarkFig5(b *testing.B) {
+	for _, mode := range modes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			run, err := bench.RunSynth(mode, 0.5, 5, max(b.N, 20), quick)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(run.Elapsed.Seconds()*1000/float64(run.Transactions), "sim-ms/txn")
+			b.ReportMetric(float64(run.Flash.PageWrites)/float64(run.Transactions), "flash-writes/txn")
+		})
+	}
+}
+
+// BenchmarkTable1 captures the I/O-count profile at the Table 1 point.
+func BenchmarkTable1(b *testing.B) {
+	for _, mode := range modes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			run, err := bench.RunSynth(mode, 0.5, 5, max(b.N, 20), quick)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := float64(run.Transactions)
+			b.ReportMetric(float64(run.Host.TotalWrites())/n, "host-writes/txn")
+			b.ReportMetric(float64(run.Host.Fsyncs)/n, "fsyncs/txn")
+		})
+	}
+}
+
+// BenchmarkFig6 captures FTL-internal activity versus GC validity.
+func BenchmarkFig6(b *testing.B) {
+	for _, v := range []float64{0.3, 0.7} {
+		b.Run(fmt.Sprintf("validity-%.0f%%", v*100), func(b *testing.B) {
+			run, err := bench.RunSynth(xftl.ModeXFTL, v, 5, max(b.N, 20), quick)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := float64(run.Transactions)
+			b.ReportMetric(float64(run.Flash.PageWrites)/n, "flash-writes/txn")
+			b.ReportMetric(float64(run.Flash.GCRuns)/n, "gc/txn")
+		})
+	}
+}
+
+// BenchmarkFig7 replays each Android trace (Figure 7 / Table 2).
+func BenchmarkFig7(b *testing.B) {
+	for _, trace := range android.Names() {
+		for _, mode := range []xftl.Mode{xftl.ModeWAL, xftl.ModeXFTL} {
+			b.Run(trace+"/"+mode.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run, err := bench.ReplayTrace(trace, mode, 0.02, quick)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(run.Elapsed.Seconds()*1000/float64(run.Txns), "sim-ms/txn")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 runs the TPC-C write-intensive mix (Table 4).
+func BenchmarkTable4(b *testing.B) {
+	for _, mode := range []xftl.Mode{xftl.ModeWAL, xftl.ModeXFTL} {
+		b.Run(mode.String(), func(b *testing.B) {
+			st, err := xftl.NewStack(xftl.OpenSSD(), mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := st.OpenDB("tpcc.db")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			tp := tpcc.New(db, tpcc.Scale{
+				Warehouses: 2, Items: 300, StockPerWarehouse: 300,
+				DistrictsPerWH: 4, CustomersPerDistrict: 30, OrdersPerDistrict: 30,
+			}, 1)
+			if err := tp.Load(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := st.Clock.Now()
+			res, err := tp.Run(tpcc.WriteIntensive, max(b.N, 20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed := st.Clock.Now() - start
+			b.ReportMetric(float64(res.Completed)/elapsed.Minutes(), "sim-txn/min")
+		})
+	}
+}
+
+// BenchmarkFig8 measures the FIO sweep midpoint per fs mode (Figure 8).
+func BenchmarkFig8(b *testing.B) {
+	for _, mode := range []bench.FSMode{bench.FSOrdered, bench.FSFull, bench.FSXFTL} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := bench.RunFioPoint(storage.OpenSSD(), mode, 5, 1, quick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.IOPS, "sim-IOPS")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9 measures the 16-thread comparison (Figure 9).
+func BenchmarkFig9(b *testing.B) {
+	type cfg struct {
+		name string
+		prof storage.Profile
+		mode bench.FSMode
+	}
+	for _, c := range []cfg{
+		{"S830-ordered", storage.S830(), bench.FSOrdered},
+		{"OpenSSD-XFTL", storage.OpenSSD(), bench.FSXFTL},
+		{"S830-full", storage.S830(), bench.FSFull},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := bench.RunFioPoint(c.prof, c.mode, 5, 16, quick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.IOPS, "sim-IOPS")
+			}
+		})
+	}
+}
+
+// BenchmarkTable5 measures crash-recovery time per mode (Table 5).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := bench.RunTable5(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range modes() {
+			b.ReportMetric(float64(runs[mode].Restart.Microseconds())/1000,
+				"sim-ms-restart-"+mode.String())
+		}
+	}
+}
+
+// BenchmarkEngine measures raw engine operation cost (wall clock),
+// independent of the simulated device: how expensive this SQLite
+// implementation itself is.
+func BenchmarkEngine(b *testing.B) {
+	st, err := xftl.NewStack(xftl.OpenSSD(), xftl.ModeXFTL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := st.OpenDB("engine.db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cfg := synth.DefaultConfig()
+	cfg.Tuples = 5000
+	if err := synth.Load(db, cfg); err != nil {
+		b.Fatal(err)
+	}
+	sel, err := db.Prepare(`SELECT ps_supplycost FROM partsupp WHERE ps_partkey = ?`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("PointSelect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sel.Query(i%cfg.Tuples + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	upd, err := db.Prepare(`UPDATE partsupp SET ps_availqty = ? WHERE ps_partkey = ?`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("UpdateTxn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := upd.Exec(i, i%cfg.Tuples+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFioRaw exercises the fio workload package directly.
+func BenchmarkFioRaw(b *testing.B) {
+	st, err := xftl.NewStack(xftl.OpenSSD(), xftl.ModeXFTL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fio.DefaultConfig()
+	cfg.FilePages = 2048
+	cfg.Duration = 2e9
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := fio.Run(st.FS, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command sqlsh is an interactive SQL shell over the simulated stack:
+// it opens a database in one of the paper's three modes and executes
+// statements from stdin, reporting simulated I/O time per statement.
+//
+// Usage:
+//
+//	sqlsh [-mode rbj|wal|xftl] [-db name]
+//
+// Example session:
+//
+//	sql> CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT);
+//	sql> INSERT INTO kv VALUES (1, 'hello');
+//	sql> SELECT * FROM kv;
+//	k  v
+//	1  hello
+//	(1 row, 3.91ms simulated I/O)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "xftl", "journal mode: rbj, wal or xftl")
+	dbName := flag.String("db", "shell.db", "database file name")
+	flag.Parse()
+
+	var mode xftl.Mode
+	switch strings.ToLower(*modeFlag) {
+	case "rbj", "rollback":
+		mode = xftl.ModeRollback
+	case "wal":
+		mode = xftl.ModeWAL
+	case "xftl", "x-ftl", "off":
+		mode = xftl.ModeXFTL
+	default:
+		fmt.Fprintf(os.Stderr, "sqlsh: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	st, err := xftl.NewStack(xftl.OpenSSD(), mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+		os.Exit(1)
+	}
+	db, err := st.OpenDB(*dbName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	fmt.Printf("sqlsh: %s on %s (%s mode); end statements with ';', Ctrl-D to exit\n",
+		*dbName, st.Device.Profile().Name, mode)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("sql> ") }
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("...> ")
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt == ";" || stmt == "" {
+			prompt()
+			continue
+		}
+		runStatement(st, db, stmt)
+		prompt()
+	}
+}
+
+func runStatement(st *xftl.Stack, db *xftl.DB, stmt string) {
+	start := st.Clock.Now()
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") {
+		rows, err := db.Query(stmt)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		printRows(rows)
+		fmt.Printf("(%d row(s), %v simulated I/O)\n", rows.Len(), st.Clock.Now()-start)
+		return
+	}
+	n, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("ok (%d row(s) affected, %v simulated I/O)\n", n, st.Clock.Now()-start)
+}
+
+func printRows(rows *xftl.Rows) {
+	widths := make([]int, len(rows.Columns))
+	for i, c := range rows.Columns {
+		widths[i] = len(c)
+	}
+	strs := make([][]string, len(rows.Data))
+	for r, row := range rows.Data {
+		strs[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			strs[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range rows.Columns {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%-*s", widths[i], c)
+	}
+	fmt.Println()
+	for _, row := range strs {
+		for i, s := range row {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Printf("%-*s", w, s)
+		}
+		fmt.Println()
+	}
+}

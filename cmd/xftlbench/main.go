@@ -1,0 +1,174 @@
+// Command xftlbench regenerates every table and figure of the paper's
+// evaluation section (§6). Each subcommand runs one experiment and
+// prints the corresponding table; "all" runs everything in paper order.
+//
+// Usage:
+//
+//	xftlbench [-quick] [-quiet] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}
+//
+// -quick shrinks workloads for a fast smoke run; the published numbers
+// in EXPERIMENTS.md come from full runs (no -quick).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads (smoke mode)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[xftlbench] "+format+"\n", args...)
+		}
+	}
+	what := flag.Arg(0)
+	if err := run(what, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "xftlbench %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}
+
+func run(what string, opts bench.Options) error {
+	all := what == "all"
+	did := false
+	do := func(name string, fn func() error) error {
+		if !all && what != name {
+			return nil
+		}
+		did = true
+		return fn()
+	}
+	if err := do("fig5", func() error {
+		f, err := bench.RunFig5(opts)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.Tables() {
+			fmt.Println(t)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table1", func() error {
+		t1, err := bench.RunTable1(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t1.Table())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("fig6", func() error {
+		f, err := bench.RunFig6(opts)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.Tables() {
+			fmt.Println(t)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	var fig7 *bench.Fig7
+	if err := do("fig7", func() error {
+		f, err := bench.RunFig7(opts)
+		if err != nil {
+			return err
+		}
+		fig7 = f
+		fmt.Println(f.Table())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table2", func() error {
+		if fig7 == nil && !all {
+			// Census-only view; the measured row needs a fig7 replay.
+			fmt.Println(bench.Table2(nil))
+			return nil
+		}
+		fmt.Println(bench.Table2(fig7))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table3", func() error {
+		fmt.Println(bench.Table3())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table4", func() error {
+		t4, err := bench.RunTable4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.Table3())
+		fmt.Println(t4.Table())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("fig8", func() error {
+		f, err := bench.RunFig8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Table())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("fig9", func() error {
+		f, err := bench.RunFig9(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Table())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table5", func() error {
+		runs, err := bench.RunTable5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.Table5Table(runs))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("ablate", func() error {
+		runs, err := bench.Ablations(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.AblationTable(runs))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§6). Each experiment
+// returns structured results plus a formatted table whose rows mirror
+// what the paper reports; EXPERIMENTS.md records paper-vs-measured for
+// each one.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/simfs"
+	"repro/internal/storage"
+)
+
+// Mode aliases the facade's mode type for brevity.
+type Mode = xftl.Mode
+
+// The paper's three SQLite configurations.
+const (
+	RBJ  = xftl.ModeRollback
+	WAL  = xftl.ModeWAL
+	XFTL = xftl.ModeXFTL
+)
+
+// AllModes lists the paper's configurations in its plotting order.
+func AllModes() []Mode { return []Mode{RBJ, WAL, XFTL} }
+
+// Quick trades fidelity for speed in every experiment (used by unit
+// tests and smoke runs); the xftlbench tool runs with Quick=false.
+type Options struct {
+	Quick bool
+	// Out receives progress lines; nil silences them.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// newStack builds a stack whose FTL exports enough logical space for
+// the aging fill plus the experiment's database.
+func newStack(mode Mode) (*xftl.Stack, error) {
+	return xftl.NewStack(storage.OpenSSD(), mode)
+}
+
+// reservePages is the logical space the experiments keep free for
+// file-system regions, the database, journals and slack.
+const reservePages = 8192
+
+// stackForValidity builds a stack whose logical capacity produces the
+// requested steady-state GC victim validity. Under uniform random
+// overwrites with greedy victim selection, validity is a function of
+// physical space utilization, so the exported capacity (which the
+// aging fill then occupies) is the knob — this reproduces the paper's
+// "controlled aging of the flash memory chips" (§6.3.1). The
+// utilization values were calibrated by measurement (see
+// CalibrateValidity).
+func stackForValidity(mode Mode, validity float64) (*xftl.Stack, error) {
+	prof := storage.OpenSSD()
+	dataPages := int64(prof.Nand.Blocks-4) * int64(prof.Nand.PagesPerBlock)
+	util := utilizationFor(validity)
+	logical := int64(float64(dataPages)*util) + reservePages
+	maxLogical := int64(float64(dataPages) * 0.97)
+	if logical > maxLogical {
+		logical = maxLogical
+	}
+	return xftl.NewStackOptions(prof, mode, xftl.StackOptions{FTLLogicalPages: logical})
+}
+
+// AgeDevice fills a fraction of the device's logical space with a
+// filler file and churns it with random overwrites, so that garbage
+// collection victims carry roughly the requested ratio of valid pages —
+// the paper's "controlled aging" (§6.3.1). It returns the file so the
+// space stays occupied.
+//
+// Under uniform random overwrites with greedy GC, victim validity
+// tracks space utilization, so the utilization fraction is the knob;
+// the measured validity is reported by MeasuredValidity.
+func AgeDevice(st *xftl.Stack, utilization float64, churn float64, seed int64) (*simfs.File, error) {
+	if utilization <= 0 {
+		return nil, nil
+	}
+	logical := st.Device.LogicalPages()
+	fillPages := int64(float64(logical) * utilization)
+	if fillPages > logical-reservePages {
+		fillPages = logical - reservePages
+	}
+	if fillPages <= 0 {
+		return nil, nil
+	}
+	f, err := st.FS.Create("aging-filler.dat", simfs.RoleOther)
+	if err != nil {
+		return nil, err
+	}
+	page := make([]byte, st.FS.PageSize())
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(page)
+	for i := int64(0); i < fillPages; i++ {
+		if err := f.WritePage(i, page); err != nil {
+			return nil, err
+		}
+		if i%256 == 255 {
+			if err := f.Fsync(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := f.Fsync(); err != nil {
+		return nil, err
+	}
+	// Churn with random overwrites until garbage collection has cycled
+	// enough victims to reach steady state, so the measurement window
+	// sees the target validity ratio from its first transaction.
+	_ = churn // retained knob: the GC-count criterion supersedes it
+	stats := st.FlashStats()
+	maxWrites := 3 * st.Device.Profile().Nand.TotalPages()
+	const steadyVictims = 40
+	startGC := stats.GCRuns.Load()
+	for i := int64(0); stats.GCRuns.Load()-startGC < steadyVictims && i < maxWrites; i++ {
+		if err := f.WritePage(rng.Int63n(fillPages), page); err != nil {
+			return nil, err
+		}
+		if i%128 == 127 {
+			if err := f.Fsync(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := f.Fsync(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MeasuredValidity reports the average valid-page ratio of GC victims
+// since the last reset.
+func MeasuredValidity(st *xftl.Stack) float64 {
+	_, v := st.Device.FTL().GCStats()
+	return v
+}
+
+// utilizationFor maps the paper's target GC validity ratios onto
+// physical space utilization. Greedy victim validity runs well below
+// overall utilization for uniform random traffic (the classic greedy
+// write-amplification curve); these points were fit by measurement on
+// this simulator.
+func utilizationFor(validity float64) float64 {
+	switch {
+	case validity <= 0.3:
+		return 0.45
+	case validity <= 0.5:
+		return 0.65
+	default:
+		return 0.83
+	}
+}
+
+// seconds formats a duration as fractional seconds.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Table is a generic formatted result table.
+type Table struct {
+	Title   string
+	Header  []string
+	RowData [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.RowData = append(t.RowData, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.RowData {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.RowData {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

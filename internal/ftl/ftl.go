@@ -1,0 +1,910 @@
+// Package ftl implements the baseline page-mapping flash translation
+// layer of the OpenSSD firmware the paper starts from: a logical-to-
+// physical (L2P) page map, sequential write frontier, greedy garbage
+// collection, and mapping-table persistence on write barriers.
+//
+// The package also exposes the low-level primitives X-FTL (package
+// internal/core) builds on: allocating and programming a physical page
+// without installing it in the L2P table, remapping a logical page to a
+// new physical page, and a Hook interface that lets an upper layer
+// extend page liveness during garbage collection — exactly the "a page
+// is considered invalid only when it is not found in either the L2P
+// table or the X-L2P table" rule of the paper (§5.3).
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nand"
+)
+
+// LPN is a logical page number as seen by the host.
+type LPN int64
+
+// Errors returned by the FTL.
+var (
+	ErrLPNRange    = errors.New("ftl: logical page out of range")
+	ErrDeviceFull  = errors.New("ftl: no free blocks available (device full)")
+	ErrUnmapped    = errors.New("ftl: logical page has no mapping")
+	ErrBadMetaSlot = errors.New("ftl: unknown metadata slot")
+)
+
+// Hook lets a transactional layer participate in garbage collection.
+type Hook interface {
+	// Live reports whether the physical page is referenced by the
+	// hook's own tables (e.g. an uncommitted new version in X-L2P).
+	Live(ppn nand.PPN) bool
+	// Relocated tells the hook GC moved a page it holds a reference to.
+	Relocated(old, new nand.PPN)
+}
+
+// Config tunes the FTL independent of chip geometry.
+type Config struct {
+	// LogicalPages is the exported logical capacity. It must leave
+	// enough physical headroom (overprovisioning) for GC to make
+	// progress; NewFTL validates this.
+	LogicalPages int64
+	// MetaBlocks is the number of erase blocks reserved for mapping
+	// table and transaction-table persistence.
+	MetaBlocks int
+	// GCLowWater triggers garbage collection when the number of free
+	// blocks drops to or below this value.
+	GCLowWater int
+	// BarrierMapPages is how many mapping-table pages a write barrier
+	// stores. Zero means the full table (the OpenSSD firmware behaviour
+	// the paper describes in §6.3.4: "a write barrier command stores
+	// the mapping table as well as data pages persistently"); a
+	// negative value stores only the dirty map groups (an idealized
+	// incremental firmware, used as an ablation).
+	BarrierMapPages int
+}
+
+// DefaultConfig sizes the FTL for the default chip: 75% of the data
+// blocks are exported as logical space, leaving 25% overprovisioning,
+// which is generous but keeps GC cost stable across experiments (the
+// GC-pressure experiments control utilization explicitly).
+func DefaultConfig(chip nand.Config) Config {
+	meta := 4
+	dataBlocks := chip.Blocks - meta
+	return Config{
+		LogicalPages: int64(dataBlocks) * int64(chip.PagesPerBlock) * 3 / 4,
+		MetaBlocks:   meta,
+		GCLowWater:   3,
+	}
+}
+
+// mapEntriesPerPage is how many 4-byte L2P entries fit in one flash
+// page; it defines the granularity of mapping-table persistence.
+func mapEntriesPerPage(pageSize int) int64 { return int64(pageSize) / 4 }
+
+// FTL is a page-mapping flash translation layer over a NAND chip array.
+// It is not safe for concurrent use.
+type FTL struct {
+	chip *nand.Chip
+	cfg  Config
+
+	// Volatile (DRAM) mapping state.
+	l2p  []nand.PPN // logical -> physical, InvalidPPN if unmapped
+	rmap []LPN      // physical -> logical for data pages, -1 if none
+
+	// Persistent-image mapping state: what the flash-resident mapping
+	// table says. Updated when dirty map groups are flushed by a write
+	// barrier (or by GC relocating a persisted page). On power loss the
+	// volatile state is rebuilt from this image.
+	persisted  []nand.PPN
+	dirtyGroup map[int64]struct{} // map-page groups with volatile != persisted
+
+	// Data-block management.
+	freeBlocks []nand.BlockNum
+	cur        nand.BlockNum // active write frontier block
+	curPage    int           // next page index in cur; PagesPerBlock when exhausted
+	haveCur    bool
+
+	// Metadata region: a ring of blocks persisting map groups and
+	// arbitrary upper-layer slots (e.g. the X-L2P table image).
+	metaBlocks []nand.BlockNum
+	metaCur    int // index into metaBlocks
+	metaPage   int
+	metaSlots  map[string][]nand.PPN // slot name -> current page chain
+	groupSlots map[int64]nand.PPN    // map group -> current ppn
+
+	hook  Hook
+	stats *metrics.FlashCounters
+	inGC  bool // guards against re-entrant collection from relocate
+
+	// GC observability.
+	gcValidCopied int64 // valid pages copied out by GC
+	gcVictims     int64 // victim blocks processed
+
+	powerFailed bool
+}
+
+// New creates an FTL over the chip. The stats counters may be shared
+// with the chip (they usually are) and may be nil.
+func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error) {
+	chipCfg := chip.Config()
+	if cfg.MetaBlocks < 1 {
+		return nil, errors.New("ftl: need at least one metadata block")
+	}
+	if cfg.GCLowWater < 1 {
+		return nil, errors.New("ftl: GCLowWater must be at least 1")
+	}
+	dataBlocks := chipCfg.Blocks - cfg.MetaBlocks
+	if dataBlocks < cfg.GCLowWater+2 {
+		return nil, errors.New("ftl: too few data blocks for GC to operate")
+	}
+	maxLogical := int64(dataBlocks-cfg.GCLowWater-1) * int64(chipCfg.PagesPerBlock)
+	if cfg.LogicalPages <= 0 || cfg.LogicalPages > maxLogical {
+		return nil, fmt.Errorf("ftl: LogicalPages %d outside (0, %d]", cfg.LogicalPages, maxLogical)
+	}
+	f := &FTL{
+		chip:       chip,
+		cfg:        cfg,
+		l2p:        make([]nand.PPN, cfg.LogicalPages),
+		persisted:  make([]nand.PPN, cfg.LogicalPages),
+		rmap:       make([]LPN, chipCfg.TotalPages()),
+		dirtyGroup: make(map[int64]struct{}),
+		metaSlots:  make(map[string][]nand.PPN),
+		groupSlots: make(map[int64]nand.PPN),
+		stats:      stats,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = nand.InvalidPPN
+		f.persisted[i] = nand.InvalidPPN
+	}
+	for i := range f.rmap {
+		f.rmap[i] = -1
+	}
+	// The last MetaBlocks blocks are the metadata region; everything
+	// before is data.
+	for b := 0; b < dataBlocks; b++ {
+		f.freeBlocks = append(f.freeBlocks, nand.BlockNum(b))
+	}
+	for b := dataBlocks; b < chipCfg.Blocks; b++ {
+		f.metaBlocks = append(f.metaBlocks, nand.BlockNum(b))
+	}
+	return f, nil
+}
+
+// SetHook installs the transactional-layer GC hook. Pass nil to remove.
+func (f *FTL) SetHook(h Hook) { f.hook = h }
+
+// Chip returns the underlying NAND array.
+func (f *FTL) Chip() *nand.Chip { return f.chip }
+
+// Config returns the FTL configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// LogicalPages reports the exported logical capacity in pages.
+func (f *FTL) LogicalPages() int64 { return f.cfg.LogicalPages }
+
+// PageSize reports the page size in bytes.
+func (f *FTL) PageSize() int { return f.chip.Config().PageSize }
+
+// FreeBlockCount reports how many fully erased blocks are available.
+func (f *FTL) FreeBlockCount() int { return len(f.freeBlocks) }
+
+// Mapping returns the current physical page of a logical page, or
+// InvalidPPN when unmapped.
+func (f *FTL) Mapping(lpn LPN) nand.PPN {
+	if lpn < 0 || int64(lpn) >= f.cfg.LogicalPages {
+		return nand.InvalidPPN
+	}
+	return f.l2p[lpn]
+}
+
+// checkLPN validates a logical page number.
+func (f *FTL) checkLPN(lpn LPN) error {
+	if lpn < 0 || int64(lpn) >= f.cfg.LogicalPages {
+		return fmt.Errorf("%w: %d (capacity %d)", ErrLPNRange, lpn, f.cfg.LogicalPages)
+	}
+	return nil
+}
+
+// group returns the mapping-table group (flash map page index) an LPN
+// belongs to.
+func (f *FTL) group(lpn LPN) int64 {
+	return int64(lpn) / mapEntriesPerPage(f.chip.Config().PageSize)
+}
+
+// Read copies the current committed content of a logical page into buf.
+// Reading an unmapped page yields zeros without touching flash, as real
+// SSDs do for trimmed ranges.
+func (f *FTL) Read(lpn LPN, buf []byte) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	ppn := f.l2p[lpn]
+	if ppn == nand.InvalidPPN {
+		clear(buf[:min(len(buf), f.PageSize())])
+		return nil
+	}
+	return f.chip.ReadPage(ppn, buf)
+}
+
+// ReadPPN reads a specific physical page (used by the transactional
+// layer for uncommitted versions).
+func (f *FTL) ReadPPN(ppn nand.PPN, buf []byte) error {
+	return f.chip.ReadPage(ppn, buf)
+}
+
+// Write performs an ordinary copy-on-write page update: program the new
+// content at the frontier and remap the logical page to it.
+func (f *FTL) Write(lpn LPN, data []byte) error {
+	ppn, err := f.WriteRaw(lpn, data)
+	if err != nil {
+		return err
+	}
+	return f.Map(lpn, ppn)
+}
+
+// WriteRaw programs data into a fresh physical page tagged with lpn but
+// does not update the L2P table. The caller owns the returned PPN until
+// it either Maps it or Invalidates it. This is the primitive behind the
+// X-FTL write(t,p) command: the old committed version must stay mapped.
+func (f *FTL) WriteRaw(lpn LPN, data []byte) (nand.PPN, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return nand.InvalidPPN, err
+	}
+	ppn, err := f.allocPage()
+	if err != nil {
+		return nand.InvalidPPN, err
+	}
+	if err := f.program(ppn, data); err != nil {
+		return nand.InvalidPPN, err
+	}
+	f.rmap[ppn] = lpn
+	return ppn, nil
+}
+
+// program pads short data to a full page and programs it.
+func (f *FTL) program(ppn nand.PPN, data []byte) error {
+	ps := f.PageSize()
+	if len(data) == ps {
+		return f.chip.ProgramPage(ppn, data)
+	}
+	if len(data) > ps {
+		return fmt.Errorf("ftl: data longer than page (%d > %d)", len(data), ps)
+	}
+	padded := make([]byte, ps)
+	copy(padded, data)
+	return f.chip.ProgramPage(ppn, padded)
+}
+
+// Map installs ppn as the committed version of lpn, retiring any prior
+// mapping. If the prior physical page is still referenced by the
+// flash-resident mapping image it stays valid on the chip (it must
+// survive a power cut until the next barrier); otherwise it is
+// invalidated immediately.
+func (f *FTL) Map(lpn LPN, ppn nand.PPN) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	old := f.l2p[lpn]
+	if old == ppn {
+		return nil
+	}
+	f.l2p[lpn] = ppn
+	if ppn != nand.InvalidPPN {
+		f.rmap[ppn] = lpn
+	}
+	f.dirtyGroup[f.group(lpn)] = struct{}{}
+	if old != nand.InvalidPPN {
+		f.retire(lpn, old)
+	}
+	return nil
+}
+
+// Unmap removes the mapping for a logical page (the trim command).
+func (f *FTL) Unmap(lpn LPN) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	old := f.l2p[lpn]
+	if old == nand.InvalidPPN {
+		return nil
+	}
+	f.l2p[lpn] = nand.InvalidPPN
+	f.dirtyGroup[f.group(lpn)] = struct{}{}
+	f.retire(lpn, old)
+	return nil
+}
+
+// retire handles an old physical page that just lost its volatile
+// mapping. If the persistent image still points at it, invalidation is
+// deferred to the next barrier (or to GC); otherwise the chip page is
+// invalidated now.
+func (f *FTL) retire(lpn LPN, old nand.PPN) {
+	if f.persisted[lpn] == old {
+		return // still needed for crash recovery until next barrier
+	}
+	if f.hook != nil && f.hook.Live(old) {
+		return // transactional layer still references it
+	}
+	f.rmap[old] = -1
+	_ = f.chip.Invalidate(old)
+}
+
+// InvalidatePPN abandons a raw physical page that was produced by
+// WriteRaw and will never be mapped (the X-FTL abort path).
+func (f *FTL) InvalidatePPN(ppn nand.PPN) error {
+	if ppn == nand.InvalidPPN {
+		return nil
+	}
+	lpn := f.rmap[ppn]
+	if lpn >= 0 && (f.l2p[lpn] == ppn || f.persisted[lpn] == ppn) {
+		return fmt.Errorf("ftl: refusing to invalidate mapped ppn %d", ppn)
+	}
+	f.rmap[ppn] = -1
+	return f.chip.Invalidate(ppn)
+}
+
+// allocPage returns the next free physical page at the write frontier,
+// running garbage collection first if the free-block pool is low.
+func (f *FTL) allocPage() (nand.PPN, error) {
+	if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
+		// While GC itself is copying pages it must not recurse into
+		// another collection: the low-water reserve of free blocks
+		// absorbs one victim's worth of live pages.
+		if !f.inGC {
+			if err := f.ensureFreeBlocks(); err != nil {
+				return nand.InvalidPPN, err
+			}
+		}
+		// GC relocations may have installed (and partially filled) a
+		// fresh frontier while collecting; replacing it now would
+		// abandon a nearly empty block. Take a new one only if the
+		// frontier is still exhausted.
+		if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
+			if len(f.freeBlocks) == 0 {
+				return nand.InvalidPPN, ErrDeviceFull
+			}
+			f.cur = f.freeBlocks[0]
+			f.freeBlocks = f.freeBlocks[1:]
+			f.curPage = 0
+			f.haveCur = true
+		}
+	}
+	ppn := f.chip.PPNOf(f.cur, f.curPage)
+	f.curPage++
+	return ppn, nil
+}
+
+// ensureFreeBlocks runs GC until the pool is above the low-water mark.
+// A progress guard turns a pathological no-progress loop (every victim
+// fully live) into ErrDeviceFull instead of a livelock.
+func (f *FTL) ensureFreeBlocks() error {
+	stalled := 0
+	for len(f.freeBlocks) <= f.cfg.GCLowWater {
+		before := len(f.freeBlocks)
+		if err := f.collectOnce(); err != nil {
+			return err
+		}
+		if len(f.freeBlocks) <= before {
+			stalled++
+			if stalled > 2*f.chip.Config().Blocks {
+				return fmt.Errorf("%w: GC cannot reclaim space (all victims live)", ErrDeviceFull)
+			}
+		} else {
+			stalled = 0
+		}
+	}
+	return nil
+}
+
+// collectOnce picks the data block with the fewest valid pages (greedy),
+// copies its live pages to the frontier, and erases it.
+func (f *FTL) collectOnce() error {
+	victim := f.pickVictim()
+	if victim < 0 {
+		return ErrDeviceFull
+	}
+	if f.stats != nil {
+		f.stats.GCRuns.Add(1)
+	}
+	f.gcVictims++
+	f.inGC = true
+	defer func() { f.inGC = false }()
+
+	ppb := f.chip.Config().PagesPerBlock
+	// Pass 1: resolve deferred invalidations touching this victim. A
+	// page whose volatile mapping moved on but whose flash-resident map
+	// image still references it is garbage, not data — persist its map
+	// group (one meta page) instead of copying the page forward, or the
+	// zombies would accumulate until every victim looks fully live.
+	staleGroups := make(map[int64]struct{})
+	for pi := 0; pi < ppb; pi++ {
+		ppn := f.chip.PPNOf(victim, pi)
+		if st, _ := f.chip.State(ppn); st != nand.PageValid {
+			continue
+		}
+		lpn := f.rmap[ppn]
+		if lpn >= 0 && f.persisted[lpn] == ppn && f.l2p[lpn] != ppn {
+			if f.hook == nil || !f.hook.Live(ppn) {
+				staleGroups[f.group(lpn)] = struct{}{}
+			}
+		}
+	}
+	for g := range staleGroups {
+		f.syncGroup(g)
+		if err := f.flushMapGroup(g); err != nil {
+			return err
+		}
+	}
+
+	buf := make([]byte, f.PageSize())
+	for pi := 0; pi < ppb; pi++ {
+		ppn := f.chip.PPNOf(victim, pi)
+		st, err := f.chip.State(ppn)
+		if err != nil {
+			return err
+		}
+		if st != nand.PageValid {
+			continue
+		}
+		if !f.isLive(ppn) {
+			// Deferred garbage: no table references it any more.
+			f.rmap[ppn] = -1
+			if err := f.chip.Invalidate(ppn); err != nil {
+				return err
+			}
+			continue
+		}
+		f.gcValidCopied++
+		if err := f.relocate(ppn, buf); err != nil {
+			return err
+		}
+	}
+	if err := f.chip.EraseBlock(victim); err != nil {
+		return err
+	}
+	f.freeBlocks = append(f.freeBlocks, victim)
+	return nil
+}
+
+// pickVictim chooses the greedy GC victim among fully written data
+// blocks, returning -1 if none exists. The chip's per-block valid
+// counter is the greedy key; deferred-invalid pages inflate it slightly
+// but are reclaimed for free when the block is eventually collected.
+func (f *FTL) pickVictim() nand.BlockNum {
+	chipCfg := f.chip.Config()
+	dataBlocks := chipCfg.Blocks - f.cfg.MetaBlocks
+	best := nand.BlockNum(-1)
+	bestValid := chipCfg.PagesPerBlock + 1
+	for b := 0; b < dataBlocks; b++ {
+		blk := nand.BlockNum(b)
+		if f.haveCur && blk == f.cur {
+			continue
+		}
+		freePages, _ := f.chip.FreePages(blk)
+		if freePages > 0 {
+			continue // erased or only partially written blocks are not victims
+		}
+		valid, _ := f.chip.ValidPages(blk)
+		if valid < bestValid {
+			best, bestValid = blk, valid
+			if valid == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func (f *FTL) isFree(blk nand.BlockNum) bool {
+	for _, fb := range f.freeBlocks {
+		if fb == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// isLive implements the paper's liveness rule: a page is live if the
+// L2P table (volatile or flash-resident image) or the transactional
+// layer's table references it.
+func (f *FTL) isLive(ppn nand.PPN) bool {
+	if lpn := f.rmap[ppn]; lpn >= 0 {
+		if f.l2p[lpn] == ppn || f.persisted[lpn] == ppn {
+			return true
+		}
+	}
+	return f.hook != nil && f.hook.Live(ppn)
+}
+
+// relocate copies one live page to the write frontier and fixes every
+// table that referenced it. When the flash-resident mapping image
+// pointed at the old location, the affected map group is re-flushed so
+// a power cut never references an erased page.
+func (f *FTL) relocate(old nand.PPN, buf []byte) error {
+	if err := f.chip.ReadPageInternal(old, buf); err != nil {
+		return err
+	}
+	dst, err := f.allocPage()
+	if err != nil {
+		return err
+	}
+	if err := f.chip.ProgramPageInternal(dst, buf); err != nil {
+		return err
+	}
+	lpn := f.rmap[old]
+	f.rmap[dst] = lpn
+	f.rmap[old] = -1
+	if lpn >= 0 {
+		if f.l2p[lpn] == old {
+			f.l2p[lpn] = dst
+			f.dirtyGroup[f.group(lpn)] = struct{}{}
+		}
+		if f.persisted[lpn] == old {
+			f.persisted[lpn] = dst
+			// The flash-resident map image must cover the new location
+			// before the victim block is erased. The group image is
+			// about to be rewritten, so reconcile the whole group first
+			// — otherwise its other entries' deferred invalidations
+			// would be dropped when the dirty flag clears, leaking
+			// zombie pages that GC can never reclaim.
+			f.syncGroup(f.group(lpn))
+			if err := f.flushMapGroup(f.group(lpn)); err != nil {
+				return err
+			}
+		}
+	}
+	if f.hook != nil {
+		f.hook.Relocated(old, dst)
+	}
+	return f.chip.Invalidate(old)
+}
+
+// fullMapPages is how many flash pages the whole L2P table occupies.
+func (f *FTL) fullMapPages() int {
+	per := mapEntriesPerPage(f.chip.Config().PageSize)
+	return int((f.cfg.LogicalPages + per - 1) / per)
+}
+
+// barrierStorePages is the number of map pages one barrier programs.
+func (f *FTL) barrierStorePages(dirty int) int {
+	switch {
+	case f.cfg.BarrierMapPages > 0:
+		return max(f.cfg.BarrierMapPages, dirty)
+	case f.cfg.BarrierMapPages < 0:
+		return dirty // idealized incremental firmware (ablation)
+	default:
+		return max(f.fullMapPages(), dirty)
+	}
+}
+
+// syncGroup reconciles one map group's persistent image with the
+// volatile table, resolving deferred invalidations.
+func (f *FTL) syncGroup(g int64) {
+	per := mapEntriesPerPage(f.chip.Config().PageSize)
+	lo := LPN(g * per)
+	hi := min(int64(lo)+per, f.cfg.LogicalPages)
+	for lpn := lo; int64(lpn) < hi; lpn++ {
+		old := f.persisted[lpn]
+		now := f.l2p[lpn]
+		if old == now {
+			continue
+		}
+		f.persisted[lpn] = now
+		if old != nand.InvalidPPN && f.rmap[old] == lpn && now != old {
+			// The page lost its last L2P reference; unless the
+			// transactional layer holds it, it is garbage now.
+			if f.hook == nil || !f.hook.Live(old) {
+				f.rmap[old] = -1
+				_ = f.chip.Invalidate(old)
+			}
+		}
+	}
+}
+
+// Barrier persists the mapping table to the metadata region and
+// resolves deferred invalidations, implementing the write barrier /
+// flush-cache semantics the paper describes for OpenSSD ("a write
+// barrier command stores the mapping table as well as data pages
+// persistently", §6.3.4). By default the whole table image is stored,
+// which is what makes fsync so expensive on the baseline firmware.
+func (f *FTL) Barrier() error {
+	if len(f.dirtyGroup) == 0 {
+		return nil
+	}
+	dirty := len(f.dirtyGroup)
+	for g := range f.dirtyGroup {
+		f.syncGroup(g)
+		delete(f.groupSlots, g) // superseded by the full store below
+	}
+	clear(f.dirtyGroup)
+	return f.WriteMetaSlot("l2pmap", f.barrierStorePages(dirty))
+}
+
+// FlushDirtyGroups persists only the map groups dirtied since the last
+// flush (one meta page each). This is the lightweight propagation the
+// X-FTL commit path uses after folding committed entries into L2P: the
+// full-table store of a barrier is not needed because the X-L2P image
+// already makes the transaction durable.
+func (f *FTL) FlushDirtyGroups() (int, error) {
+	n := 0
+	for g := range f.dirtyGroup {
+		f.syncGroup(g)
+		if err := f.flushMapGroup(g); err != nil {
+			return n, err
+		}
+		n++
+	}
+	clear(f.dirtyGroup)
+	return n, nil
+}
+
+// flushMapGroup programs one mapping-table page image into the metadata
+// region and updates the group's slot pointer.
+func (f *FTL) flushMapGroup(g int64) error {
+	ppn, err := f.metaProgram()
+	if err != nil {
+		return err
+	}
+	if old, ok := f.groupSlots[g]; ok {
+		_ = f.chip.Invalidate(old)
+	}
+	f.groupSlots[g] = ppn
+	delete(f.dirtyGroup, g)
+	return nil
+}
+
+// WriteMetaSlot persists an upper-layer metadata object (a mapping
+// table image or the X-L2P table image) as a chain of meta pages under
+// a named slot, copy-on-write: the new chain is programmed, then the
+// previous chain is invalidated. Passing pages <= 0 drops the slot.
+func (f *FTL) WriteMetaSlot(name string, pages int) error {
+	if pages <= 0 {
+		for _, old := range f.metaSlots[name] {
+			_ = f.chip.Invalidate(old)
+		}
+		delete(f.metaSlots, name)
+		return nil
+	}
+	chain := make([]nand.PPN, 0, pages)
+	for i := 0; i < pages; i++ {
+		ppn, err := f.metaProgram()
+		if err != nil {
+			return err
+		}
+		chain = append(chain, ppn)
+	}
+	for _, old := range f.metaSlots[name] {
+		_ = f.chip.Invalidate(old)
+	}
+	f.metaSlots[name] = chain
+	return nil
+}
+
+// MetaSlotPages reports whether a named slot currently exists.
+func (f *FTL) MetaSlotPages(name string) bool {
+	return len(f.metaSlots[name]) > 0
+}
+
+// metaProgram programs one page in the metadata ring and returns its
+// address, recycling exhausted meta blocks as needed. Meta payloads are
+// not content-addressed in the simulation: only their count and cost
+// matter, so a synthesized page image is programmed.
+func (f *FTL) metaProgram() (nand.PPN, error) {
+	if f.metaPage >= f.chip.Config().PagesPerBlock {
+		next := (f.metaCur + 1) % len(f.metaBlocks)
+		// recycleMetaBlock repositions the ring frontier (metaCur,
+		// metaPage) and re-homes any still-current resident pages.
+		if err := f.recycleMetaBlock(next); err != nil {
+			return nand.InvalidPPN, err
+		}
+	}
+	blk := f.metaBlocks[f.metaCur]
+	ppn := f.chip.PPNOf(blk, f.metaPage)
+	f.metaPage++
+	page := make([]byte, f.PageSize())
+	if err := f.chip.ProgramPageInternal(ppn, page); err != nil {
+		return nand.InvalidPPN, err
+	}
+	return ppn, nil
+}
+
+// recycleMetaBlock prepares the next ring block for reuse, relocating
+// any still-current slot or map-group pages that live in it.
+func (f *FTL) recycleMetaBlock(idx int) error {
+	blk := f.metaBlocks[idx]
+	// Relocate current residents to the block after this one is erased:
+	// simplest is to re-flush them through the frontier after erase, so
+	// first collect who lives here.
+	var groups []int64
+	for g, ppn := range f.groupSlots {
+		if f.chip.BlockOf(ppn) == blk {
+			groups = append(groups, g)
+		}
+	}
+	var slots []string
+	slotPages := map[string]int{}
+	for s, chain := range f.metaSlots {
+		here := false
+		for _, ppn := range chain {
+			if f.chip.BlockOf(ppn) == blk {
+				here = true
+			}
+		}
+		if here {
+			slots = append(slots, s)
+			slotPages[s] = len(chain)
+		}
+	}
+	for _, g := range groups {
+		_ = f.chip.Invalidate(f.groupSlots[g])
+		delete(f.groupSlots, g)
+	}
+	for _, s := range slots {
+		for _, ppn := range f.metaSlots[s] {
+			if f.chip.BlockOf(ppn) == blk {
+				_ = f.chip.Invalidate(ppn)
+			}
+		}
+	}
+	ppb := f.chip.Config().PagesPerBlock
+	for pi := 0; pi < ppb; pi++ {
+		ppn := f.chip.PPNOf(blk, pi)
+		if st, _ := f.chip.State(ppn); st == nand.PageValid {
+			_ = f.chip.Invalidate(ppn)
+		}
+	}
+	if err := f.chip.EraseBlock(blk); err != nil {
+		return err
+	}
+	// Re-program evicted residents into other ring blocks via the
+	// normal path (metaCur/metaPage point into the erased block after
+	// the caller updates them; program there directly).
+	f.metaCur = idx
+	f.metaPage = 0
+	for _, g := range groups {
+		ppn, err := f.metaProgram()
+		if err != nil {
+			return err
+		}
+		f.groupSlots[g] = ppn
+	}
+	for _, s := range slots {
+		// Re-home the whole chain: pages outside the recycled block are
+		// invalidated by WriteMetaSlot's copy-on-write replacement.
+		old := f.metaSlots[s]
+		chain := make([]nand.PPN, 0, slotPages[s])
+		for i := 0; i < slotPages[s]; i++ {
+			ppn, err := f.metaProgram()
+			if err != nil {
+				return err
+			}
+			chain = append(chain, ppn)
+		}
+		for _, ppn := range old {
+			if f.chip.BlockOf(ppn) != blk {
+				_ = f.chip.Invalidate(ppn)
+			}
+		}
+		f.metaSlots[s] = chain
+	}
+	return nil
+}
+
+// PowerCut simulates sudden power loss: all volatile mapping state is
+// dropped. Restart rebuilds it from the flash-resident image.
+func (f *FTL) PowerCut() {
+	f.powerFailed = true
+}
+
+// Restart recovers the FTL after a power cut: the volatile L2P table is
+// reloaded from the persistent image (charging one flash read per
+// flushed map group) and every physical page not referenced by the
+// recovered tables is invalidated. The recovery duration is whatever
+// the charged reads cost on the simulated clock.
+func (f *FTL) Restart() error {
+	if !f.powerFailed {
+		return nil
+	}
+	f.powerFailed = false
+	// Charge reads for reloading the mapping image (the full-table
+	// store plus any incremental group pages).
+	nMapPages := len(f.metaSlots["l2pmap"]) + len(f.groupSlots)
+	for i := 0; i < nMapPages; i++ {
+		f.chip.Clock().Advance(f.chip.Config().ReadLatency / f.chip.Config().InternalParallelismDiv())
+		if f.stats != nil {
+			f.stats.PageReads.Add(1)
+		}
+	}
+	copy(f.l2p, f.persisted)
+	clear(f.dirtyGroup)
+	// Rebuild rmap and page validity from the recovered mapping.
+	for i := range f.rmap {
+		f.rmap[i] = -1
+	}
+	for lpn, ppn := range f.l2p {
+		if ppn != nand.InvalidPPN {
+			f.rmap[ppn] = LPN(lpn)
+		}
+	}
+	chipCfg := f.chip.Config()
+	dataBlocks := chipCfg.Blocks - f.cfg.MetaBlocks
+	for b := 0; b < dataBlocks; b++ {
+		blk := nand.BlockNum(b)
+		if f.isFree(blk) {
+			continue
+		}
+		for pi := 0; pi < chipCfg.PagesPerBlock; pi++ {
+			ppn := f.chip.PPNOf(blk, pi)
+			st, _ := f.chip.State(ppn)
+			if st != nand.PageValid {
+				continue
+			}
+			if f.rmap[ppn] == -1 && (f.hook == nil || !f.hook.Live(ppn)) {
+				_ = f.chip.Invalidate(ppn)
+			}
+		}
+	}
+	return nil
+}
+
+// GCStats reports cumulative GC observability counters: how many victim
+// blocks were collected and the average fraction of pages that were
+// still valid in them (the paper's "GC validity ratio").
+func (f *FTL) GCStats() (victims int64, avgValidity float64) {
+	if f.gcVictims == 0 {
+		return 0, 0
+	}
+	ppb := float64(f.chip.Config().PagesPerBlock)
+	return f.gcVictims, float64(f.gcValidCopied) / (float64(f.gcVictims) * ppb)
+}
+
+// ResetGCStats zeroes the GC observability counters.
+func (f *FTL) ResetGCStats() { f.gcVictims, f.gcValidCopied = 0, 0 }
+
+// AdvanceHost charges host-visible latency that is not tied to a NAND
+// operation (controller firmware time). Exposed for the storage layer.
+func (f *FTL) AdvanceHost(d time.Duration) { f.chip.Clock().Advance(d) }
+
+// DebugCounts classifies every valid flash page for diagnostics: how
+// many are referenced by the volatile map, only by the persistent
+// image, only by the transactional hook, or by nothing at all.
+func (f *FTL) DebugCounts() map[string]int {
+	out := map[string]int{}
+	chipCfg := f.chip.Config()
+	dataBlocks := chipCfg.Blocks - f.cfg.MetaBlocks
+	for b := 0; b < dataBlocks; b++ {
+		freeP, _ := f.chip.FreePages(nand.BlockNum(b))
+		validP, _ := f.chip.ValidPages(nand.BlockNum(b))
+		switch {
+		case freeP == chipCfg.PagesPerBlock:
+			out["blk-erased"]++
+		case freeP > 0:
+			out["blk-partial"]++
+		case validP == chipCfg.PagesPerBlock:
+			out["blk-full-all-valid"]++
+		default:
+			out["blk-full-mixed"]++
+		}
+		for pi := 0; pi < chipCfg.PagesPerBlock; pi++ {
+			ppn := f.chip.PPNOf(nand.BlockNum(b), pi)
+			st, _ := f.chip.State(ppn)
+			if st != nand.PageValid {
+				continue
+			}
+			out["valid"]++
+			lpn := f.rmap[ppn]
+			switch {
+			case lpn < 0:
+				out["orphan-no-rmap"]++
+			case f.l2p[lpn] == ppn:
+				out["volatile-mapped"]++
+			case f.persisted[lpn] == ppn:
+				out["persisted-only"]++
+			case f.hook != nil && f.hook.Live(ppn):
+				out["hook-only"]++
+			default:
+				out["rmap-stale"]++
+			}
+		}
+	}
+	return out
+}

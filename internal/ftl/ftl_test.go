@@ -1,0 +1,514 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+func testChipConfig() nand.Config {
+	return nand.Config{
+		Blocks:        32,
+		PagesPerBlock: 16,
+		PageSize:      512,
+		ReadLatency:   10 * time.Microsecond,
+		ProgLatency:   100 * time.Microsecond,
+		EraseLatency:  time.Millisecond,
+	}
+}
+
+func newTestFTL(t *testing.T) (*FTL, *metrics.FlashCounters) {
+	t.Helper()
+	stats := &metrics.FlashCounters{}
+	chip, err := nand.New(testChipConfig(), simclock.New(), stats)
+	if err != nil {
+		t.Fatalf("nand.New: %v", err)
+	}
+	f, err := New(chip, DefaultConfig(testChipConfig()), stats)
+	if err != nil {
+		t.Fatalf("ftl.New: %v", err)
+	}
+	return f, stats
+}
+
+func page(f *FTL, fill byte) []byte {
+	d := make([]byte, f.PageSize())
+	for i := range d {
+		d[i] = fill
+	}
+	return d
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	chip, _ := nand.New(testChipConfig(), simclock.New(), nil)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no meta blocks", Config{LogicalPages: 10, MetaBlocks: 0, GCLowWater: 2}},
+		{"zero low water", Config{LogicalPages: 10, MetaBlocks: 2, GCLowWater: 0}},
+		{"zero logical", Config{LogicalPages: 0, MetaBlocks: 2, GCLowWater: 2}},
+		{"oversubscribed", Config{LogicalPages: 1 << 20, MetaBlocks: 2, GCLowWater: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(chip, tc.cfg, nil); err == nil {
+				t.Error("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f, _ := newTestFTL(t)
+	data := page(f, 0x5A)
+	if err := f.Write(7, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(7, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("read back mismatch")
+	}
+}
+
+func TestReadUnmappedReturnsZeros(t *testing.T) {
+	f, stats := newTestFTL(t)
+	buf := page(f, 0xFF)
+	before := stats.Snapshot()
+	if err := f.Read(3, buf); err != nil {
+		t.Fatalf("Read unmapped: %v", err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unmapped read returned nonzero data")
+		}
+	}
+	if d := stats.Snapshot().Sub(before); d.PageReads != 0 {
+		t.Errorf("unmapped read touched flash: %v", d)
+	}
+}
+
+func TestOverwriteInvalidatesOld(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(1, page(f, 1)); err != nil {
+		t.Fatal(err)
+	}
+	old := f.Mapping(1)
+	if err := f.Write(1, page(f, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapping(1) == old {
+		t.Error("overwrite did not move the page (not copy-on-write)")
+	}
+	st, _ := f.Chip().State(old)
+	if st != nand.PageInvalid {
+		t.Errorf("old page state = %v, want invalid", st)
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 {
+		t.Errorf("read returned old version: %d", buf[0])
+	}
+}
+
+func TestLPNRangeChecks(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(LPN(f.LogicalPages()), page(f, 0)); !errors.Is(err, ErrLPNRange) {
+		t.Errorf("write past capacity = %v, want ErrLPNRange", err)
+	}
+	if err := f.Read(-1, make([]byte, f.PageSize())); !errors.Is(err, ErrLPNRange) {
+		t.Errorf("read negative = %v, want ErrLPNRange", err)
+	}
+}
+
+func TestUnmapThenReadZeros(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(5, page(f, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unmap(5); err != nil {
+		t.Fatal(err)
+	}
+	buf := page(f, 0xFF)
+	if err := f.Read(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("read after unmap returned stale data")
+	}
+}
+
+func TestGCReclaimsSpace(t *testing.T) {
+	f, stats := newTestFTL(t)
+	// Overwrite a small working set far more times than raw capacity:
+	// without GC the device would run out of free blocks.
+	totalWrites := int(testChipConfig().TotalPages()) * 3
+	for i := 0; i < totalWrites; i++ {
+		lpn := LPN(i % 32)
+		if err := f.Write(lpn, page(f, byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if stats.Snapshot().GCRuns == 0 {
+		t.Error("GC never ran despite heavy overwrites")
+	}
+	// All 32 pages must still read their latest content.
+	buf := make([]byte, f.PageSize())
+	for l := 0; l < 32; l++ {
+		want := byte(totalWrites - 32 + l)
+		if err := f.Read(LPN(l), buf); err != nil {
+			t.Fatalf("read lpn %d: %v", l, err)
+		}
+		if buf[0] != want {
+			t.Errorf("lpn %d = %d, want %d (GC corrupted mapping)", l, buf[0], want)
+		}
+	}
+}
+
+func TestGCPreservesColdData(t *testing.T) {
+	f, _ := newTestFTL(t)
+	// Cold data written once...
+	for l := 100; l < 140; l++ {
+		if err := f.Write(LPN(l), page(f, byte(l))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...then hot churn elsewhere to force GC over the cold blocks.
+	for i := 0; i < int(testChipConfig().TotalPages())*2; i++ {
+		if err := f.Write(LPN(i%16), page(f, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, f.PageSize())
+	for l := 100; l < 140; l++ {
+		if err := f.Read(LPN(l), buf); err != nil {
+			t.Fatalf("read cold lpn %d: %v", l, err)
+		}
+		if buf[0] != byte(l) {
+			t.Errorf("cold lpn %d corrupted: got %d", l, buf[0])
+		}
+	}
+}
+
+func TestBarrierPersistsMappings(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(3, page(f, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Barrier(); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	f.PowerCut()
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Errorf("after crash+restart lpn 3 = %d, want 42", buf[0])
+	}
+}
+
+func TestCrashLosesUnflushedWrites(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(3, page(f, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite without a barrier: the mapping update is volatile.
+	if err := f.Write(3, page(f, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f.PowerCut()
+	if err := f.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Errorf("after crash lpn 3 = %d, want the barrier-covered version 1", buf[0])
+	}
+}
+
+func TestCrashAfterGCKeepsPersistedData(t *testing.T) {
+	f, _ := newTestFTL(t)
+	// Persist a cold page, then churn hard enough that GC relocates it,
+	// then crash without another explicit barrier.
+	if err := f.Write(200, page(f, 77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(testChipConfig().TotalPages())*2; i++ {
+		if err := f.Write(LPN(i%16), page(f, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.PowerCut()
+	if err := f.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(200, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 77 {
+		t.Errorf("persisted cold page lost after GC+crash: got %d, want 77", buf[0])
+	}
+}
+
+func TestWriteRawDoesNotChangeMapping(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(9, page(f, 1)); err != nil {
+		t.Fatal(err)
+	}
+	committed := f.Mapping(9)
+	raw, err := f.WriteRaw(9, page(f, 2))
+	if err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+	if f.Mapping(9) != committed {
+		t.Error("WriteRaw changed the committed mapping")
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(9, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Errorf("committed read = %d, want 1", buf[0])
+	}
+	if err := f.ReadPPN(raw, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 {
+		t.Errorf("raw read = %d, want 2", buf[0])
+	}
+	// Mapping the raw page promotes it.
+	if err := f.Map(9, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(9, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 {
+		t.Errorf("after Map read = %d, want 2", buf[0])
+	}
+}
+
+func TestInvalidatePPNRefusesMappedPage(t *testing.T) {
+	f, _ := newTestFTL(t)
+	if err := f.Write(4, page(f, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InvalidatePPN(f.Mapping(4)); err == nil {
+		t.Error("InvalidatePPN on a mapped page succeeded")
+	}
+}
+
+func TestInvalidatePPNReclaimsRawPage(t *testing.T) {
+	f, _ := newTestFTL(t)
+	raw, err := f.WriteRaw(4, page(f, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InvalidatePPN(raw); err != nil {
+		t.Fatalf("InvalidatePPN: %v", err)
+	}
+	st, _ := f.Chip().State(raw)
+	if st != nand.PageInvalid {
+		t.Errorf("raw page state = %v, want invalid", st)
+	}
+}
+
+func TestMetaSlotRoundTrip(t *testing.T) {
+	f, stats := newTestFTL(t)
+	before := stats.Snapshot()
+	if err := f.WriteMetaSlot("xl2p", 2); err != nil {
+		t.Fatalf("WriteMetaSlot: %v", err)
+	}
+	if d := stats.Snapshot().Sub(before); d.PageWrites != 2 {
+		t.Errorf("meta slot write cost %d pages, want 2", d.PageWrites)
+	}
+	if !f.MetaSlotPages("xl2p") {
+		t.Error("slot not recorded")
+	}
+	if err := f.WriteMetaSlot("xl2p", 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.MetaSlotPages("xl2p") {
+		t.Error("slot not dropped")
+	}
+}
+
+func TestMetaRingRecycles(t *testing.T) {
+	f, _ := newTestFTL(t)
+	// Write far more meta pages than the meta region holds; the ring
+	// must recycle without error and keep the current slot alive.
+	cfg := testChipConfig()
+	total := cfg.PagesPerBlock * DefaultConfig(cfg).MetaBlocks * 3
+	for i := 0; i < total; i++ {
+		if err := f.WriteMetaSlot("xl2p", 1); err != nil {
+			t.Fatalf("meta write %d: %v", i, err)
+		}
+	}
+	if !f.MetaSlotPages("xl2p") {
+		t.Error("slot lost during ring recycling")
+	}
+}
+
+func TestBarrierIsIdempotentWhenClean(t *testing.T) {
+	f, stats := newTestFTL(t)
+	if err := f.Write(1, page(f, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	before := stats.Snapshot()
+	if err := f.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if d := stats.Snapshot().Sub(before); d.PageWrites != 0 {
+		t.Errorf("clean barrier wrote %d pages, want 0", d.PageWrites)
+	}
+}
+
+func TestGCValidityStats(t *testing.T) {
+	f, _ := newTestFTL(t)
+	for i := 0; i < int(testChipConfig().TotalPages())*2; i++ {
+		if err := f.Write(LPN(i%64), page(f, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims, validity := f.GCStats()
+	if victims == 0 {
+		t.Fatal("no GC recorded")
+	}
+	if validity < 0 || validity > 1 {
+		t.Errorf("validity = %f out of [0,1]", validity)
+	}
+	f.ResetGCStats()
+	if v, _ := f.GCStats(); v != 0 {
+		t.Error("ResetGCStats did not zero counters")
+	}
+}
+
+// Property: under arbitrary interleavings of writes, overwrites, unmaps
+// and barriers, every mapped logical page reads back the last value
+// written to it.
+func TestPropertyLinearizedContents(t *testing.T) {
+	f, _ := newTestFTL(t)
+	shadow := map[LPN]byte{}
+	rng := rand.New(rand.NewSource(42))
+	check := func() bool {
+		buf := make([]byte, f.PageSize())
+		for lpn, want := range shadow {
+			if err := f.Read(lpn, buf); err != nil {
+				return false
+			}
+			if buf[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	fn := func(ops []uint16) bool {
+		for _, op := range ops {
+			lpn := LPN(op % 50)
+			switch (op / 50) % 4 {
+			case 0, 1: // write (twice as likely)
+				fill := byte(rng.Intn(256))
+				if err := f.Write(lpn, page(f, fill)); err != nil {
+					return false
+				}
+				shadow[lpn] = fill
+			case 2: // unmap
+				if err := f.Unmap(lpn); err != nil {
+					return false
+				}
+				delete(shadow, lpn)
+			case 3: // barrier
+				if err := f.Barrier(); err != nil {
+					return false
+				}
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: crash + restart always recovers exactly the state as of the
+// last barrier.
+func TestPropertyCrashRecoversBarrierState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 10; round++ {
+		stats := &metrics.FlashCounters{}
+		chip, _ := nand.New(testChipConfig(), simclock.New(), stats)
+		f, err := New(chip, DefaultConfig(testChipConfig()), stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		durable := map[LPN]byte{}
+		volatileState := map[LPN]byte{}
+		nOps := 50 + rng.Intn(200)
+		for i := 0; i < nOps; i++ {
+			lpn := LPN(rng.Intn(40))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				fill := byte(rng.Intn(256))
+				if err := f.Write(lpn, page(f, fill)); err != nil {
+					t.Fatal(err)
+				}
+				volatileState[lpn] = fill
+			case 3:
+				if err := f.Unmap(lpn); err != nil {
+					t.Fatal(err)
+				}
+				delete(volatileState, lpn)
+			case 4:
+				if err := f.Barrier(); err != nil {
+					t.Fatal(err)
+				}
+				durable = map[LPN]byte{}
+				for k, v := range volatileState {
+					durable[k] = v
+				}
+			}
+		}
+		f.PowerCut()
+		if err := f.Restart(); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, f.PageSize())
+		for lpn, want := range durable {
+			if err := f.Read(lpn, buf); err != nil {
+				t.Fatalf("round %d: read %d: %v", round, lpn, err)
+			}
+			if buf[0] != want {
+				t.Fatalf("round %d: lpn %d = %d, want %d", round, lpn, buf[0], want)
+			}
+		}
+	}
+}

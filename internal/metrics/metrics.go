@@ -1,0 +1,128 @@
+// Package metrics defines the shared I/O counters reported in the
+// paper's Table 1 and Figure 6: host-side page writes and fsync calls,
+// split by destination (database file, journal/log file, file-system
+// metadata), and FTL-side flash activity (page programs and reads
+// including garbage-collection copies, GC invocations, block erases).
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// HostCounters accumulates I/O requests issued by the host software
+// stack (SQLite plus the file system). The split matches the
+// "Host-side" columns of the paper's Table 1.
+type HostCounters struct {
+	DBWrites      atomic.Int64 // page writes into a database file
+	JournalWrites atomic.Int64 // page writes into a rollback journal or WAL file
+	FSMetaWrites  atomic.Int64 // file-system metadata page writes (inodes, bitmaps, directory, fs journal)
+	Reads         atomic.Int64 // page reads issued by the host
+	Fsyncs        atomic.Int64 // fsync (and fsync-like barrier) system calls
+}
+
+// TotalWrites reports all host-side page writes regardless of target.
+func (h *HostCounters) TotalWrites() int64 {
+	return h.DBWrites.Load() + h.JournalWrites.Load() + h.FSMetaWrites.Load()
+}
+
+// Reset zeroes every counter.
+func (h *HostCounters) Reset() {
+	h.DBWrites.Store(0)
+	h.JournalWrites.Store(0)
+	h.FSMetaWrites.Store(0)
+	h.Reads.Store(0)
+	h.Fsyncs.Store(0)
+}
+
+// Snapshot returns a plain-struct copy of the current values.
+func (h *HostCounters) Snapshot() HostSnapshot {
+	return HostSnapshot{
+		DBWrites:      h.DBWrites.Load(),
+		JournalWrites: h.JournalWrites.Load(),
+		FSMetaWrites:  h.FSMetaWrites.Load(),
+		Reads:         h.Reads.Load(),
+		Fsyncs:        h.Fsyncs.Load(),
+	}
+}
+
+// HostSnapshot is an immutable copy of HostCounters.
+type HostSnapshot struct {
+	DBWrites      int64
+	JournalWrites int64
+	FSMetaWrites  int64
+	Reads         int64
+	Fsyncs        int64
+}
+
+// TotalWrites reports all host-side page writes in the snapshot.
+func (s HostSnapshot) TotalWrites() int64 {
+	return s.DBWrites + s.JournalWrites + s.FSMetaWrites
+}
+
+// Sub returns the element-wise difference s - o, for measuring a window.
+func (s HostSnapshot) Sub(o HostSnapshot) HostSnapshot {
+	return HostSnapshot{
+		DBWrites:      s.DBWrites - o.DBWrites,
+		JournalWrites: s.JournalWrites - o.JournalWrites,
+		FSMetaWrites:  s.FSMetaWrites - o.FSMetaWrites,
+		Reads:         s.Reads - o.Reads,
+		Fsyncs:        s.Fsyncs - o.Fsyncs,
+	}
+}
+
+func (s HostSnapshot) String() string {
+	return fmt.Sprintf("db=%d journal=%d fsmeta=%d reads=%d fsyncs=%d",
+		s.DBWrites, s.JournalWrites, s.FSMetaWrites, s.Reads, s.Fsyncs)
+}
+
+// FlashCounters accumulates activity inside the flash device, matching
+// the "FTL-side" columns of Table 1. Writes and Reads include pages
+// copied internally by garbage collection and mapping-table flushes.
+type FlashCounters struct {
+	PageWrites  atomic.Int64 // flash page programs, including GC copies and map flushes
+	PageReads   atomic.Int64 // flash page reads, including GC copy-out reads
+	GCRuns      atomic.Int64 // garbage-collection invocations (per victim block)
+	BlockErases atomic.Int64 // block erases (GC victims plus metadata blocks)
+}
+
+// Reset zeroes every counter.
+func (f *FlashCounters) Reset() {
+	f.PageWrites.Store(0)
+	f.PageReads.Store(0)
+	f.GCRuns.Store(0)
+	f.BlockErases.Store(0)
+}
+
+// Snapshot returns a plain-struct copy of the current values.
+func (f *FlashCounters) Snapshot() FlashSnapshot {
+	return FlashSnapshot{
+		PageWrites:  f.PageWrites.Load(),
+		PageReads:   f.PageReads.Load(),
+		GCRuns:      f.GCRuns.Load(),
+		BlockErases: f.BlockErases.Load(),
+	}
+}
+
+// FlashSnapshot is an immutable copy of FlashCounters.
+type FlashSnapshot struct {
+	PageWrites  int64
+	PageReads   int64
+	GCRuns      int64
+	BlockErases int64
+}
+
+// Sub returns the element-wise difference s - o.
+func (s FlashSnapshot) Sub(o FlashSnapshot) FlashSnapshot {
+	return FlashSnapshot{
+		PageWrites:  s.PageWrites - o.PageWrites,
+		PageReads:   s.PageReads - o.PageReads,
+		GCRuns:      s.GCRuns - o.GCRuns,
+		BlockErases: s.BlockErases - o.BlockErases,
+	}
+}
+
+func (s FlashSnapshot) String() string {
+	return fmt.Sprintf("writes=%d reads=%d gc=%d erases=%d",
+		s.PageWrites, s.PageReads, s.GCRuns, s.BlockErases)
+}

@@ -1,0 +1,386 @@
+// Package nand models an array of NAND flash memory chips with the
+// geometry and timing of the Samsung K9LCG08U1M parts installed on the
+// OpenSSD board used in the paper: MLC NAND with 8 KB pages and 128
+// pages per block. The model enforces the two NAND invariants that make
+// copy-on-write mandatory for the layers above:
+//
+//   - a page can be programmed only once after its block is erased, and
+//   - erasure happens at block granularity only.
+//
+// Every operation advances the simulated clock by the corresponding
+// latency, so elapsed simulated time reflects real device cost.
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// PPN is a physical page number across the whole chip array.
+type PPN int64
+
+// InvalidPPN marks an unassigned physical page slot.
+const InvalidPPN PPN = -1
+
+// BlockNum identifies one erase block.
+type BlockNum int32
+
+// PageState describes the lifecycle of a physical page.
+type PageState uint8
+
+const (
+	// PageFree means the page is erased and may be programmed.
+	PageFree PageState = iota
+	// PageValid means the page holds live data referenced by a mapping.
+	PageValid
+	// PageInvalid means the page was superseded and awaits erasure.
+	PageInvalid
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// Errors returned by chip operations.
+var (
+	ErrOutOfRange     = errors.New("nand: page address out of range")
+	ErrNotErased      = errors.New("nand: programming a page that is not erased")
+	ErrReadFree       = errors.New("nand: reading an unprogrammed page")
+	ErrBadBlock       = errors.New("nand: block number out of range")
+	ErrShortBuffer    = errors.New("nand: buffer shorter than page size")
+	ErrWrongDataSize  = errors.New("nand: data length does not match page size")
+	ErrEraseValidPage = errors.New("nand: erasing a block that still holds valid pages")
+)
+
+// Config describes chip geometry and operation latencies.
+type Config struct {
+	Blocks        int           // number of erase blocks
+	PagesPerBlock int           // pages per erase block
+	PageSize      int           // bytes per page
+	ReadLatency   time.Duration // page read (cell array -> register)
+	ProgLatency   time.Duration // page program
+	EraseLatency  time.Duration // block erase
+	// InternalParallelism is the effective channel/plane concurrency
+	// available to firmware-initiated bulk operations (mapping-table
+	// flushes, GC copy-back). Host-issued single-page commands see the
+	// full latency (queue depth 1 on the SATA path); internal streams
+	// pipeline across channels. 0 or 1 disables the speedup.
+	InternalParallelism int
+}
+
+// DefaultConfig mirrors the OpenSSD flash subsystem at a laptop-friendly
+// scale: 8 KB pages, 128 pages per block, and MLC-class latencies.
+// 1,024 blocks give a 1 GiB raw device, plenty for every experiment
+// while keeping tests fast.
+func DefaultConfig() Config {
+	return Config{
+		Blocks:              1024,
+		PagesPerBlock:       128,
+		PageSize:            8192,
+		ReadLatency:         200 * time.Microsecond,
+		ProgLatency:         1300 * time.Microsecond,
+		EraseLatency:        3 * time.Millisecond,
+		InternalParallelism: 4,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Blocks <= 0:
+		return errors.New("nand: Blocks must be positive")
+	case c.PagesPerBlock <= 0:
+		return errors.New("nand: PagesPerBlock must be positive")
+	case c.PageSize <= 0:
+		return errors.New("nand: PageSize must be positive")
+	default:
+		return nil
+	}
+}
+
+// TotalPages reports the raw page capacity of the configuration.
+func (c Config) TotalPages() int64 { return int64(c.Blocks) * int64(c.PagesPerBlock) }
+
+// InternalParallelismDiv is the latency divisor for firmware-internal
+// operations, at least 1.
+func (c Config) InternalParallelismDiv() time.Duration {
+	if c.InternalParallelism > 1 {
+		return time.Duration(c.InternalParallelism)
+	}
+	return 1
+}
+
+// Chip is a simulated NAND flash array. It is not safe for concurrent
+// use; the FTL layers above serialize access, as firmware does.
+type Chip struct {
+	cfg    Config
+	clock  *simclock.Clock
+	stats  *metrics.FlashCounters
+	blocks []block
+}
+
+type block struct {
+	data       [][]byte    // lazily allocated page payloads
+	state      []PageState // per-page state
+	eraseCount int64
+	freeHint   int // index of first possibly-free page (sequential-program hint)
+	validCount int // pages in PageValid, maintained incrementally
+	freeCount  int // pages in PageFree, maintained incrementally
+}
+
+// New creates a chip array with every block erased. The clock and stats
+// may be shared with other devices; stats may be nil to disable
+// counting.
+func New(cfg Config, clock *simclock.Clock, stats *metrics.FlashCounters) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = simclock.New()
+	}
+	c := &Chip{cfg: cfg, clock: clock, stats: stats}
+	c.blocks = make([]block, cfg.Blocks)
+	for i := range c.blocks {
+		c.blocks[i] = block{
+			data:      make([][]byte, cfg.PagesPerBlock),
+			state:     make([]PageState, cfg.PagesPerBlock),
+			freeCount: cfg.PagesPerBlock,
+		}
+	}
+	return c, nil
+}
+
+// Config returns the chip geometry and timing.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Clock returns the simulated clock the chip advances.
+func (c *Chip) Clock() *simclock.Clock { return c.clock }
+
+// split decomposes a PPN into block and in-block page indexes.
+func (c *Chip) split(p PPN) (int, int, error) {
+	if p < 0 || int64(p) >= c.cfg.TotalPages() {
+		return 0, 0, fmt.Errorf("%w: ppn %d", ErrOutOfRange, p)
+	}
+	return int(int64(p) / int64(c.cfg.PagesPerBlock)), int(int64(p) % int64(c.cfg.PagesPerBlock)), nil
+}
+
+// PPNOf composes a physical page number from block and page indexes.
+func (c *Chip) PPNOf(blk BlockNum, page int) PPN {
+	return PPN(int64(blk)*int64(c.cfg.PagesPerBlock) + int64(page))
+}
+
+// BlockOf reports which erase block a physical page belongs to.
+func (c *Chip) BlockOf(p PPN) BlockNum {
+	return BlockNum(int64(p) / int64(c.cfg.PagesPerBlock))
+}
+
+// ReadPage copies a programmed page's content into buf, which must be at
+// least PageSize bytes. It charges the read latency.
+func (c *Chip) ReadPage(p PPN, buf []byte) error {
+	bi, pi, err := c.split(p)
+	if err != nil {
+		return err
+	}
+	if len(buf) < c.cfg.PageSize {
+		return ErrShortBuffer
+	}
+	b := &c.blocks[bi]
+	if b.state[pi] == PageFree {
+		return fmt.Errorf("%w: ppn %d", ErrReadFree, p)
+	}
+	copy(buf, b.data[pi])
+	c.clock.Advance(c.cfg.ReadLatency)
+	if c.stats != nil {
+		c.stats.PageReads.Add(1)
+	}
+	return nil
+}
+
+// internalDiv returns the latency divisor for firmware-internal ops.
+func (c *Chip) internalDiv() time.Duration { return c.cfg.InternalParallelismDiv() }
+
+// ReadPageInternal is ReadPage for firmware-initiated transfers (GC
+// copy-back): the latency pipelines across the internal channels.
+func (c *Chip) ReadPageInternal(p PPN, buf []byte) error {
+	save := c.cfg.ReadLatency
+	c.cfg.ReadLatency = save / c.internalDiv()
+	err := c.ReadPage(p, buf)
+	c.cfg.ReadLatency = save
+	return err
+}
+
+// ProgramPageInternal is ProgramPage for firmware-initiated writes
+// (mapping-table flushes, GC copy-back).
+func (c *Chip) ProgramPageInternal(p PPN, data []byte) error {
+	save := c.cfg.ProgLatency
+	c.cfg.ProgLatency = save / c.internalDiv()
+	err := c.ProgramPage(p, data)
+	c.cfg.ProgLatency = save
+	return err
+}
+
+// ProgramPage writes data into an erased page and marks it valid. The
+// data length must equal PageSize. Programming a non-free page fails,
+// enforcing the erase-before-write rule.
+func (c *Chip) ProgramPage(p PPN, data []byte) error {
+	bi, pi, err := c.split(p)
+	if err != nil {
+		return err
+	}
+	if len(data) != c.cfg.PageSize {
+		return fmt.Errorf("%w: got %d want %d", ErrWrongDataSize, len(data), c.cfg.PageSize)
+	}
+	b := &c.blocks[bi]
+	if b.state[pi] != PageFree {
+		return fmt.Errorf("%w: ppn %d is %v", ErrNotErased, p, b.state[pi])
+	}
+	if b.data[pi] == nil {
+		b.data[pi] = make([]byte, c.cfg.PageSize)
+	}
+	copy(b.data[pi], data)
+	b.state[pi] = PageValid
+	b.validCount++
+	b.freeCount--
+	if pi == b.freeHint {
+		b.freeHint++
+	}
+	c.clock.Advance(c.cfg.ProgLatency)
+	if c.stats != nil {
+		c.stats.PageWrites.Add(1)
+	}
+	return nil
+}
+
+// Invalidate marks a programmed page as superseded, making its block a
+// better GC victim. Invalidating a free page is an error; invalidating
+// an already-invalid page is a harmless no-op (mappings may race with
+// GC bookkeeping in the layers above).
+func (c *Chip) Invalidate(p PPN) error {
+	bi, pi, err := c.split(p)
+	if err != nil {
+		return err
+	}
+	b := &c.blocks[bi]
+	if b.state[pi] == PageFree {
+		return fmt.Errorf("nand: invalidating free ppn %d", p)
+	}
+	if b.state[pi] == PageValid {
+		b.validCount--
+	}
+	b.state[pi] = PageInvalid
+	return nil
+}
+
+// EraseBlock wipes a block, returning every page to the free state, and
+// charges the erase latency. Erasing a block that still contains valid
+// pages is rejected so FTL bugs surface loudly instead of losing data.
+func (c *Chip) EraseBlock(blk BlockNum) error {
+	if blk < 0 || int(blk) >= c.cfg.Blocks {
+		return fmt.Errorf("%w: %d", ErrBadBlock, blk)
+	}
+	b := &c.blocks[blk]
+	for pi, st := range b.state {
+		if st == PageValid {
+			return fmt.Errorf("%w: block %d page %d", ErrEraseValidPage, blk, pi)
+		}
+	}
+	for pi := range b.state {
+		b.state[pi] = PageFree
+		b.data[pi] = nil
+	}
+	b.freeHint = 0
+	b.validCount = 0
+	b.freeCount = c.cfg.PagesPerBlock
+	b.eraseCount++
+	c.clock.Advance(c.cfg.EraseLatency)
+	if c.stats != nil {
+		c.stats.BlockErases.Add(1)
+	}
+	return nil
+}
+
+// ForceEraseBlock wipes a block even if it contains valid pages. It
+// exists for tests and for simulating factory reset; FTLs must use
+// EraseBlock.
+func (c *Chip) ForceEraseBlock(blk BlockNum) error {
+	if blk < 0 || int(blk) >= c.cfg.Blocks {
+		return fmt.Errorf("%w: %d", ErrBadBlock, blk)
+	}
+	b := &c.blocks[blk]
+	for pi := range b.state {
+		b.state[pi] = PageInvalid
+	}
+	return c.EraseBlock(blk)
+}
+
+// State reports the lifecycle state of a physical page.
+func (c *Chip) State(p PPN) (PageState, error) {
+	bi, pi, err := c.split(p)
+	if err != nil {
+		return PageFree, err
+	}
+	return c.blocks[bi].state[pi], nil
+}
+
+// EraseCount reports how many times a block has been erased (wear).
+func (c *Chip) EraseCount(blk BlockNum) (int64, error) {
+	if blk < 0 || int(blk) >= c.cfg.Blocks {
+		return 0, fmt.Errorf("%w: %d", ErrBadBlock, blk)
+	}
+	return c.blocks[blk].eraseCount, nil
+}
+
+// ValidPages reports how many valid pages a block holds. O(1).
+func (c *Chip) ValidPages(blk BlockNum) (int, error) {
+	if blk < 0 || int(blk) >= c.cfg.Blocks {
+		return 0, fmt.Errorf("%w: %d", ErrBadBlock, blk)
+	}
+	return c.blocks[blk].validCount, nil
+}
+
+// FreePages reports how many erased (programmable) pages a block holds. O(1).
+func (c *Chip) FreePages(blk BlockNum) (int, error) {
+	if blk < 0 || int(blk) >= c.cfg.Blocks {
+		return 0, fmt.Errorf("%w: %d", ErrBadBlock, blk)
+	}
+	return c.blocks[blk].freeCount, nil
+}
+
+// NextFreePage returns the lowest free page index in a block, or -1 if
+// the block is fully programmed. NAND requires in-order programming
+// within a block; FTLs use this to maintain a write frontier.
+func (c *Chip) NextFreePage(blk BlockNum) (int, error) {
+	if blk < 0 || int(blk) >= c.cfg.Blocks {
+		return -1, fmt.Errorf("%w: %d", ErrBadBlock, blk)
+	}
+	b := &c.blocks[blk]
+	for pi := b.freeHint; pi < c.cfg.PagesPerBlock; pi++ {
+		if b.state[pi] == PageFree {
+			b.freeHint = pi
+			return pi, nil
+		}
+	}
+	return -1, nil
+}
+
+// TotalWear sums erase counts over all blocks.
+func (c *Chip) TotalWear() int64 {
+	var total int64
+	for i := range c.blocks {
+		total += c.blocks[i].eraseCount
+	}
+	return total
+}

@@ -1,0 +1,759 @@
+// Package simfs simulates the ext4 file system role in the paper's
+// stack (§5.2): it maps files onto device pages, runs metadata (and
+// optionally data) journaling, and — in X-FTL mode — acts as the
+// messenger that carries transactional context from SQLite down to the
+// device: page writes become write(t,p), fsync becomes write-back plus
+// commit(t), and the new ioctl 'abort' request becomes abort(t).
+//
+// Three journaling modes reproduce the paper's configurations:
+//
+//   - Ordered: metadata-only journaling with data written in place
+//     before the journal commit, using two write barriers per fsync —
+//     the ext4 default the paper benchmarks SQLite on.
+//   - Full: data plus metadata journaling; every data page is written
+//     twice (journal then home), the mode whose consistency X-FTL
+//     matches at lower cost (Figure 8).
+//   - OffXFTL: journaling off; atomicity and durability are delegated
+//     to the X-FTL device through the extended command set.
+package simfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// JournalMode selects how the file system achieves consistency.
+type JournalMode int
+
+// Journaling modes.
+const (
+	// Ordered journals metadata only; data pages are forced out before
+	// the journal commit record (ext4 data=ordered).
+	Ordered JournalMode = iota
+	// Full journals data and metadata (ext4 data=journal).
+	Full
+	// OffXFTL turns journaling off and relies on the X-FTL device for
+	// atomic propagation; requires a transactional device.
+	OffXFTL
+)
+
+func (m JournalMode) String() string {
+	switch m {
+	case Ordered:
+		return "ordered"
+	case Full:
+		return "full"
+	case OffXFTL:
+		return "off(x-ftl)"
+	default:
+		return fmt.Sprintf("JournalMode(%d)", int(m))
+	}
+}
+
+// Role classifies a file so host-side write counters can be split the
+// way the paper's Table 1 reports them.
+type Role int
+
+// File roles.
+const (
+	RoleData    Role = iota // database files
+	RoleJournal             // rollback journals and write-ahead logs
+	RoleOther               // everything else (FIO files, miscellany)
+)
+
+// Errors returned by the file system.
+var (
+	ErrExists      = errors.New("simfs: file already exists")
+	ErrNotExist    = errors.New("simfs: file does not exist")
+	ErrClosed      = errors.New("simfs: file is closed")
+	ErrNoSpace     = errors.New("simfs: no space left on device")
+	ErrNeedsXFTL   = errors.New("simfs: OffXFTL mode requires a transactional device")
+	ErrOutOfBounds = errors.New("simfs: page index out of file bounds")
+	ErrNotMounted  = errors.New("simfs: file system not mounted (power cut); call Remount")
+)
+
+// Layout constants (in device pages).
+const (
+	metaRegionPages    = 64   // synthetic inode/bitmap/directory pages
+	journalRegionPages = 1024 // circular fs journal (Ordered/Full)
+)
+
+// Config tunes the file system.
+type Config struct {
+	Mode JournalMode
+	// MaxDirtyPages bounds the write-back cache per file; exceeding it
+	// forces early write-back (the path that exercises the device-side
+	// steal support). Zero means 2048.
+	MaxDirtyPages int
+}
+
+// inode is the in-memory file metadata.
+type inode struct {
+	name  string
+	role  Role
+	pages []int64 // file page index -> device LPN
+}
+
+// inodeImage is the durable snapshot of an inode taken at each
+// journal-commit (or X-FTL commit) point.
+type inodeImage struct {
+	role  Role
+	pages []int64
+}
+
+// FS is a simulated journaling file system over one storage device.
+// It is not safe for concurrent use.
+type FS struct {
+	dev  *storage.Device
+	cfg  Config
+	host *metrics.HostCounters
+
+	files map[string]*inode
+	// persisted is what a remount after power loss recovers: the
+	// namespace and inodes as of the last metadata commit point.
+	persisted map[string]inodeImage
+
+	// Data-page allocator over [dataStart, capacity).
+	dataStart int64
+	capacity  int64
+	nextAlloc int64
+	freeList  []int64
+
+	// Metadata journaling state.
+	dirtyMeta   map[int64]struct{} // synthetic metadata LPNs awaiting journal commit
+	pendingFree []int64            // pages freed since the last commit point
+	journalHead int64              // next slot in the circular fs journal
+
+	nextTid uint64
+	mounted bool
+}
+
+// New formats and mounts a file system on the device. The host counter
+// set may be shared with other layers; nil disables counting.
+func New(dev *storage.Device, cfg Config, host *metrics.HostCounters) (*FS, error) {
+	if cfg.Mode == OffXFTL && !dev.Transactional() {
+		return nil, ErrNeedsXFTL
+	}
+	if cfg.MaxDirtyPages <= 0 {
+		cfg.MaxDirtyPages = 2048
+	}
+	if host == nil {
+		host = &metrics.HostCounters{}
+	}
+	fs := &FS{
+		dev:       dev,
+		cfg:       cfg,
+		host:      host,
+		files:     make(map[string]*inode),
+		persisted: make(map[string]inodeImage),
+		dataStart: metaRegionPages + journalRegionPages,
+		capacity:  dev.LogicalPages(),
+		dirtyMeta: make(map[int64]struct{}),
+		nextTid:   1,
+		mounted:   true,
+	}
+	fs.nextAlloc = fs.dataStart
+	if fs.capacity <= fs.dataStart {
+		return nil, fmt.Errorf("simfs: device too small (%d pages)", fs.capacity)
+	}
+	return fs, nil
+}
+
+// Device returns the underlying storage device.
+func (fs *FS) Device() *storage.Device { return fs.dev }
+
+// Mode returns the journaling mode.
+func (fs *FS) Mode() JournalMode { return fs.cfg.Mode }
+
+// PageSize reports the file-system page size (same as the device's).
+func (fs *FS) PageSize() int { return fs.dev.PageSize() }
+
+// Host returns the host-side I/O counters.
+func (fs *FS) Host() *metrics.HostCounters { return fs.host }
+
+// FreePages reports how many data pages remain unallocated.
+func (fs *FS) FreePages() int64 {
+	return (fs.capacity - fs.nextAlloc) + int64(len(fs.freeList))
+}
+
+func (fs *FS) check() error {
+	if !fs.mounted {
+		return ErrNotMounted
+	}
+	return nil
+}
+
+// allocPage grabs one free data page.
+func (fs *FS) allocPage() (int64, error) {
+	if n := len(fs.freeList); n > 0 {
+		lpn := fs.freeList[n-1]
+		fs.freeList = fs.freeList[:n-1]
+		return lpn, nil
+	}
+	if fs.nextAlloc >= fs.capacity {
+		return 0, ErrNoSpace
+	}
+	lpn := fs.nextAlloc
+	fs.nextAlloc++
+	return lpn, nil
+}
+
+// Synthetic metadata page addresses. Their exact placement is
+// irrelevant; what matters is that metadata updates cost real device
+// writes with the cardinality ext4 would issue.
+func (fs *FS) dirPage() int64 { return 0 }
+func (fs *FS) inodePage(name string) int64 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return 1 + int64(h%((metaRegionPages-1)/2))
+}
+func (fs *FS) bitmapPage(lpn int64) int64 {
+	span := fs.capacity/int64(metaRegionPages/2) + 1
+	return int64(metaRegionPages/2) + (lpn-fs.dataStart)/span
+}
+
+// markMeta records that a metadata page needs journaling (or, in
+// OffXFTL mode, a transactional home write at the next commit point).
+func (fs *FS) markMeta(lpns ...int64) {
+	for _, l := range lpns {
+		fs.dirtyMeta[l] = struct{}{}
+	}
+}
+
+// Create makes a new empty file.
+func (fs *FS) Create(name string, role Role) (*File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	ino := &inode{name: name, role: role}
+	fs.files[name] = ino
+	fs.markMeta(fs.dirPage(), fs.inodePage(name))
+	return fs.newFile(ino), nil
+}
+
+// Open returns a handle to an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	ino, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return fs.newFile(ino), nil
+}
+
+// Exists reports whether a file is present in the namespace.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Remove deletes a file: its pages are trimmed on the device and the
+// namespace/metadata updates are queued for the next commit point.
+// SQLite's rollback mode relies on deletion being atomic; the paper
+// notes this is guaranteed by metadata journaling (or, here, by X-FTL).
+func (fs *FS) Remove(name string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	ino, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	for _, lpn := range ino.pages {
+		if lpn < 0 {
+			continue
+		}
+		if err := fs.dev.Trim(lpn); err != nil {
+			return err
+		}
+		// The page becomes reusable only after the deletion is durable
+		// (next commit point); reusing it earlier could hand a crash
+		// recovery a resurrected file pointing at foreign data.
+		fs.pendingFree = append(fs.pendingFree, lpn)
+		fs.markMeta(fs.bitmapPage(lpn))
+	}
+	delete(fs.files, name)
+	fs.markMeta(fs.dirPage(), fs.inodePage(name))
+	// Deletion durability rides the next journal commit; SQLite's
+	// correctness only needs atomicity, which the journal (or X-FTL
+	// commit) provides.
+	return nil
+}
+
+// Files lists the current namespace in sorted order.
+func (fs *FS) Files() []string {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// commitPoint snapshots the namespace as the durable image a remount
+// would recover, and clears the dirty-metadata set.
+func (fs *FS) commitPoint() {
+	img := make(map[string]inodeImage, len(fs.files))
+	for name, ino := range fs.files {
+		pages := make([]int64, len(ino.pages))
+		copy(pages, ino.pages)
+		img[name] = inodeImage{role: ino.role, pages: pages}
+	}
+	fs.persisted = img
+	fs.freeList = append(fs.freeList, fs.pendingFree...)
+	fs.pendingFree = fs.pendingFree[:0]
+	clear(fs.dirtyMeta)
+}
+
+// journalCommit writes the pending metadata (and, in Full mode, the
+// provided data payload pages) through the circular fs journal:
+// descriptor + blocks + commit record, then a write barrier.
+func (fs *FS) journalCommit(dataPages [][]byte) error {
+	nMeta := len(fs.dirtyMeta)
+	if nMeta == 0 && len(dataPages) == 0 {
+		return nil
+	}
+	writeJournalPage := func(payload []byte) error {
+		lpn := metaRegionPages + fs.journalHead
+		fs.journalHead = (fs.journalHead + 1) % journalRegionPages
+		fs.host.FSMetaWrites.Add(1)
+		return fs.dev.Write(lpn, payload)
+	}
+	blank := make([]byte, fs.PageSize())
+	if err := writeJournalPage(blank); err != nil { // descriptor
+		return err
+	}
+	for _, d := range dataPages {
+		if err := writeJournalPage(d); err != nil {
+			return err
+		}
+	}
+	for range fs.dirtyMeta {
+		if err := writeJournalPage(blank); err != nil {
+			return err
+		}
+	}
+	if err := writeJournalPage(blank); err != nil { // commit record
+		return err
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return err
+	}
+	fs.commitPoint()
+	return nil
+}
+
+// PowerCut simulates power loss below the file system: caches vanish
+// and the device loses its volatile state.
+func (fs *FS) PowerCut() {
+	fs.mounted = false
+	fs.dev.PowerCut()
+}
+
+// Remount recovers after a power cut: the device runs its firmware
+// recovery, then the file system reloads the namespace image from its
+// last metadata commit point (journal replay). Unreferenced data pages
+// are returned to the allocator.
+func (fs *FS) Remount() error {
+	if fs.mounted {
+		return nil
+	}
+	if err := fs.dev.Restart(); err != nil {
+		return err
+	}
+	fs.files = make(map[string]*inode)
+	used := make(map[int64]bool)
+	for name, img := range fs.persisted {
+		pages := make([]int64, len(img.pages))
+		copy(pages, img.pages)
+		fs.files[name] = &inode{name: name, role: img.role, pages: pages}
+		for _, l := range pages {
+			if l >= 0 {
+				used[l] = true
+			}
+		}
+	}
+	// Rebuild the free list below nextAlloc.
+	fs.freeList = fs.freeList[:0]
+	for lpn := fs.dataStart; lpn < fs.nextAlloc; lpn++ {
+		if !used[lpn] {
+			fs.freeList = append(fs.freeList, lpn)
+		}
+	}
+	clear(fs.dirtyMeta)
+	fs.mounted = true
+	return nil
+}
+
+// File is an open handle with a per-file write-back cache and — in
+// OffXFTL mode — an implicit device transaction spanning the window
+// between commit points (fsync) and abort requests (ioctl).
+type File struct {
+	fs     *FS
+	ino    *inode
+	dirty  map[int64][]byte // file page index -> pending content
+	order  []int64          // dirty page indexes in first-write order
+	tid    uint64           // active device tid (OffXFTL), 0 = none
+	closed bool
+}
+
+func (fs *FS) newFile(ino *inode) *File {
+	return &File{fs: fs, ino: ino, dirty: make(map[int64][]byte)}
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.ino.name }
+
+// Pages reports the current file length in pages, including cached
+// appends.
+func (f *File) Pages() int64 { return int64(len(f.ino.pages)) }
+
+func (f *File) check() error {
+	if f.closed {
+		return ErrClosed
+	}
+	return f.fs.check()
+}
+
+// tidFor lazily assigns the file-system-managed transaction id used
+// for the X-FTL extended commands (§5.2).
+func (f *File) tidFor() uint64 {
+	if f.tid == 0 {
+		f.tid = f.fs.nextTid
+		f.fs.nextTid++
+	}
+	return f.tid
+}
+
+// TxID exposes the active device transaction id (0 if none); used by
+// tests and by multi-file transaction coordination.
+func (f *File) TxID() uint64 { return f.tid }
+
+// AdoptTx joins this file to an existing device transaction so that a
+// multi-file update commits atomically under one tid (§4.3).
+func (f *File) AdoptTx(tid uint64) { f.tid = tid }
+
+// WritePage stores a full page at the given file page index, extending
+// the file as needed. Content is cached; device writes happen on cache
+// pressure or fsync.
+func (f *File) WritePage(idx int64, data []byte) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %d", ErrOutOfBounds, idx)
+	}
+	for int64(len(f.ino.pages)) <= idx {
+		f.ino.pages = append(f.ino.pages, -1)
+		f.fs.markMeta(f.fs.inodePage(f.ino.name)) // size change
+	}
+	if _, ok := f.dirty[idx]; !ok {
+		f.order = append(f.order, idx)
+	}
+	buf := make([]byte, f.fs.PageSize())
+	copy(buf, data)
+	f.dirty[idx] = buf
+	if len(f.dirty) > f.fs.cfg.MaxDirtyPages {
+		return f.writeBackSome(len(f.dirty) - f.fs.cfg.MaxDirtyPages)
+	}
+	return nil
+}
+
+// ReadPage fetches a full page, preferring the write-back cache, then
+// the device (with the file's transaction id in OffXFTL mode, so a
+// transaction reads its own stolen writes back).
+func (f *File) ReadPage(idx int64, buf []byte) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	if idx < 0 || idx >= int64(len(f.ino.pages)) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfBounds, idx, len(f.ino.pages))
+	}
+	if d, ok := f.dirty[idx]; ok {
+		copy(buf, d)
+		return nil
+	}
+	lpn := f.ino.pages[idx]
+	if lpn < 0 {
+		clear(buf[:min(len(buf), f.fs.PageSize())])
+		return nil
+	}
+	f.fs.host.Reads.Add(1)
+	if f.fs.cfg.Mode == OffXFTL && f.tid != 0 {
+		return f.fs.dev.ReadTx(f.tid, lpn, buf)
+	}
+	return f.fs.dev.Read(lpn, buf)
+}
+
+// countWrite attributes one host-side data-page write by file role.
+func (f *File) countWrite() {
+	switch f.ino.role {
+	case RoleData:
+		f.fs.host.DBWrites.Add(1)
+	case RoleJournal:
+		f.fs.host.JournalWrites.Add(1)
+	default:
+		f.fs.host.DBWrites.Add(1)
+	}
+}
+
+// ensureLPN allocates the home device page for a file page on first
+// write-back.
+func (f *File) ensureLPN(idx int64) (int64, error) {
+	lpn := f.ino.pages[idx]
+	if lpn >= 0 {
+		return lpn, nil
+	}
+	lpn, err := f.fs.allocPage()
+	if err != nil {
+		return 0, err
+	}
+	f.ino.pages[idx] = lpn
+	f.fs.markMeta(f.fs.bitmapPage(lpn), f.fs.inodePage(f.ino.name))
+	return lpn, nil
+}
+
+// writeData pushes one cached page to its home location on the device,
+// transactionally in OffXFTL mode.
+func (f *File) writeData(idx int64, data []byte) error {
+	lpn, err := f.ensureLPN(idx)
+	if err != nil {
+		return err
+	}
+	f.countWrite()
+	if f.fs.cfg.Mode == OffXFTL {
+		return f.fs.dev.WriteTx(f.tidFor(), lpn, data)
+	}
+	return f.fs.dev.Write(lpn, data)
+}
+
+// writeBackSome evicts the oldest n dirty pages (cache pressure). In
+// OffXFTL mode this is the steal path: uncommitted pages reach flash
+// under the transaction id and remain invisible and revocable.
+func (f *File) writeBackSome(n int) error {
+	for n > 0 && len(f.order) > 0 {
+		idx := f.order[0]
+		f.order = f.order[1:]
+		data, ok := f.dirty[idx]
+		if !ok {
+			continue
+		}
+		if err := f.writeData(idx, data); err != nil {
+			return err
+		}
+		delete(f.dirty, idx)
+		n--
+	}
+	return nil
+}
+
+// flushDirty writes every cached page home in first-write order and
+// returns the flushed payloads (Full mode journals them first).
+func (f *File) flushDirty() ([][]byte, error) {
+	var payloads [][]byte
+	for _, idx := range f.order {
+		data, ok := f.dirty[idx]
+		if !ok {
+			continue
+		}
+		payloads = append(payloads, data)
+	}
+	if f.fs.cfg.Mode == Full && len(payloads) > 0 {
+		// Data journaling: the payloads go through the journal before
+		// the home-location writes.
+		if err := f.fs.journalCommit(payloads); err != nil {
+			return nil, err
+		}
+	}
+	for _, idx := range f.order {
+		data, ok := f.dirty[idx]
+		if !ok {
+			continue
+		}
+		if err := f.writeData(idx, data); err != nil {
+			return nil, err
+		}
+		delete(f.dirty, idx)
+	}
+	f.order = f.order[:0]
+	return payloads, nil
+}
+
+// Fsync makes the file's data and metadata durable according to the
+// journaling mode:
+//
+//   - Ordered: data home writes, barrier, metadata journal commit
+//     (second barrier) — the paper's two-barrier pattern.
+//   - Full: data+metadata journal commit with barrier (done inside
+//     flushDirty), then home-location data writes.
+//   - OffXFTL: transactional home writes followed by a single
+//     commit(t), which is simultaneously the write barrier.
+func (f *File) Fsync() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	f.fs.host.Fsyncs.Add(1)
+	switch f.fs.cfg.Mode {
+	case Ordered:
+		if _, err := f.flushDirty(); err != nil {
+			return err
+		}
+		if err := f.fs.dev.Barrier(); err != nil {
+			return err
+		}
+		if err := f.fs.journalCommit(nil); err != nil {
+			return err
+		}
+		// A durability fsync with no metadata still costs a barrier in
+		// journalCommit only when metadata was dirty; the data barrier
+		// above always ran, matching fdatasync-like behaviour.
+		return nil
+	case Full:
+		if _, err := f.flushDirty(); err != nil {
+			return err
+		}
+		// flushDirty journaled data (+ metadata) and barriered; if only
+		// metadata is pending (no data), commit it now.
+		return f.fs.journalCommit(nil)
+	case OffXFTL:
+		if _, err := f.flushDirty(); err != nil {
+			return err
+		}
+		// Metadata home writes ride the same transaction: X-FTL makes
+		// them atomic with the data, replacing the metadata journal.
+		if len(f.fs.dirtyMeta) > 0 {
+			tid := f.tidFor()
+			blank := make([]byte, f.fs.PageSize())
+			for lpn := range f.fs.dirtyMeta {
+				f.fs.host.FSMetaWrites.Add(1)
+				if err := f.fs.dev.WriteTx(tid, lpn, blank); err != nil {
+					return err
+				}
+			}
+		}
+		tid := f.tid
+		if tid == 0 {
+			// Nothing transactional was written; a pure barrier
+			// suffices for durability.
+			return f.fs.dev.Barrier()
+		}
+		if err := f.fs.dev.Commit(tid); err != nil {
+			return err
+		}
+		f.tid = 0
+		f.fs.commitPoint()
+		return nil
+	default:
+		return fmt.Errorf("simfs: unknown mode %v", f.fs.cfg.Mode)
+	}
+}
+
+// Abort implements the new ioctl request type of §5.1/§5.2: cached
+// dirty pages are dropped, stolen (already written-back) pages are
+// rolled back inside the device via abort(t), and the inode reverts to
+// its last durable image.
+func (f *File) Abort() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	f.dirty = make(map[int64][]byte)
+	f.order = f.order[:0]
+	if f.fs.cfg.Mode == OffXFTL && f.tid != 0 {
+		if err := f.fs.dev.Abort(f.tid); err != nil {
+			return err
+		}
+		f.tid = 0
+	}
+	// Revert inode growth performed by the aborted window.
+	if img, ok := f.fs.persisted[f.ino.name]; ok {
+		pages := make([]int64, len(img.pages))
+		copy(pages, img.pages)
+		// Return pages allocated after the snapshot to the allocator.
+		seen := make(map[int64]bool, len(pages))
+		for _, l := range pages {
+			if l >= 0 {
+				seen[l] = true
+			}
+		}
+		for _, l := range f.ino.pages {
+			if l >= 0 && !seen[l] {
+				f.fs.freeList = append(f.fs.freeList, l)
+			}
+		}
+		f.ino.pages = pages
+	} else {
+		for _, l := range f.ino.pages {
+			if l >= 0 {
+				f.fs.freeList = append(f.fs.freeList, l)
+			}
+		}
+		f.ino.pages = nil
+	}
+	return nil
+}
+
+// Truncate shrinks (or zero-extends) the file to n pages. Shrinking
+// trims the device pages; SQLite uses this to reset its WAL.
+func (f *File) Truncate(n int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("%w: %d", ErrOutOfBounds, n)
+	}
+	for int64(len(f.ino.pages)) > n {
+		idx := int64(len(f.ino.pages)) - 1
+		if lpn := f.ino.pages[idx]; lpn >= 0 {
+			if err := f.fs.dev.Trim(lpn); err != nil {
+				return err
+			}
+			f.fs.pendingFree = append(f.fs.pendingFree, lpn)
+			f.fs.markMeta(f.fs.bitmapPage(lpn))
+		}
+		delete(f.dirty, idx)
+		f.ino.pages = f.ino.pages[:idx]
+	}
+	for int64(len(f.ino.pages)) < n {
+		f.ino.pages = append(f.ino.pages, -1)
+	}
+	f.fs.markMeta(f.fs.inodePage(f.ino.name))
+	// Drop cached pages beyond the new end from the write order.
+	kept := f.order[:0]
+	for _, idx := range f.order {
+		if _, ok := f.dirty[idx]; ok && idx < n {
+			kept = append(kept, idx)
+		}
+	}
+	f.order = kept
+	return nil
+}
+
+// Close releases the handle. Dirty pages remain cached in the handle
+// and are lost; call Fsync first for durability, exactly as with a real
+// file descriptor whose process exits.
+func (f *File) Close() error {
+	f.closed = true
+	return nil
+}
+
+// FlushAll pushes every cached dirty page to the device without the
+// commit/barrier step, so that multiple files can stage their writes
+// under one shared transaction id before a single Fsync commits them
+// all (the multi-file atomic update of the paper's §4.3).
+func (f *File) FlushAll() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.writeBackSome(len(f.dirty))
+}

@@ -1,0 +1,1077 @@
+// Package btree implements the B+tree storage used for tables and
+// indexes in the simulated SQLite engine: slotted pages over the pager,
+// rowid-keyed table trees, byte-key index trees with a pluggable
+// comparator, and overflow page chains for large payloads (the paper's
+// Facebook trace stores thumbnail blobs, §6.3.2).
+//
+// Deletions do not rebalance: emptied leaves stay linked, as keeping
+// the structure write-cheap is what the workload mix rewards and what
+// the experiments' I/O shape depends on. Drop reclaims every page.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sqlite/pager"
+)
+
+// Page types.
+const (
+	typeTableLeaf     = 1
+	typeTableInterior = 2
+	typeIndexLeaf     = 3
+	typeIndexInterior = 4
+	typeOverflow      = 5
+)
+
+// Page header layout (bytes).
+const (
+	offType     = 0
+	offNCells   = 1 // u16
+	offContent  = 3 // u16: start of cell content area (0 means page end)
+	offFrag     = 5 // u16: fragmented free bytes
+	offRight    = 7 // u32: right-most child (interior) / next leaf (leaf)
+	hdrSize     = 12
+	ptrSize     = 2
+	ovflHdrSize = 11 // type(1) + next(4) + len(2) + pad(4)
+)
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("btree: key not found")
+	ErrCorrupt   = errors.New("btree: page corrupt")
+	ErrTooLarge  = errors.New("btree: payload exceeds maximum size")
+	ErrWrongKind = errors.New("btree: operation not valid for this tree kind")
+)
+
+// Kind distinguishes table trees (int64 rowid keys with payloads) from
+// index trees (opaque byte keys).
+type Kind int
+
+// Tree kinds.
+const (
+	KindTable Kind = iota
+	KindIndex
+)
+
+// Compare orders index keys. It must be a total order and must treat a
+// prefix as less than any extension.
+type Compare func(a, b []byte) int
+
+// Tree is one B+tree rooted at a fixed page.
+type Tree struct {
+	pg   *pager.Pager
+	root pager.Pgno
+	kind Kind
+	cmp  Compare
+}
+
+// CreateTable allocates an empty table tree and returns its root page.
+// Must be called inside a pager transaction.
+func CreateTable(p *pager.Pager) (pager.Pgno, error) { return create(p, typeTableLeaf) }
+
+// CreateIndex allocates an empty index tree and returns its root page.
+func CreateIndex(p *pager.Pager) (pager.Pgno, error) { return create(p, typeIndexLeaf) }
+
+func create(p *pager.Pager, leafType byte) (pager.Pgno, error) {
+	pg, err := p.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	defer pg.Release()
+	initPage(pg.Data(), leafType)
+	return pg.Pgno(), nil
+}
+
+// OpenTable attaches to an existing table tree.
+func OpenTable(p *pager.Pager, root pager.Pgno) *Tree {
+	return &Tree{pg: p, root: root, kind: KindTable}
+}
+
+// OpenIndex attaches to an existing index tree with its key comparator.
+func OpenIndex(p *pager.Pager, root pager.Pgno, cmp Compare) *Tree {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	return &Tree{pg: p, root: root, kind: KindIndex, cmp: cmp}
+}
+
+// Root returns the tree's root page number.
+func (t *Tree) Root() pager.Pgno { return t.root }
+
+func initPage(d []byte, pageType byte) {
+	clear(d)
+	d[offType] = pageType
+	putU16(d, offNCells, 0)
+	putU16(d, offContent, uint16(len(d)))
+	putU16(d, offFrag, 0)
+	putU32(d, offRight, 0)
+}
+
+func putU16(d []byte, off int, v uint16) { binary.BigEndian.PutUint16(d[off:], v) }
+func getU16(d []byte, off int) uint16    { return binary.BigEndian.Uint16(d[off:]) }
+func putU32(d []byte, off int, v uint32) { binary.BigEndian.PutUint32(d[off:], v) }
+func getU32(d []byte, off int) uint32    { return binary.BigEndian.Uint32(d[off:]) }
+
+func nCells(d []byte) int { return int(getU16(d, offNCells)) }
+func cellPtr(d []byte, i int) int {
+	return int(getU16(d, hdrSize+ptrSize*i))
+}
+func cellBytes(d []byte, i int) []byte { return d[cellPtr(d, i):] }
+func isLeaf(d []byte) bool {
+	return d[offType] == typeTableLeaf || d[offType] == typeIndexLeaf
+}
+
+// maxLocal is the largest payload stored fully inline; larger payloads
+// keep minLocal bytes inline and spill the rest to overflow pages.
+func maxLocal(pageSize int) int { return (pageSize - 64) / 4 }
+func minLocal(pageSize int) int { return maxLocal(pageSize) / 4 }
+
+// usableOverflow is the data capacity of one overflow page.
+func usableOverflow(pageSize int) int { return pageSize - ovflHdrSize }
+
+// ---- cell encoding ----
+//
+// Table leaf:      varint rowid, varint payloadLen, inline, [u32 ovfl]
+// Table interior:  u32 leftChild, varint key
+// Index leaf:      varint payloadLen, inline, [u32 ovfl]
+// Index interior:  u32 leftChild, varint sepLen, sep bytes (seps are
+//                  bounded copies of leaf keys and are never spilled)
+
+// cell is a decoded cell.
+type cell struct {
+	rowid   int64      // table trees
+	key     []byte     // index trees: full key (interior: separator)
+	payload []byte     // table leaf: inline part
+	total   int        // full payload length including overflow
+	ovfl    pager.Pgno // first overflow page or 0
+	child   pager.Pgno // interior cells
+	raw     []byte     // encoded form
+}
+
+func uvarint(d []byte) (uint64, int) { return binary.Uvarint(d) }
+
+func (t *Tree) parseCell(d []byte, i int) (cell, error) {
+	b := cellBytes(d, i)
+	var c cell
+	switch d[offType] {
+	case typeTableLeaf:
+		rid, n1 := uvarint(b)
+		total, n2 := uvarint(b[n1:])
+		if n1 <= 0 || n2 <= 0 {
+			return c, ErrCorrupt
+		}
+		c.rowid = int64(rid)
+		c.total = int(total)
+		inline := c.total
+		if inline > maxLocal(len(d)) {
+			inline = minLocal(len(d))
+		}
+		c.payload = b[n1+n2 : n1+n2+inline]
+		end := n1 + n2 + inline
+		if inline < c.total {
+			c.ovfl = pager.Pgno(getU32(b, end))
+			end += 4
+		}
+		c.raw = b[:end]
+	case typeTableInterior:
+		c.child = pager.Pgno(getU32(b, 0))
+		rid, n := uvarint(b[4:])
+		if n <= 0 {
+			return c, ErrCorrupt
+		}
+		c.rowid = int64(rid)
+		c.raw = b[:4+n]
+	case typeIndexLeaf:
+		total, n1 := uvarint(b)
+		if n1 <= 0 {
+			return c, ErrCorrupt
+		}
+		c.total = int(total)
+		inline := c.total
+		if inline > maxLocal(len(d)) {
+			inline = minLocal(len(d))
+		}
+		c.key = b[n1 : n1+inline]
+		end := n1 + inline
+		if inline < c.total {
+			c.ovfl = pager.Pgno(getU32(b, end))
+			end += 4
+		}
+		c.raw = b[:end]
+	case typeIndexInterior:
+		c.child = pager.Pgno(getU32(b, 0))
+		klen, n := uvarint(b[4:])
+		if n <= 0 {
+			return c, ErrCorrupt
+		}
+		c.key = b[4+n : 4+n+int(klen)]
+		c.raw = b[:4+n+int(klen)]
+	default:
+		return c, fmt.Errorf("%w: type %d", ErrCorrupt, d[offType])
+	}
+	return c, nil
+}
+
+// encode produces the raw bytes of a cell for a page of the given type.
+func encodeCell(pageType byte, c cell) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	switch pageType {
+	case typeTableLeaf:
+		n := binary.PutUvarint(tmp[:], uint64(c.rowid))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(c.total))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, c.payload...)
+		if c.ovfl != 0 {
+			var o [4]byte
+			binary.BigEndian.PutUint32(o[:], uint32(c.ovfl))
+			buf = append(buf, o[:]...)
+		}
+	case typeTableInterior:
+		var o [4]byte
+		binary.BigEndian.PutUint32(o[:], uint32(c.child))
+		buf = append(buf, o[:]...)
+		n := binary.PutUvarint(tmp[:], uint64(c.rowid))
+		buf = append(buf, tmp[:n]...)
+	case typeIndexLeaf:
+		n := binary.PutUvarint(tmp[:], uint64(c.total))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, c.key...)
+		if c.ovfl != 0 {
+			var o [4]byte
+			binary.BigEndian.PutUint32(o[:], uint32(c.ovfl))
+			buf = append(buf, o[:]...)
+		}
+	case typeIndexInterior:
+		var o [4]byte
+		binary.BigEndian.PutUint32(o[:], uint32(c.child))
+		buf = append(buf, o[:]...)
+		n := binary.PutUvarint(tmp[:], uint64(len(c.key)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, c.key...)
+	}
+	return buf
+}
+
+// freeSpace reports contiguous + fragmented free bytes in a page.
+func freeSpace(d []byte) int {
+	content := int(getU16(d, offContent))
+	top := hdrSize + ptrSize*nCells(d)
+	return content - top + int(getU16(d, offFrag))
+}
+
+// insertCellAt places raw cell bytes at slot i, defragmenting if the
+// contiguous gap is too small. Returns false if the page cannot hold it.
+func insertCellAt(d []byte, i int, raw []byte) bool {
+	need := len(raw) + ptrSize
+	if freeSpace(d) < need {
+		return false
+	}
+	content := int(getU16(d, offContent))
+	top := hdrSize + ptrSize*nCells(d)
+	if content-top < need {
+		defragment(d)
+		content = int(getU16(d, offContent))
+	}
+	content -= len(raw)
+	copy(d[content:], raw)
+	// Shift pointer array.
+	n := nCells(d)
+	copy(d[hdrSize+ptrSize*(i+1):hdrSize+ptrSize*(n+1)], d[hdrSize+ptrSize*i:hdrSize+ptrSize*n])
+	putU16(d, hdrSize+ptrSize*i, uint16(content))
+	putU16(d, offNCells, uint16(n+1))
+	putU16(d, offContent, uint16(content))
+	return true
+}
+
+// removeCellAt drops slot i, leaving its content bytes fragmented.
+func removeCellAt(d []byte, i int, rawLen int) {
+	n := nCells(d)
+	copy(d[hdrSize+ptrSize*i:hdrSize+ptrSize*(n-1)], d[hdrSize+ptrSize*(i+1):hdrSize+ptrSize*n])
+	putU16(d, offNCells, uint16(n-1))
+	putU16(d, offFrag, getU16(d, offFrag)+uint16(rawLen))
+}
+
+// defragment rewrites all cells contiguously at the page end.
+func defragment(d []byte) {
+	n := nCells(d)
+	type slot struct {
+		off, ln int
+	}
+	// Compute each cell's length by re-parsing is avoided: lengths are
+	// recovered by copying cells into a scratch area first.
+	scratch := make([]byte, len(d))
+	copy(scratch, d)
+	content := len(d)
+	for i := 0; i < n; i++ {
+		off := int(getU16(scratch, hdrSize+ptrSize*i))
+		ln := cellLen(scratch, off)
+		content -= ln
+		copy(d[content:], scratch[off:off+ln])
+		putU16(d, hdrSize+ptrSize*i, uint16(content))
+	}
+	putU16(d, offContent, uint16(content))
+	putU16(d, offFrag, 0)
+}
+
+// cellLen computes the encoded length of the cell at a raw offset.
+func cellLen(d []byte, off int) int {
+	b := d[off:]
+	switch d[offType] {
+	case typeTableLeaf:
+		_, n1 := uvarint(b)
+		total, n2 := uvarint(b[n1:])
+		inline := int(total)
+		ln := n1 + n2
+		if inline > maxLocal(len(d)) {
+			inline = minLocal(len(d))
+			ln += inline + 4
+		} else {
+			ln += inline
+		}
+		return ln
+	case typeTableInterior:
+		_, n := uvarint(b[4:])
+		return 4 + n
+	case typeIndexLeaf:
+		total, n1 := uvarint(b)
+		inline := int(total)
+		ln := n1
+		if inline > maxLocal(len(d)) {
+			inline = minLocal(len(d))
+			ln += inline + 4
+		} else {
+			ln += inline
+		}
+		return ln
+	case typeIndexInterior:
+		klen, n := uvarint(b[4:])
+		return 4 + n + int(klen)
+	default:
+		return 0
+	}
+}
+
+// ---- overflow chains ----
+
+// writeOverflow spills data into a chain of overflow pages, returning
+// the first page number.
+func (t *Tree) writeOverflow(data []byte) (pager.Pgno, error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	cap_ := usableOverflow(t.pg.PageSize())
+	pg, err := t.pg.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	first := pg.Pgno()
+	for {
+		d := pg.Data()
+		clear(d)
+		d[offType] = typeOverflow
+		n := min(len(data), cap_)
+		putU16(d, 5, uint16(n))
+		copy(d[ovflHdrSize:], data[:n])
+		data = data[n:]
+		if len(data) == 0 {
+			putU32(d, 1, 0)
+			pg.Release()
+			return first, nil
+		}
+		next, err := t.pg.Allocate()
+		if err != nil {
+			pg.Release()
+			return 0, err
+		}
+		putU32(d, 1, uint32(next.Pgno()))
+		pg.Release()
+		pg = next
+	}
+}
+
+// readOverflow appends a chain's contents to dst.
+func (t *Tree) readOverflow(first pager.Pgno, dst []byte, want int) ([]byte, error) {
+	for pgno := first; pgno != 0 && len(dst) < want; {
+		pg, err := t.pg.Get(pgno)
+		if err != nil {
+			return nil, err
+		}
+		d := pg.Data()
+		if d[offType] != typeOverflow {
+			pg.Release()
+			return nil, fmt.Errorf("%w: overflow chain", ErrCorrupt)
+		}
+		n := int(getU16(d, 5))
+		dst = append(dst, d[ovflHdrSize:ovflHdrSize+n]...)
+		pgno = pager.Pgno(getU32(d, 1))
+		pg.Release()
+	}
+	return dst, nil
+}
+
+// freeOverflow releases a chain back to the pager.
+func (t *Tree) freeOverflow(first pager.Pgno) error {
+	for pgno := first; pgno != 0; {
+		pg, err := t.pg.Get(pgno)
+		if err != nil {
+			return err
+		}
+		next := pager.Pgno(getU32(pg.Data(), 1))
+		pg.Release()
+		if err := t.pg.Free(pgno); err != nil {
+			return err
+		}
+		pgno = next
+	}
+	return nil
+}
+
+// buildLeafCell prepares a leaf cell, spilling payload as needed.
+func (t *Tree) buildLeafCell(pageType byte, rowid int64, key, payload []byte) (cell, error) {
+	var full []byte
+	if pageType == typeTableLeaf {
+		full = payload
+	} else {
+		full = key
+	}
+	c := cell{rowid: rowid, total: len(full)}
+	ml := maxLocal(t.pg.PageSize())
+	if len(full) <= ml {
+		if pageType == typeTableLeaf {
+			c.payload = full
+		} else {
+			c.key = full
+		}
+	} else {
+		inline := minLocal(t.pg.PageSize())
+		ovfl, err := t.writeOverflow(full[inline:])
+		if err != nil {
+			return c, err
+		}
+		c.ovfl = ovfl
+		if pageType == typeTableLeaf {
+			c.payload = full[:inline]
+		} else {
+			c.key = full[:inline]
+		}
+	}
+	return c, nil
+}
+
+// fullKey materializes an index cell's complete key, following the
+// overflow chain when needed.
+func (t *Tree) fullKey(c cell) ([]byte, error) {
+	if c.ovfl == 0 {
+		return c.key, nil
+	}
+	out := append([]byte(nil), c.key...)
+	return t.readOverflow(c.ovfl, out, c.total)
+}
+
+// fullPayload materializes a table cell's complete payload.
+func (t *Tree) fullPayload(c cell) ([]byte, error) {
+	if c.ovfl == 0 {
+		return c.payload, nil
+	}
+	out := append([]byte(nil), c.payload...)
+	return t.readOverflow(c.ovfl, out, c.total)
+}
+
+// ---- search ----
+
+// leafFind locates the slot for a key within a leaf page: the first
+// slot whose key is >= the probe, with found=true on equality.
+func (t *Tree) leafFind(d []byte, rowid int64, key []byte) (int, bool, error) {
+	n := nCells(d)
+	var cmpAt func(i int) (int, error)
+	if d[offType] == typeTableLeaf {
+		cmpAt = func(i int) (int, error) {
+			c, err := t.parseCell(d, i)
+			if err != nil {
+				return 0, err
+			}
+			switch {
+			case rowid < c.rowid:
+				return -1, nil
+			case rowid > c.rowid:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	} else {
+		cmpAt = func(i int) (int, error) {
+			c, err := t.parseCell(d, i)
+			if err != nil {
+				return 0, err
+			}
+			k, err := t.fullKey(c)
+			if err != nil {
+				return 0, err
+			}
+			return t.cmp(key, k), nil
+		}
+	}
+	var ferr error
+	idx := sort.Search(n, func(i int) bool {
+		if ferr != nil {
+			return true
+		}
+		r, err := cmpAt(i)
+		if err != nil {
+			ferr = err
+			return true
+		}
+		return r <= 0
+	})
+	if ferr != nil {
+		return 0, false, ferr
+	}
+	if idx < n {
+		r, err := cmpAt(idx)
+		if err != nil {
+			return 0, false, err
+		}
+		return idx, r == 0, nil
+	}
+	return idx, false, nil
+}
+
+// interiorChild chooses which child to descend for a key.
+func (t *Tree) interiorChild(d []byte, rowid int64, key []byte) (pager.Pgno, error) {
+	n := nCells(d)
+	for i := 0; i < n; i++ {
+		c, err := t.parseCell(d, i)
+		if err != nil {
+			return 0, err
+		}
+		if d[offType] == typeTableInterior {
+			if rowid <= c.rowid {
+				return c.child, nil
+			}
+		} else {
+			if t.cmp(key, c.key) <= 0 {
+				return c.child, nil
+			}
+		}
+	}
+	return pager.Pgno(getU32(d, offRight)), nil
+}
+
+// Get fetches a table row's payload by rowid.
+func (t *Tree) Get(rowid int64) ([]byte, bool, error) {
+	if t.kind != KindTable {
+		return nil, false, ErrWrongKind
+	}
+	pgno := t.root
+	for {
+		pg, err := t.pg.Get(pgno)
+		if err != nil {
+			return nil, false, err
+		}
+		d := pg.Data()
+		if isLeaf(d) {
+			idx, found, err := t.leafFind(d, rowid, nil)
+			if err != nil || !found {
+				pg.Release()
+				return nil, false, err
+			}
+			c, err := t.parseCell(d, idx)
+			if err != nil {
+				pg.Release()
+				return nil, false, err
+			}
+			out, err := t.fullPayload(c)
+			if c.ovfl == 0 {
+				out = append([]byte(nil), out...)
+			}
+			pg.Release()
+			return out, err == nil, err
+		}
+		next, err := t.interiorChild(d, rowid, nil)
+		pg.Release()
+		if err != nil {
+			return nil, false, err
+		}
+		if next == 0 {
+			return nil, false, fmt.Errorf("%w: nil child", ErrCorrupt)
+		}
+		pgno = next
+	}
+}
+
+// splitResult propagates a page split upward.
+type splitResult struct {
+	sepRowid int64
+	sepKey   []byte
+	right    pager.Pgno
+}
+
+// Insert adds or replaces a table row.
+func (t *Tree) Insert(rowid int64, payload []byte) error {
+	if t.kind != KindTable {
+		return ErrWrongKind
+	}
+	c, err := t.buildLeafCell(typeTableLeaf, rowid, nil, payload)
+	if err != nil {
+		return err
+	}
+	return t.insertCell(c, nil)
+}
+
+// InsertKey adds an index entry (keys must be unique; the engine
+// appends the rowid to enforce that).
+func (t *Tree) InsertKey(key []byte) error {
+	if t.kind != KindIndex {
+		return ErrWrongKind
+	}
+	c, err := t.buildLeafCell(typeIndexLeaf, 0, key, nil)
+	if err != nil {
+		return err
+	}
+	return t.insertCell(c, key)
+}
+
+func (t *Tree) insertCell(c cell, key []byte) error {
+	split, err := t.insertInto(t.root, c, key)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		return t.splitRoot(*split)
+	}
+	return nil
+}
+
+// splitRoot grows the tree by one level, keeping the root page number
+// stable: the root's current content moves to a fresh page that becomes
+// the left child.
+func (t *Tree) splitRoot(s splitResult) error {
+	rootPg, err := t.pg.Get(t.root)
+	if err != nil {
+		return err
+	}
+	defer rootPg.Release()
+	if err := t.pg.Write(rootPg); err != nil {
+		return err
+	}
+	leftPg, err := t.pg.Allocate()
+	if err != nil {
+		return err
+	}
+	defer leftPg.Release()
+	copy(leftPg.Data(), rootPg.Data())
+
+	d := rootPg.Data()
+	interiorType := byte(typeTableInterior)
+	if t.kind == KindIndex {
+		interiorType = typeIndexInterior
+	}
+	initPage(d, interiorType)
+	sep := cell{child: leftPg.Pgno(), rowid: s.sepRowid, key: s.sepKey}
+	raw := encodeCell(interiorType, sep)
+	if !insertCellAt(d, 0, raw) {
+		return fmt.Errorf("%w: root separator does not fit", ErrCorrupt)
+	}
+	putU32(d, offRight, uint32(s.right))
+	return nil
+}
+
+// insertInto descends to the leaf for the cell and inserts, splitting
+// on the way back up as needed.
+func (t *Tree) insertInto(pgno pager.Pgno, c cell, key []byte) (*splitResult, error) {
+	pg, err := t.pg.Get(pgno)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Release()
+	d := pg.Data()
+
+	if isLeaf(d) {
+		if err := t.pg.Write(pg); err != nil {
+			return nil, err
+		}
+		idx, found, err := t.leafFind(d, c.rowid, key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			old, err := t.parseCell(d, idx)
+			if err != nil {
+				return nil, err
+			}
+			if old.ovfl != 0 {
+				if err := t.freeOverflow(old.ovfl); err != nil {
+					return nil, err
+				}
+			}
+			removeCellAt(d, idx, len(old.raw))
+		}
+		raw := encodeCell(d[offType], c)
+		if len(raw)+ptrSize > len(d)-hdrSize {
+			return nil, ErrTooLarge
+		}
+		if insertCellAt(d, idx, raw) {
+			return nil, nil
+		}
+		return t.splitLeaf(pg, idx, raw)
+	}
+
+	child, err := t.interiorChild(d, c.rowid, key)
+	if err != nil {
+		return nil, err
+	}
+	if child == 0 {
+		return nil, fmt.Errorf("%w: nil child in insert", ErrCorrupt)
+	}
+	split, err := t.insertInto(child, c, key)
+	if err != nil || split == nil {
+		return nil, err
+	}
+	// The child split: insert a separator cell routing to the old child
+	// and point the old reference at the new right sibling.
+	if err := t.pg.Write(pg); err != nil {
+		return nil, err
+	}
+	interiorType := d[offType]
+	sep := cell{child: child, rowid: split.sepRowid, key: split.sepKey}
+	raw := encodeCell(interiorType, sep)
+	// Find the position of the child reference.
+	n := nCells(d)
+	pos := n
+	for i := 0; i < n; i++ {
+		ci, err := t.parseCell(d, i)
+		if err != nil {
+			return nil, err
+		}
+		if ci.child == child {
+			pos = i
+			break
+		}
+	}
+	if pos == n {
+		putU32(d, offRight, uint32(split.right))
+	} else {
+		// Rewrite the existing cell to point at the right sibling.
+		ci, err := t.parseCell(d, pos)
+		if err != nil {
+			return nil, err
+		}
+		rewritten := ci
+		rewritten.child = split.right
+		newRaw := encodeCell(interiorType, rewritten)
+		removeCellAt(d, pos, len(ci.raw))
+		if !insertCellAt(d, pos, newRaw) {
+			return nil, fmt.Errorf("%w: interior rewrite does not fit", ErrCorrupt)
+		}
+	}
+	if insertCellAt(d, pos, raw) {
+		return nil, nil
+	}
+	return t.splitInterior(pg, pos, raw)
+}
+
+// collectCells decodes every raw cell on a page.
+func collectRaw(d []byte) [][]byte {
+	n := nCells(d)
+	out := make([][]byte, 0, n+1)
+	for i := 0; i < n; i++ {
+		off := cellPtr(d, i)
+		ln := cellLen(d, off)
+		raw := make([]byte, ln)
+		copy(raw, d[off:off+ln])
+		out = append(out, raw)
+	}
+	return out
+}
+
+// splitLeaf distributes a leaf's cells (plus one incoming raw cell at
+// slot idx) across the old page and a new right sibling.
+func (t *Tree) splitLeaf(pg *pager.Page, idx int, raw []byte) (*splitResult, error) {
+	d := pg.Data()
+	cells := collectRaw(d)
+	cells = append(cells[:idx], append([][]byte{raw}, cells[idx:]...)...)
+	mid := (len(cells) + 1) / 2
+
+	rightPg, err := t.pg.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	defer rightPg.Release()
+	rd := rightPg.Data()
+	pageType := d[offType]
+	nextLeaf := getU32(d, offRight)
+
+	initPage(d, pageType)
+	initPage(rd, pageType)
+	for i, c := range cells[:mid] {
+		if !insertCellAt(d, i, c) {
+			return nil, fmt.Errorf("%w: split left overflow", ErrCorrupt)
+		}
+	}
+	for i, c := range cells[mid:] {
+		if !insertCellAt(rd, i, c) {
+			return nil, fmt.Errorf("%w: split right overflow", ErrCorrupt)
+		}
+	}
+	// Leaf chain: left -> right -> old next.
+	putU32(d, offRight, uint32(rightPg.Pgno()))
+	putU32(rd, offRight, nextLeaf)
+
+	// Separator: greatest key of the left page.
+	last, err := t.parseCell(d, mid-1)
+	if err != nil {
+		return nil, err
+	}
+	res := &splitResult{right: rightPg.Pgno()}
+	if pageType == typeTableLeaf {
+		res.sepRowid = last.rowid
+	} else {
+		k, err := t.fullKey(last)
+		if err != nil {
+			return nil, err
+		}
+		res.sepKey = append([]byte(nil), k...)
+	}
+	return res, nil
+}
+
+// splitInterior splits an interior page around its middle cell, whose
+// key moves up as the separator.
+func (t *Tree) splitInterior(pg *pager.Page, idx int, raw []byte) (*splitResult, error) {
+	d := pg.Data()
+	cells := collectRaw(d)
+	cells = append(cells[:idx], append([][]byte{raw}, cells[idx:]...)...)
+	right := getU32(d, offRight)
+	pageType := d[offType]
+	mid := len(cells) / 2
+
+	// Parse the middle cell for promotion.
+	midCell, err := t.parseRaw(pageType, cells[mid])
+	if err != nil {
+		return nil, err
+	}
+
+	rightPg, err := t.pg.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	defer rightPg.Release()
+	rd := rightPg.Data()
+	initPage(rd, pageType)
+	for i, c := range cells[mid+1:] {
+		if !insertCellAt(rd, i, c) {
+			return nil, fmt.Errorf("%w: interior split right overflow", ErrCorrupt)
+		}
+	}
+	putU32(rd, offRight, right)
+
+	initPage(d, pageType)
+	for i, c := range cells[:mid] {
+		if !insertCellAt(d, i, c) {
+			return nil, fmt.Errorf("%w: interior split left overflow", ErrCorrupt)
+		}
+	}
+	putU32(d, offRight, uint32(midCell.child))
+
+	res := &splitResult{right: rightPg.Pgno(), sepRowid: midCell.rowid}
+	if pageType == typeIndexInterior {
+		res.sepKey = append([]byte(nil), midCell.key...)
+	}
+	return res, nil
+}
+
+// parseRaw decodes a standalone raw cell of a given page type.
+func (t *Tree) parseRaw(pageType byte, raw []byte) (cell, error) {
+	// Build a minimal fake page around the raw cell.
+	scratch := make([]byte, t.pg.PageSize())
+	scratch[offType] = pageType
+	putU16(scratch, offNCells, 1)
+	off := len(scratch) - len(raw)
+	copy(scratch[off:], raw)
+	putU16(scratch, hdrSize, uint16(off))
+	putU16(scratch, offContent, uint16(off))
+	return t.parseCell(scratch, 0)
+}
+
+// Delete removes a table row by rowid; ok reports whether it existed.
+func (t *Tree) Delete(rowid int64) (bool, error) {
+	if t.kind != KindTable {
+		return false, ErrWrongKind
+	}
+	return t.deleteFrom(t.root, rowid, nil)
+}
+
+// DeleteKey removes an index entry; ok reports whether it existed.
+func (t *Tree) DeleteKey(key []byte) (bool, error) {
+	if t.kind != KindIndex {
+		return false, ErrWrongKind
+	}
+	return t.deleteFrom(t.root, 0, key)
+}
+
+func (t *Tree) deleteFrom(pgno pager.Pgno, rowid int64, key []byte) (bool, error) {
+	pg, err := t.pg.Get(pgno)
+	if err != nil {
+		return false, err
+	}
+	defer pg.Release()
+	d := pg.Data()
+	if !isLeaf(d) {
+		child, err := t.interiorChild(d, rowid, key)
+		if err != nil {
+			return false, err
+		}
+		if child == 0 {
+			return false, nil
+		}
+		return t.deleteFrom(child, rowid, key)
+	}
+	idx, found, err := t.leafFind(d, rowid, key)
+	if err != nil || !found {
+		return false, err
+	}
+	if err := t.pg.Write(pg); err != nil {
+		return false, err
+	}
+	c, err := t.parseCell(d, idx)
+	if err != nil {
+		return false, err
+	}
+	if c.ovfl != 0 {
+		if err := t.freeOverflow(c.ovfl); err != nil {
+			return false, err
+		}
+	}
+	removeCellAt(d, idx, len(c.raw))
+	return true, nil
+}
+
+// MaxRowid reports the largest rowid in a table tree (0 when empty).
+func (t *Tree) MaxRowid() (int64, error) {
+	if t.kind != KindTable {
+		return 0, ErrWrongKind
+	}
+	pgno := t.root
+	for {
+		pg, err := t.pg.Get(pgno)
+		if err != nil {
+			return 0, err
+		}
+		d := pg.Data()
+		if !isLeaf(d) {
+			next := pager.Pgno(getU32(d, offRight))
+			pg.Release()
+			pgno = next
+			continue
+		}
+		// Rightmost leaf; but emptied leaves may trail, so walk the
+		// chain remembering the last key seen.
+		var best int64
+		for {
+			if n := nCells(d); n > 0 {
+				c, err := t.parseCell(d, n-1)
+				if err != nil {
+					pg.Release()
+					return 0, err
+				}
+				if c.rowid > best {
+					best = c.rowid
+				}
+			}
+			next := pager.Pgno(getU32(d, offRight))
+			pg.Release()
+			if next == 0 {
+				return best, nil
+			}
+			var err error
+			pg, err = t.pg.Get(next)
+			if err != nil {
+				return 0, err
+			}
+			d = pg.Data()
+		}
+	}
+}
+
+// Drop frees every page of the tree except the root, which is reset to
+// an empty leaf (so the root page number stays valid), then frees the
+// root too if requested by the engine via pager.Free.
+func (t *Tree) Drop() error {
+	if err := t.dropSubtree(t.root, false); err != nil {
+		return err
+	}
+	pg, err := t.pg.Get(t.root)
+	if err != nil {
+		return err
+	}
+	defer pg.Release()
+	if err := t.pg.Write(pg); err != nil {
+		return err
+	}
+	leafType := byte(typeTableLeaf)
+	if t.kind == KindIndex {
+		leafType = typeIndexLeaf
+	}
+	initPage(pg.Data(), leafType)
+	return nil
+}
+
+func (t *Tree) dropSubtree(pgno pager.Pgno, freeSelf bool) error {
+	pg, err := t.pg.Get(pgno)
+	if err != nil {
+		return err
+	}
+	d := pg.Data()
+	n := nCells(d)
+	if isLeaf(d) {
+		for i := 0; i < n; i++ {
+			c, err := t.parseCell(d, i)
+			if err != nil {
+				pg.Release()
+				return err
+			}
+			if c.ovfl != 0 {
+				if err := t.freeOverflow(c.ovfl); err != nil {
+					pg.Release()
+					return err
+				}
+			}
+		}
+	} else {
+		children := make([]pager.Pgno, 0, n+1)
+		for i := 0; i < n; i++ {
+			c, err := t.parseCell(d, i)
+			if err != nil {
+				pg.Release()
+				return err
+			}
+			children = append(children, c.child)
+		}
+		if r := pager.Pgno(getU32(d, offRight)); r != 0 {
+			children = append(children, r)
+		}
+		pg.Release()
+		for _, ch := range children {
+			if err := t.dropSubtree(ch, true); err != nil {
+				return err
+			}
+		}
+		if freeSelf {
+			return t.pg.Free(pgno)
+		}
+		return nil
+	}
+	pg.Release()
+	if freeSelf {
+		return t.pg.Free(pgno)
+	}
+	return nil
+}

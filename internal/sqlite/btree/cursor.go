@@ -1,0 +1,195 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/sqlite/pager"
+)
+
+// Cursor iterates a tree in key order via the leaf sibling chain. A
+// cursor is a snapshot-free iterator: mutating the tree invalidates it
+// (the executor materializes its target rowids before modifying, as
+// SQLite's own OP_Delete/OP_Insert loops effectively do).
+type Cursor struct {
+	t     *Tree
+	pgno  pager.Pgno
+	idx   int
+	valid bool
+}
+
+// SeekFirst positions a cursor on the smallest entry.
+func (t *Tree) SeekFirst() (*Cursor, error) {
+	pgno := t.root
+	for {
+		pg, err := t.pg.Get(pgno)
+		if err != nil {
+			return nil, err
+		}
+		d := pg.Data()
+		if isLeaf(d) {
+			pg.Release()
+			c := &Cursor{t: t, pgno: pgno, idx: 0, valid: true}
+			return c, c.skipEmpty()
+		}
+		var next pager.Pgno
+		if nCells(d) > 0 {
+			c0, err := t.parseCell(d, 0)
+			if err != nil {
+				pg.Release()
+				return nil, err
+			}
+			next = c0.child
+		} else {
+			next = pager.Pgno(getU32(d, offRight))
+		}
+		pg.Release()
+		if next == 0 {
+			return nil, fmt.Errorf("%w: empty interior", ErrCorrupt)
+		}
+		pgno = next
+	}
+}
+
+// Seek positions a table cursor on the first entry with rowid >= the
+// probe.
+func (t *Tree) SeekRowid(rowid int64) (*Cursor, error) {
+	if t.kind != KindTable {
+		return nil, ErrWrongKind
+	}
+	return t.seek(rowid, nil)
+}
+
+// SeekKey positions an index cursor on the first entry with key >= the
+// probe.
+func (t *Tree) SeekKey(key []byte) (*Cursor, error) {
+	if t.kind != KindIndex {
+		return nil, ErrWrongKind
+	}
+	return t.seek(0, key)
+}
+
+func (t *Tree) seek(rowid int64, key []byte) (*Cursor, error) {
+	pgno := t.root
+	for {
+		pg, err := t.pg.Get(pgno)
+		if err != nil {
+			return nil, err
+		}
+		d := pg.Data()
+		if isLeaf(d) {
+			idx, _, err := t.leafFind(d, rowid, key)
+			pg.Release()
+			if err != nil {
+				return nil, err
+			}
+			c := &Cursor{t: t, pgno: pgno, idx: idx, valid: true}
+			return c, c.skipEmpty()
+		}
+		next, err := t.interiorChild(d, rowid, key)
+		pg.Release()
+		if err != nil {
+			return nil, err
+		}
+		if next == 0 {
+			return nil, fmt.Errorf("%w: nil child in seek", ErrCorrupt)
+		}
+		pgno = next
+	}
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// skipEmpty advances past exhausted leaves (deletions leave them in the
+// chain).
+func (c *Cursor) skipEmpty() error {
+	for c.valid {
+		pg, err := c.t.pg.Get(c.pgno)
+		if err != nil {
+			return err
+		}
+		d := pg.Data()
+		n := nCells(d)
+		next := pager.Pgno(getU32(d, offRight))
+		pg.Release()
+		if c.idx < n {
+			return nil
+		}
+		if next == 0 {
+			c.valid = false
+			return nil
+		}
+		c.pgno = next
+		c.idx = 0
+	}
+	return nil
+}
+
+// Next advances to the following entry.
+func (c *Cursor) Next() error {
+	if !c.valid {
+		return nil
+	}
+	c.idx++
+	return c.skipEmpty()
+}
+
+// cell fetches the decoded cell under the cursor.
+func (c *Cursor) cell() (cell, error) {
+	if !c.valid {
+		return cell{}, ErrNotFound
+	}
+	pg, err := c.t.pg.Get(c.pgno)
+	if err != nil {
+		return cell{}, err
+	}
+	defer pg.Release()
+	d := pg.Data()
+	if c.idx >= nCells(d) {
+		return cell{}, fmt.Errorf("%w: cursor past end", ErrCorrupt)
+	}
+	cl, err := c.t.parseCell(d, c.idx)
+	if err != nil {
+		return cell{}, err
+	}
+	// Copy byte fields out of the shared page buffer.
+	cl.key = append([]byte(nil), cl.key...)
+	cl.payload = append([]byte(nil), cl.payload...)
+	return cl, nil
+}
+
+// Rowid reports the current table entry's rowid.
+func (c *Cursor) Rowid() (int64, error) {
+	if c.t.kind != KindTable {
+		return 0, ErrWrongKind
+	}
+	cl, err := c.cell()
+	if err != nil {
+		return 0, err
+	}
+	return cl.rowid, nil
+}
+
+// Payload materializes the current table entry's full payload.
+func (c *Cursor) Payload() ([]byte, error) {
+	if c.t.kind != KindTable {
+		return nil, ErrWrongKind
+	}
+	cl, err := c.cell()
+	if err != nil {
+		return nil, err
+	}
+	return c.t.fullPayload(cl)
+}
+
+// Key materializes the current index entry's full key.
+func (c *Cursor) Key() ([]byte, error) {
+	if c.t.kind != KindIndex {
+		return nil, ErrWrongKind
+	}
+	cl, err := c.cell()
+	if err != nil {
+		return nil, err
+	}
+	return c.t.fullKey(cl)
+}

@@ -1,0 +1,391 @@
+package sqlite
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simfs"
+	"repro/internal/sqlite/pager"
+	"repro/internal/sqlite/sqlparse"
+)
+
+// Config selects how a database is opened.
+type Config struct {
+	// JournalMode is the atomic-commit strategy (the paper's RBJ, WAL
+	// and X-FTL/off configurations).
+	JournalMode pager.JournalMode
+	// CacheSize is the pager buffer pool in pages (default 2000).
+	CacheSize int
+	// CheckpointPages is the WAL auto-checkpoint threshold in log pages
+	// (default 1000, the SQLite default the paper cites).
+	CheckpointPages int64
+}
+
+// DB is one open database connection (SQLite is serverless; the
+// connection IS the engine, §2.1). Not safe for concurrent use:
+// SQLite's locking granularity is the whole database file (§6.2).
+type DB struct {
+	fs   *simfs.FS
+	pg   *pager.Pager
+	cat  *catalog
+	name string
+
+	explicitTx bool
+	rngState   uint64
+
+	// Stats.
+	Statements int64
+}
+
+// Open creates or opens a database file on the file system and runs the
+// journal-mode-specific crash recovery.
+func Open(fsys *simfs.FS, name string, cfg Config) (*DB, error) {
+	p, err := pager.Open(fsys, name, pager.Config{
+		Mode:            cfg.JournalMode,
+		CacheSize:       cfg.CacheSize,
+		CheckpointPages: cfg.CheckpointPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := newCatalog(p)
+	if err != nil {
+		_ = p.Close()
+		return nil, err
+	}
+	return &DB{fs: fsys, pg: p, cat: cat, name: name, rngState: 0x9E3779B97F4A7C15}, nil
+}
+
+// Close releases the connection, rolling back any open transaction.
+func (db *DB) Close() error {
+	return db.pg.Close()
+}
+
+// Pager exposes the pager for instrumentation (checkpoint counts etc.).
+func (db *DB) Pager() *pager.Pager { return db.pg }
+
+// InTx reports whether an explicit transaction is open.
+func (db *DB) InTx() bool { return db.explicitTx }
+
+// rand is the deterministic RANDOM() source.
+func (db *DB) rand() int64 {
+	db.rngState ^= db.rngState << 13
+	db.rngState ^= db.rngState >> 7
+	db.rngState ^= db.rngState << 17
+	return int64(db.rngState)
+}
+
+// Begin opens an explicit transaction.
+func (db *DB) Begin() error {
+	if db.explicitTx {
+		return fmt.Errorf("%w: transaction already open", ErrTxState)
+	}
+	if err := db.pg.Begin(); err != nil {
+		return err
+	}
+	db.explicitTx = true
+	return nil
+}
+
+// Commit commits the explicit transaction (force-writing all updated
+// pages per SQLite's force policy).
+func (db *DB) Commit() error {
+	if !db.explicitTx {
+		return fmt.Errorf("%w: no transaction open", ErrTxState)
+	}
+	db.explicitTx = false
+	return db.pg.Commit()
+}
+
+// Rollback aborts the explicit transaction. In X-FTL mode this is the
+// path that reaches the device's abort(t) command via ioctl.
+func (db *DB) Rollback() error {
+	if !db.explicitTx {
+		return fmt.Errorf("%w: no transaction open", ErrTxState)
+	}
+	db.explicitTx = false
+	if err := db.pg.Rollback(); err != nil {
+		return err
+	}
+	return db.cat.reset()
+}
+
+// Exec runs one statement that returns no rows, binding positional
+// parameters. It returns the number of rows affected.
+func (db *DB) Exec(sql string, args ...any) (int64, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.execStmt(st, args)
+}
+
+// ExecScript runs a semicolon-separated list of statements.
+func (db *DB) ExecScript(sql string) error {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if _, err := db.execStmt(st, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query runs a SELECT and returns the materialized result set.
+func (db *DB) Query(sql string, args ...any) (*Rows, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("%w: Query requires SELECT", ErrMisuse)
+	}
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(sel, params)
+}
+
+// QueryRow runs a SELECT expected to return one row; ok=false when the
+// result is empty.
+func (db *DB) QueryRow(sql string, args ...any) ([]Value, bool, error) {
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(rows.Data) == 0 {
+		return nil, false, nil
+	}
+	return rows.Data[0], true, nil
+}
+
+// Stmt is a prepared statement: parse once, run many times.
+type Stmt struct {
+	db  *DB
+	ast sqlparse.Stmt
+	sql string
+}
+
+// Prepare parses a statement for repeated execution.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, ast: st, sql: sql}, nil
+}
+
+// Exec runs the prepared statement with the given parameters.
+func (s *Stmt) Exec(args ...any) (int64, error) {
+	return s.db.execStmt(s.ast, args)
+}
+
+// Query runs the prepared SELECT with the given parameters.
+func (s *Stmt) Query(args ...any) (*Rows, error) {
+	sel, ok := s.ast.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("%w: Query requires SELECT", ErrMisuse)
+	}
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.runSelect(sel, params)
+}
+
+// Rows is a fully materialized result set.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Len reports the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+func bindArgs(args []any) ([]Value, error) {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// execStmt dispatches one statement, wrapping it in an automatic
+// transaction when no explicit one is open (SQLite autocommit).
+func (db *DB) execStmt(st sqlparse.Stmt, args []any) (int64, error) {
+	db.Statements++
+	params, err := bindArgs(args)
+	if err != nil {
+		return 0, err
+	}
+	switch x := st.(type) {
+	case *sqlparse.Begin:
+		return 0, db.Begin()
+	case *sqlparse.Commit:
+		return 0, db.Commit()
+	case *sqlparse.Rollback:
+		return 0, db.Rollback()
+	case *sqlparse.Pragma:
+		return 0, db.execPragma(x)
+	case *sqlparse.Select:
+		// Exec on a SELECT: run it for side-effect-free parity.
+		_, err := db.runSelect(x, params)
+		return 0, err
+	}
+
+	auto := !db.explicitTx
+	if auto {
+		if err := db.pg.Begin(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := db.execWrite(st, params)
+	if err != nil {
+		if auto {
+			_ = db.pg.Rollback()
+			_ = db.cat.reset()
+		}
+		return 0, err
+	}
+	if auto {
+		if err := db.pg.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+func (db *DB) execWrite(st sqlparse.Stmt, params []Value) (int64, error) {
+	switch x := st.(type) {
+	case *sqlparse.CreateTable:
+		cols := make([]Column, len(x.Columns))
+		for i, cd := range x.Columns {
+			cols[i] = Column{Name: cd.Name, Affinity: cd.Type, PK: cd.PrimaryKey}
+		}
+		_, err := db.cat.createTable(x.Name, cols, x.IfNotExists)
+		return 0, err
+	case *sqlparse.CreateIndex:
+		_, err := db.cat.createIndex(x.Name, x.Table, x.Columns, x.Unique, x.IfNotExists)
+		return 0, err
+	case *sqlparse.DropTable:
+		return 0, db.cat.dropTable(x.Name, x.IfExists)
+	case *sqlparse.DropIndex:
+		return 0, db.cat.dropIndex(x.Name, x.IfExists)
+	case *sqlparse.Insert:
+		return db.execInsert(x, params)
+	case *sqlparse.Update:
+		return db.execUpdate(x, params)
+	case *sqlparse.Delete:
+		return db.execDelete(x, params)
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnsupported, st)
+	}
+}
+
+func (db *DB) execPragma(x *sqlparse.Pragma) error {
+	switch x.Name {
+	case "journal_mode":
+		// The mode is fixed at Open (it shapes recovery); accept a
+		// matching value, reject a change.
+		if x.Value == "" {
+			return nil
+		}
+		want := strings.ToLower(x.Value)
+		have := db.pg.Mode().String()
+		if want == "delete" {
+			want = "rollback"
+		}
+		if want != have {
+			return fmt.Errorf("%w: cannot switch journal_mode from %s to %s after open",
+				ErrUnsupported, have, want)
+		}
+		return nil
+	case "wal_checkpoint":
+		return db.pg.Checkpoint()
+	case "cache_size", "synchronous", "page_size", "temp_store", "locking_mode":
+		return nil // accepted for compatibility
+	default:
+		return nil
+	}
+}
+
+// CommitAtomic commits open transactions on several databases as one
+// atomic unit. This is the multi-file transaction of the paper's §4.3:
+// SQLite's rollback mode needs a master journal to approximate it
+// ("awkward or incomplete"), while on X-FTL every file's page updates
+// simply carry the same transaction id in the X-L2P table and one
+// commit(t) makes them all durable together. Requires every database to
+// be in Off (X-FTL) mode with an open transaction on the same file
+// system.
+func CommitAtomic(dbs ...*DB) error {
+	if len(dbs) == 0 {
+		return nil
+	}
+	if len(dbs) == 1 {
+		return dbs[0].Commit()
+	}
+	for _, db := range dbs {
+		if !db.explicitTx {
+			return fmt.Errorf("%w: CommitAtomic requires an open transaction on every database", ErrTxState)
+		}
+		if db.pg.Mode() != pager.Off {
+			return fmt.Errorf("%w: CommitAtomic requires X-FTL (journal mode off)", ErrUnsupported)
+		}
+		if db.fs != dbs[0].fs {
+			return fmt.Errorf("%w: CommitAtomic requires one shared file system", ErrMisuse)
+		}
+	}
+	// Stage every database's dirty pages: first into the file-system
+	// cache, then to the device as write(t,p) under the lead file's
+	// transaction id, so the whole group rides one X-L2P transaction.
+	lead := dbs[0].pg.File()
+	for _, db := range dbs {
+		if err := db.pg.FlushForGroupCommit(); err != nil {
+			return err
+		}
+	}
+	if err := lead.FlushAll(); err != nil {
+		return err
+	}
+	tid := lead.TxID()
+	for _, db := range dbs[1:] {
+		f := db.pg.File()
+		if own := f.TxID(); own != 0 && own != tid {
+			// The follower stole writes to the device under its own id
+			// before the group commit was requested; those cannot be
+			// re-tagged. Callers avoid this by sizing the page cache to
+			// the transaction (as the X-L2P capacity requires anyway).
+			return fmt.Errorf("%w: database %s has stolen writes under a different device transaction",
+				ErrTxState, db.name)
+		}
+		if tid != 0 {
+			f.AdoptTx(tid)
+		}
+		if err := f.FlushAll(); err != nil {
+			return err
+		}
+		if tid == 0 {
+			tid = f.TxID()
+			lead.AdoptTx(tid)
+		}
+	}
+	// One fsync on the lead commits the shared transaction, carrying
+	// every file's data (and metadata) atomically.
+	if err := lead.Fsync(); err != nil {
+		return err
+	}
+	for _, db := range dbs {
+		db.pg.FinishGroupCommit()
+		db.explicitTx = false
+	}
+	return nil
+}

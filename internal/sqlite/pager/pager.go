@@ -1,0 +1,1042 @@
+// Package pager implements the page cache and transaction machinery of
+// the simulated SQLite engine: a fixed-size buffer pool managed with
+// the steal and force policies the paper describes (§2.1), and the
+// three journal modes whose I/O behaviour the paper benchmarks:
+//
+//   - Rollback: the original content of each updated page is copied to
+//     a per-transaction journal file before the database is changed;
+//     commit force-writes the database and deletes the journal. Three
+//     fsync calls per transaction (journal data, journal header,
+//     database), plus journal file creation/deletion metadata churn.
+//   - WAL: new page versions are appended to a shared log file with one
+//     fsync per commit; a checkpoint copies committed pages back into
+//     the database every CheckpointPages log pages.
+//   - Off: journaling is disabled and atomicity is delegated to an
+//     X-FTL device through the file system (write(t,p) on write-back,
+//     commit(t) on fsync, abort(t) via ioctl).
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/simfs"
+)
+
+// Pgno is a 1-based database page number, page 1 being the header.
+type Pgno uint32
+
+// JournalMode selects the atomic-commit strategy.
+type JournalMode int
+
+// Journal modes.
+const (
+	Rollback JournalMode = iota
+	WAL
+	Off
+)
+
+func (m JournalMode) String() string {
+	switch m {
+	case Rollback:
+		return "rollback"
+	case WAL:
+		return "wal"
+	case Off:
+		return "off"
+	default:
+		return fmt.Sprintf("JournalMode(%d)", int(m))
+	}
+}
+
+// Errors returned by the pager.
+var (
+	ErrNoTx       = errors.New("pager: no transaction is active")
+	ErrInTx       = errors.New("pager: a transaction is already active")
+	ErrBadPgno    = errors.New("pager: page number out of range")
+	ErrPinned     = errors.New("pager: all cache pages are pinned")
+	ErrNotDirty   = errors.New("pager: page was not made writable")
+	ErrCorrupt    = errors.New("pager: file is corrupt")
+	ErrClosedPage = errors.New("pager: page used after release")
+)
+
+// Config tunes the pager.
+type Config struct {
+	Mode JournalMode
+	// CacheSize is the buffer-pool capacity in pages (default 2000,
+	// SQLite's historical default).
+	CacheSize int
+	// CheckpointPages triggers a WAL checkpoint when the log reaches
+	// this many pages (default 1000, as in the paper §6.3.1).
+	CheckpointPages int64
+}
+
+const (
+	headerMagic  = 0x58464442 // "XFDB"
+	walMagic     = 0x57414C46 // "WALF"
+	jnlMagic     = 0x4A4E4C46 // "JNLF"
+	maxFreelist  = 1500       // inline freelist capacity in page 1
+	headerFixed  = 32         // bytes of page-1 header before the freelist
+	frameHdrSize = 8          // per-entry bytes in a WAL commit record
+	// walFinalFlag marks the last page of a commit-record chain; only
+	// its presence commits the chain's transaction.
+	walFinalFlag = 0x80000000
+)
+
+// Page is one pinned buffer-pool page. Callers must Release every page
+// they Get, and must call Write before mutating Data.
+type Page struct {
+	pgno  Pgno
+	data  []byte
+	dirty bool
+	pins  int
+	pager *Pager
+}
+
+// Pgno returns the page's number.
+func (pg *Page) Pgno() Pgno { return pg.pgno }
+
+// Data returns the page payload. Mutating it without Write first is a
+// bug that the rollback path will not protect against.
+func (pg *Page) Data() []byte { return pg.data }
+
+// Pager manages one database file. It is not safe for concurrent use —
+// SQLite serializes writers at database granularity (§6.2), and so do
+// the workloads in this repository.
+type Pager struct {
+	fs   *simfs.FS
+	name string
+	file *simfs.File
+	cfg  Config
+
+	cache map[Pgno]*Page
+	clock []Pgno // second-chance eviction order
+
+	nPages   Pgno   // database size in pages (>= 1 once open)
+	freelist []Pgno // reusable page numbers, persisted in page 1
+	schema   uint32 // engine-owned root pointer persisted in page 1
+
+	inTx      bool
+	mutated   bool // any Write/Allocate/Free this transaction
+	dirty     map[Pgno]bool
+	journaled map[Pgno][]byte // RBJ: original images of this tx
+	jOrder    []Pgno
+	jFile     *simfs.File
+	jSynced   int // journal images already synced to storage
+	stolen    map[Pgno]bool
+
+	// Begin-time snapshot for rollback of allocator state.
+	txNPages   Pgno
+	txFreelist []Pgno
+	txSchema   uint32
+
+	// WAL state.
+	walFile   *simfs.File
+	walIndex  map[Pgno]int64 // pgno -> wal file page of latest committed version
+	txFrames  map[Pgno]int64 // this transaction's own frames
+	walHead   int64          // next wal file page to write
+	ckptAccum int64          // wal pages since last checkpoint
+
+	// Stats.
+	Commits     int64
+	Rollbacks   int64
+	Checkpoints int64
+}
+
+// Open creates or opens a database file and runs crash recovery for the
+// configured journal mode (hot rollback journal playback, or WAL scan
+// and checkpoint).
+func Open(fsys *simfs.FS, name string, cfg Config) (*Pager, error) {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 2000
+	}
+	if cfg.CheckpointPages <= 0 {
+		cfg.CheckpointPages = 1000
+	}
+	p := &Pager{
+		fs:    fsys,
+		name:  name,
+		cfg:   cfg,
+		cache: make(map[Pgno]*Page),
+		dirty: make(map[Pgno]bool),
+	}
+	var err error
+	if fsys.Exists(name) {
+		p.file, err = fsys.Open(name)
+	} else {
+		p.file, err = fsys.Create(name, simfs.RoleData)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.loadHeader(); err != nil {
+		return nil, err
+	}
+	// Mode-specific attach + recovery.
+	switch cfg.Mode {
+	case Rollback:
+		if err := p.recoverRollback(); err != nil {
+			return nil, err
+		}
+	case WAL:
+		if err := p.attachWAL(); err != nil {
+			return nil, err
+		}
+	case Off:
+		// The device already recovered atomically; nothing to do.
+	}
+	return p, nil
+}
+
+// Name returns the database file name.
+func (p *Pager) Name() string { return p.name }
+
+// Mode returns the journal mode.
+func (p *Pager) Mode() JournalMode { return p.cfg.Mode }
+
+// NPages reports the database size in pages.
+func (p *Pager) NPages() Pgno { return p.nPages }
+
+// PageSize reports the page size in bytes.
+func (p *Pager) PageSize() int { return p.fs.PageSize() }
+
+// SchemaRoot returns the engine-owned root pointer from page 1.
+func (p *Pager) SchemaRoot() uint32 { return p.schema }
+
+// SetSchemaRoot stores the engine-owned root pointer; it becomes
+// durable with the enclosing transaction.
+func (p *Pager) SetSchemaRoot(v uint32) error {
+	if !p.inTx {
+		return ErrNoTx
+	}
+	p.schema = v
+	return p.dirtyHeader()
+}
+
+// jnlName returns the rollback journal file name.
+func (p *Pager) jnlName() string { return p.name + "-journal" }
+
+// walName returns the write-ahead log file name.
+func (p *Pager) walName() string { return p.name + "-wal" }
+
+// loadHeader reads page 1, initializing a fresh database if the file is
+// empty.
+func (p *Pager) loadHeader() error {
+	if p.file.Pages() == 0 {
+		p.nPages = 1
+		return nil
+	}
+	buf := make([]byte, p.PageSize())
+	if err := p.readDBPage(1, buf); err != nil {
+		return err
+	}
+	return p.decodeHeader(buf)
+}
+
+func (p *Pager) decodeHeader(buf []byte) error {
+	if binary.BigEndian.Uint32(buf[0:]) != headerMagic {
+		return fmt.Errorf("%w: bad header magic", ErrCorrupt)
+	}
+	p.nPages = Pgno(binary.BigEndian.Uint32(buf[4:]))
+	p.schema = binary.BigEndian.Uint32(buf[8:])
+	n := int(binary.BigEndian.Uint32(buf[12:]))
+	if n > maxFreelist {
+		return fmt.Errorf("%w: freelist count %d", ErrCorrupt, n)
+	}
+	p.freelist = p.freelist[:0]
+	for i := 0; i < n; i++ {
+		p.freelist = append(p.freelist, Pgno(binary.BigEndian.Uint32(buf[headerFixed+4*i:])))
+	}
+	return nil
+}
+
+func (p *Pager) encodeHeader(buf []byte) {
+	clear(buf)
+	binary.BigEndian.PutUint32(buf[0:], headerMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.nPages))
+	binary.BigEndian.PutUint32(buf[8:], p.schema)
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(p.freelist)))
+	for i, f := range p.freelist {
+		if headerFixed+4*i+4 > len(buf) {
+			break
+		}
+		binary.BigEndian.PutUint32(buf[headerFixed+4*i:], uint32(f))
+	}
+}
+
+// dirtyHeader marks page 1 dirty with freshly encoded header state.
+func (p *Pager) dirtyHeader() error {
+	pg, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	defer pg.Release()
+	if err := p.Write(pg); err != nil {
+		return err
+	}
+	p.encodeHeader(pg.Data())
+	return nil
+}
+
+// readDBPage fetches a page image from stable storage, consulting the
+// WAL first in WAL mode (the paper's "reading the two files" overhead).
+func (p *Pager) readDBPage(pgno Pgno, buf []byte) error {
+	if p.cfg.Mode == WAL {
+		if idx, ok := p.txFrames[pgno]; ok {
+			return p.walFile.ReadPage(idx, buf)
+		}
+		if idx, ok := p.walIndex[pgno]; ok {
+			return p.walFile.ReadPage(idx, buf)
+		}
+	}
+	if int64(pgno-1) >= p.file.Pages() {
+		clear(buf)
+		return nil
+	}
+	return p.file.ReadPage(int64(pgno-1), buf)
+}
+
+// Get pins a page in the cache, reading it from storage on a miss.
+func (p *Pager) Get(pgno Pgno) (*Page, error) {
+	if pgno < 1 || pgno > p.nPages {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadPgno, pgno, p.nPages)
+	}
+	if pg, ok := p.cache[pgno]; ok {
+		pg.pins++
+		return pg, nil
+	}
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, p.PageSize())
+	if err := p.readDBPage(pgno, buf); err != nil {
+		return nil, err
+	}
+	if pgno == 1 && binary.BigEndian.Uint32(buf[0:]) != headerMagic {
+		// Fresh database: no stable header exists yet; synthesize the
+		// current in-memory header state.
+		p.encodeHeader(buf)
+	}
+	pg := &Page{pgno: pgno, data: buf, pins: 1, pager: p}
+	p.cache[pgno] = pg
+	p.clock = append(p.clock, pgno)
+	return pg, nil
+}
+
+// Release unpins a page obtained from Get or Allocate.
+func (pg *Page) Release() {
+	if pg.pins > 0 {
+		pg.pins--
+	}
+}
+
+// makeRoom evicts unpinned pages until the cache is under its limit.
+// Dirty evictions are the steal policy: uncommitted content reaches
+// storage under whatever protection the journal mode provides.
+func (p *Pager) makeRoom() error {
+	for len(p.cache) >= p.cfg.CacheSize {
+		evicted := false
+		keep := p.clock[:0]
+		for i, pgno := range p.clock {
+			pg, ok := p.cache[pgno]
+			if !ok {
+				continue
+			}
+			if evicted || pg.pins > 0 {
+				keep = append(keep, pgno)
+				continue
+			}
+			if pg.dirty {
+				if err := p.stealOut(pg); err != nil {
+					return err
+				}
+			}
+			delete(p.cache, pgno)
+			evicted = true
+			_ = i
+		}
+		p.clock = keep
+		if !evicted {
+			return ErrPinned
+		}
+	}
+	return nil
+}
+
+// stealOut writes one uncommitted dirty page to storage (steal policy).
+func (p *Pager) stealOut(pg *Page) error {
+	switch p.cfg.Mode {
+	case Rollback:
+		// The journal must be durable before an uncommitted page may
+		// overwrite the database (undo rule).
+		if err := p.syncJournalImages(); err != nil {
+			return err
+		}
+		if err := p.file.WritePage(int64(pg.pgno-1), pg.data); err != nil {
+			return err
+		}
+	case WAL:
+		if err := p.appendFrame(pg.pgno, pg.data); err != nil {
+			return err
+		}
+	case Off:
+		// The file system forwards this as write(t,p); the device keeps
+		// it invisible and revocable.
+		if err := p.file.WritePage(int64(pg.pgno-1), pg.data); err != nil {
+			return err
+		}
+	}
+	if p.stolen == nil {
+		p.stolen = make(map[Pgno]bool)
+	}
+	p.stolen[pg.pgno] = true
+	pg.dirty = false
+	delete(p.dirty, pg.pgno)
+	return nil
+}
+
+// Begin starts a write transaction.
+func (p *Pager) Begin() error {
+	if p.inTx {
+		return ErrInTx
+	}
+	p.inTx = true
+	p.mutated = false
+	p.txNPages = p.nPages
+	p.txFreelist = append([]Pgno(nil), p.freelist...)
+	p.txSchema = p.schema
+	p.journaled = make(map[Pgno][]byte)
+	p.jOrder = p.jOrder[:0]
+	p.jSynced = 0
+	p.stolen = make(map[Pgno]bool)
+	if p.cfg.Mode == WAL {
+		p.txFrames = make(map[Pgno]int64)
+	}
+	return nil
+}
+
+// InTx reports whether a transaction is active.
+func (p *Pager) InTx() bool { return p.inTx }
+
+// Write declares intent to modify a pinned page. In rollback mode the
+// original image is captured for the journal on first touch; in every
+// mode the page joins the dirty set. SQLite's rollback mode also
+// touches the header page each transaction (change counter), which is
+// reproduced here.
+func (p *Pager) Write(pg *Page) error {
+	if !p.inTx {
+		return ErrNoTx
+	}
+	p.mutated = true
+	if p.cfg.Mode == Rollback {
+		if _, ok := p.journaled[pg.pgno]; !ok {
+			orig := make([]byte, len(pg.data))
+			copy(orig, pg.data)
+			p.journaled[pg.pgno] = orig
+			p.jOrder = append(p.jOrder, pg.pgno)
+		}
+		if pg.pgno != 1 {
+			if hdr, err := p.Get(1); err == nil {
+				if _, ok := p.journaled[1]; !ok {
+					orig := make([]byte, len(hdr.data))
+					copy(orig, hdr.data)
+					p.journaled[1] = orig
+					p.jOrder = append(p.jOrder, 1)
+				}
+				hdr.dirty = true
+				p.dirty[1] = true
+				hdr.Release()
+			}
+		}
+	}
+	pg.dirty = true
+	p.dirty[pg.pgno] = true
+	return nil
+}
+
+// Allocate produces a fresh writable page, reusing the freelist first.
+func (p *Pager) Allocate() (*Page, error) {
+	if !p.inTx {
+		return nil, ErrNoTx
+	}
+	p.mutated = true
+	var pgno Pgno
+	if n := len(p.freelist); n > 0 {
+		pgno = p.freelist[n-1]
+		p.freelist = p.freelist[:n-1]
+	} else {
+		p.nPages++
+		pgno = p.nPages
+	}
+	if err := p.dirtyHeader(); err != nil {
+		return nil, err
+	}
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	// A fresh page never needs a disk read or an undo image.
+	if old, ok := p.cache[pgno]; ok {
+		clear(old.data)
+		old.pins++
+		if err := p.Write(old); err != nil {
+			old.Release()
+			return nil, err
+		}
+		return old, nil
+	}
+	pg := &Page{pgno: pgno, data: make([]byte, p.PageSize()), pins: 1, pager: p}
+	p.cache[pgno] = pg
+	p.clock = append(p.clock, pgno)
+	if err := p.Write(pg); err != nil {
+		pg.Release()
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Free returns a page to the freelist for reuse by later allocations.
+func (p *Pager) Free(pgno Pgno) error {
+	if !p.inTx {
+		return ErrNoTx
+	}
+	if pgno <= 1 || pgno > p.nPages {
+		return fmt.Errorf("%w: free %d", ErrBadPgno, pgno)
+	}
+	p.mutated = true
+	if len(p.freelist) < maxFreelist {
+		p.freelist = append(p.freelist, pgno)
+	}
+	return p.dirtyHeader()
+}
+
+// ensureJournal lazily creates the per-transaction rollback journal
+// file and writes its header page (original database size, magic).
+func (p *Pager) ensureJournal() error {
+	if p.jFile != nil {
+		return nil
+	}
+	name := p.jnlName()
+	if p.fs.Exists(name) {
+		if err := p.fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	f, err := p.fs.Create(name, simfs.RoleJournal)
+	if err != nil {
+		return err
+	}
+	p.jFile = f
+	hdr := make([]byte, p.PageSize())
+	binary.BigEndian.PutUint32(hdr[0:], jnlMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(p.txNPages))
+	binary.BigEndian.PutUint32(hdr[8:], 0) // image count, updated at sync
+	return f.WritePage(0, hdr)
+}
+
+// syncJournalImages makes every captured original image durable: the
+// undo data is written and fsynced, then the header (with the final
+// image count) is written and fsynced separately — the paper's two
+// journal fsyncs per transaction (§6.3.1).
+func (p *Pager) syncJournalImages() error {
+	if len(p.jOrder) == 0 {
+		return nil
+	}
+	if err := p.ensureJournal(); err != nil {
+		return err
+	}
+	for ; p.jSynced < len(p.jOrder); p.jSynced++ {
+		pgno := p.jOrder[p.jSynced]
+		img := p.journaled[pgno]
+		page := make([]byte, p.PageSize())
+		copy(page, img)
+		// Journal image pages carry their pgno in the first bytes of a
+		// trailer-free simulation: recovery reads pgnos from the header
+		// page instead, so the payload is stored verbatim.
+		if err := p.jFile.WritePage(int64(1+p.jSynced), page); err != nil {
+			return err
+		}
+	}
+	if err := p.jFile.Fsync(); err != nil {
+		return err
+	}
+	// Header rewrite with the image count and pgno directory.
+	hdr := make([]byte, p.PageSize())
+	binary.BigEndian.PutUint32(hdr[0:], jnlMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(p.txNPages))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(p.jOrder)))
+	for i, pgno := range p.jOrder {
+		if 12+4*i+4 > len(hdr) {
+			break
+		}
+		binary.BigEndian.PutUint32(hdr[12+4*i:], uint32(pgno))
+	}
+	if err := p.jFile.WritePage(0, hdr); err != nil {
+		return err
+	}
+	return p.jFile.Fsync()
+}
+
+// attachWAL opens (or creates) the log file and recovers committed
+// frames after a crash by scanning for commit records.
+func (p *Pager) attachWAL() error {
+	name := p.walName()
+	var err error
+	if p.fs.Exists(name) {
+		p.walFile, err = p.fs.Open(name)
+	} else {
+		p.walFile, err = p.fs.Create(name, simfs.RoleJournal)
+	}
+	if err != nil {
+		return err
+	}
+	p.walIndex = make(map[Pgno]int64)
+	p.walHead = 0
+	// Scan: commit records are identified by magic and enumerate the
+	// (pgno, framePage) pairs of their transaction. Multi-page record
+	// chains apply only when the flagged final page is present, so a
+	// crash mid-chain leaves the transaction uncommitted.
+	buf := make([]byte, p.PageSize())
+	n := p.walFile.Pages()
+	pending := make(map[Pgno]int64)
+	for i := int64(0); i < n; i++ {
+		if err := p.walFile.ReadPage(i, buf); err != nil {
+			return err
+		}
+		if binary.BigEndian.Uint32(buf[0:]) != walMagic {
+			continue
+		}
+		raw := binary.BigEndian.Uint32(buf[4:])
+		final := raw&walFinalFlag != 0
+		cnt := int(raw &^ walFinalFlag)
+		for e := 0; e < cnt; e++ {
+			off := 8 + e*frameHdrSize
+			if off+frameHdrSize > len(buf) {
+				break
+			}
+			pgno := Pgno(binary.BigEndian.Uint32(buf[off:]))
+			frame := int64(binary.BigEndian.Uint32(buf[off+4:]))
+			pending[pgno] = frame
+		}
+		if final {
+			for pgno, frame := range pending {
+				p.walIndex[pgno] = frame
+			}
+			clear(pending)
+			p.walHead = i + 1
+		}
+	}
+	if len(p.walIndex) > 0 {
+		// Database size may have grown inside the WAL: adopt the max.
+		for pgno := range p.walIndex {
+			if pgno > p.nPages {
+				p.nPages = pgno
+			}
+		}
+		// Page 1 in the WAL carries newer header state.
+		if idx, ok := p.walIndex[1]; ok {
+			if err := p.walFile.ReadPage(idx, buf); err != nil {
+				return err
+			}
+			if err := p.decodeHeader(buf); err != nil {
+				return err
+			}
+		}
+		// The paper measures WAL restart time as the cost of copying
+		// the committed pages back into the database (§6.4).
+		if err := p.checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendFrame writes one page version into the WAL (uncommitted until a
+// commit record covers it).
+func (p *Pager) appendFrame(pgno Pgno, data []byte) error {
+	if err := p.walFile.WritePage(p.walHead, data); err != nil {
+		return err
+	}
+	p.txFrames[pgno] = p.walHead
+	p.walHead++
+	return nil
+}
+
+// Commit makes the transaction durable per the journal mode and applies
+// the force policy: every dirty page is written to stable storage.
+func (p *Pager) Commit() error {
+	if !p.inTx {
+		return ErrNoTx
+	}
+	if !p.mutated {
+		// Read-only transaction: no journal, no force, no fsync.
+		p.inTx = false
+		p.journaled = nil
+		p.stolen = nil
+		p.txFrames = nil
+		return nil
+	}
+	switch p.cfg.Mode {
+	case Rollback:
+		if err := p.commitRollback(); err != nil {
+			return err
+		}
+	case WAL:
+		if err := p.commitWAL(); err != nil {
+			return err
+		}
+	case Off:
+		if err := p.commitOff(); err != nil {
+			return err
+		}
+	}
+	p.inTx = false
+	p.journaled = nil
+	p.stolen = nil
+	p.Commits++
+	return nil
+}
+
+func (p *Pager) commitRollback() error {
+	// 1. Undo images durable (two fsyncs: data then header).
+	if err := p.syncJournalImages(); err != nil {
+		return err
+	}
+	// 2. Force: all dirty pages into the database file, then fsync.
+	if err := p.flushDirtyToDB(); err != nil {
+		return err
+	}
+	if err := p.file.Fsync(); err != nil {
+		return err
+	}
+	// 3. Commit point: delete the journal.
+	if p.jFile != nil {
+		_ = p.jFile.Close()
+		p.jFile = nil
+		if err := p.fs.Remove(p.jnlName()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pager) commitWAL() error {
+	// Force: every dirty page becomes a WAL frame, then one commit
+	// record enumerating the transaction's frames, then one fsync.
+	for pgno := range p.dirty {
+		pg := p.cache[pgno]
+		if pg == nil || !pg.dirty {
+			continue
+		}
+		if err := p.appendFrame(pgno, pg.data); err != nil {
+			return err
+		}
+		pg.dirty = false
+	}
+	clear(p.dirty)
+	if len(p.txFrames) == 0 {
+		p.txFrames = nil
+		return nil // read-only transaction
+	}
+	// The commit record enumerates every frame of the transaction. A
+	// large transaction spans several record pages, chained so that
+	// only the final page (flagged) commits the whole group — recovery
+	// discards an unterminated chain, keeping commit atomic.
+	type entry struct {
+		pgno  Pgno
+		frame int64
+	}
+	entries := make([]entry, 0, len(p.txFrames))
+	for pgno, frame := range p.txFrames {
+		entries = append(entries, entry{pgno, frame})
+	}
+	perPage := (p.PageSize() - 8) / frameHdrSize
+	for start := 0; start < len(entries); start += perPage {
+		end := min(start+perPage, len(entries))
+		rec := make([]byte, p.PageSize())
+		binary.BigEndian.PutUint32(rec[0:], walMagic)
+		count := uint32(end - start)
+		if end == len(entries) {
+			count |= walFinalFlag
+		}
+		binary.BigEndian.PutUint32(rec[4:], count)
+		for i, e := range entries[start:end] {
+			off := 8 + i*frameHdrSize
+			binary.BigEndian.PutUint32(rec[off:], uint32(e.pgno))
+			binary.BigEndian.PutUint32(rec[off+4:], uint32(e.frame))
+		}
+		if err := p.walFile.WritePage(p.walHead, rec); err != nil {
+			return err
+		}
+		p.walHead++
+	}
+	if err := p.walFile.Fsync(); err != nil {
+		return err
+	}
+	for pgno, frame := range p.txFrames {
+		p.walIndex[pgno] = frame
+	}
+	p.ckptAccum += int64(len(p.txFrames)) + 1
+	p.txFrames = nil
+	if p.ckptAccum >= p.cfg.CheckpointPages {
+		return p.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint copies the latest committed version of every page in the
+// WAL into the database file, fsyncs it, and resets the log.
+func (p *Pager) checkpoint() error {
+	if len(p.walIndex) == 0 {
+		p.ckptAccum = 0
+		return nil
+	}
+	buf := make([]byte, p.PageSize())
+	for pgno, frame := range p.walIndex {
+		if err := p.walFile.ReadPage(frame, buf); err != nil {
+			return err
+		}
+		if err := p.file.WritePage(int64(pgno-1), buf); err != nil {
+			return err
+		}
+	}
+	if err := p.file.Fsync(); err != nil {
+		return err
+	}
+	if err := p.walFile.Truncate(0); err != nil {
+		return err
+	}
+	if err := p.walFile.Fsync(); err != nil {
+		return err
+	}
+	p.walIndex = make(map[Pgno]int64)
+	p.walHead = 0
+	p.ckptAccum = 0
+	p.Checkpoints++
+	return nil
+}
+
+// Checkpoint forces a WAL checkpoint outside the automatic threshold.
+func (p *Pager) Checkpoint() error {
+	if p.cfg.Mode != WAL {
+		return nil
+	}
+	return p.checkpoint()
+}
+
+func (p *Pager) commitOff() error {
+	// Force all dirty pages through the file system (write(t,p)) and
+	// commit with the single fsync (commit(t)).
+	if err := p.flushDirtyToDB(); err != nil {
+		return err
+	}
+	return p.file.Fsync()
+}
+
+// flushDirtyToDB writes every dirty cached page to the database file.
+func (p *Pager) flushDirtyToDB() error {
+	for pgno := range p.dirty {
+		pg := p.cache[pgno]
+		if pg == nil || !pg.dirty {
+			continue
+		}
+		if err := p.file.WritePage(int64(pgno-1), pg.data); err != nil {
+			return err
+		}
+		pg.dirty = false
+	}
+	clear(p.dirty)
+	return nil
+}
+
+// Rollback aborts the transaction, undoing cached changes and any
+// stolen writes per the journal mode.
+func (p *Pager) Rollback() error {
+	if !p.inTx {
+		return ErrNoTx
+	}
+	switch p.cfg.Mode {
+	case Rollback:
+		// Playback: restore original images over cache and any stolen
+		// database writes.
+		for pgno, img := range p.journaled {
+			if pg, ok := p.cache[pgno]; ok {
+				copy(pg.data, img)
+				pg.dirty = false
+			}
+			if p.stolen[pgno] {
+				if err := p.file.WritePage(int64(pgno-1), img); err != nil {
+					return err
+				}
+			}
+		}
+		if len(p.stolen) > 0 {
+			if err := p.file.Fsync(); err != nil {
+				return err
+			}
+		}
+		if p.jFile != nil {
+			_ = p.jFile.Close()
+			p.jFile = nil
+			if err := p.fs.Remove(p.jnlName()); err != nil {
+				return err
+			}
+		}
+		for pgno := range p.dirty {
+			p.dropCached(pgno)
+		}
+	case WAL:
+		// Own frames are simply forgotten; the log head rewinds.
+		if len(p.txFrames) > 0 {
+			lo := p.walHead
+			for _, f := range p.txFrames {
+				if f < lo {
+					lo = f
+				}
+			}
+			p.walHead = lo
+			_ = p.walFile.Truncate(lo)
+		}
+		p.txFrames = nil
+		for pgno := range p.dirty {
+			p.dropCached(pgno)
+		}
+	case Off:
+		// ioctl(abort): stolen pages roll back inside the device.
+		if err := p.file.Abort(); err != nil {
+			return err
+		}
+		for pgno := range p.dirty {
+			p.dropCached(pgno)
+		}
+		for pgno := range p.stolen {
+			p.dropCached(pgno)
+		}
+	}
+	clear(p.dirty)
+	p.nPages = p.txNPages
+	p.freelist = p.txFreelist
+	p.schema = p.txSchema
+	p.inTx = false
+	p.journaled = nil
+	p.stolen = nil
+	p.Rollbacks++
+	return nil
+}
+
+// dropCached removes a page from the cache so the next Get re-reads the
+// stable version.
+func (p *Pager) dropCached(pgno Pgno) {
+	delete(p.cache, pgno)
+}
+
+// recoverRollback plays back a hot journal left by a crash (§6.4).
+func (p *Pager) recoverRollback() error {
+	name := p.jnlName()
+	if !p.fs.Exists(name) {
+		return nil
+	}
+	j, err := p.fs.Open(name)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, p.PageSize())
+	if j.Pages() == 0 {
+		_ = j.Close()
+		return p.fs.Remove(name)
+	}
+	if err := j.ReadPage(0, hdr); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != jnlMagic {
+		// Garbage journal (crashed before the header was durable):
+		// nothing was committed against it, discard.
+		_ = j.Close()
+		return p.fs.Remove(name)
+	}
+	origSize := Pgno(binary.BigEndian.Uint32(hdr[4:]))
+	count := int(binary.BigEndian.Uint32(hdr[8:]))
+	img := make([]byte, p.PageSize())
+	for i := 0; i < count; i++ {
+		pgno := Pgno(binary.BigEndian.Uint32(hdr[12+4*i:]))
+		if int64(1+i) >= j.Pages() {
+			break
+		}
+		if err := j.ReadPage(int64(1+i), img); err != nil {
+			return err
+		}
+		if err := p.file.WritePage(int64(pgno-1), img); err != nil {
+			return err
+		}
+	}
+	if origSize >= 1 {
+		if err := p.file.Truncate(int64(origSize)); err != nil {
+			return err
+		}
+	}
+	if err := p.file.Fsync(); err != nil {
+		return err
+	}
+	_ = j.Close()
+	if err := p.fs.Remove(name); err != nil {
+		return err
+	}
+	return p.loadHeader()
+}
+
+// Close flushes nothing (callers must commit first) and releases files.
+func (p *Pager) Close() error {
+	if p.inTx {
+		if err := p.Rollback(); err != nil {
+			return err
+		}
+	}
+	if p.jFile != nil {
+		_ = p.jFile.Close()
+	}
+	if p.walFile != nil {
+		_ = p.walFile.Close()
+	}
+	return p.file.Close()
+}
+
+// File exposes the pager's underlying database file for cross-database
+// transaction coordination (the X-FTL multi-file commit of §4.3).
+func (p *Pager) File() *simfs.File { return p.file }
+
+// FlushForGroupCommit pushes every dirty page to the file system
+// without issuing the commit fsync, so that several databases' updates
+// can ride one shared device transaction. Valid only in Off mode; the
+// caller completes the group with one Fsync on the shared tid and then
+// FinishGroupCommit on each participant.
+func (p *Pager) FlushForGroupCommit() error {
+	if !p.inTx {
+		return ErrNoTx
+	}
+	if p.cfg.Mode != Off {
+		return fmt.Errorf("pager: group commit requires journal mode off, have %v", p.cfg.Mode)
+	}
+	if !p.mutated {
+		p.finishTx()
+		return nil
+	}
+	return p.flushDirtyToDB()
+}
+
+// FinishGroupCommit concludes a transaction whose durability was
+// established by the group's shared commit.
+func (p *Pager) FinishGroupCommit() {
+	if !p.inTx {
+		return
+	}
+	p.finishTx()
+	p.Commits++
+}
+
+// finishTx clears per-transaction state after a successful commit.
+func (p *Pager) finishTx() {
+	p.inTx = false
+	p.journaled = nil
+	p.stolen = nil
+	p.txFrames = nil
+}

@@ -1,0 +1,173 @@
+package sqlite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Record encoding follows the shape of SQLite's record format: a header
+// of serial-type varints (preceded by the header length) and a body of
+// encoded column values. Serial types:
+//
+//	0        NULL
+//	1..4     big-endian signed integers of 1, 2, 4, 8 bytes
+//	7        IEEE-754 float64
+//	>=12 even  BLOB of (st-12)/2 bytes
+//	>=13 odd   TEXT of (st-13)/2 bytes
+var errBadRecord = errors.New("sqlite: corrupt record")
+
+// EncodeRecord serializes values into the record format.
+func EncodeRecord(vals []Value) []byte {
+	var hdr, body []byte
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range vals {
+		switch v.typ {
+		case TypeNull:
+			hdr = append(hdr, 0)
+		case TypeInt:
+			st, enc := encodeInt(v.i)
+			n := binary.PutUvarint(tmp[:], st)
+			hdr = append(hdr, tmp[:n]...)
+			body = append(body, enc...)
+		case TypeReal:
+			n := binary.PutUvarint(tmp[:], 7)
+			hdr = append(hdr, tmp[:n]...)
+			var f [8]byte
+			binary.BigEndian.PutUint64(f[:], math.Float64bits(v.f))
+			body = append(body, f[:]...)
+		case TypeText:
+			st := uint64(13 + 2*len(v.s))
+			n := binary.PutUvarint(tmp[:], st)
+			hdr = append(hdr, tmp[:n]...)
+			body = append(body, v.s...)
+		case TypeBlob:
+			st := uint64(12 + 2*len(v.b))
+			n := binary.PutUvarint(tmp[:], st)
+			hdr = append(hdr, tmp[:n]...)
+			body = append(body, v.b...)
+		}
+	}
+	n := binary.PutUvarint(tmp[:], uint64(len(hdr)))
+	out := make([]byte, 0, n+len(hdr)+len(body))
+	out = append(out, tmp[:n]...)
+	out = append(out, hdr...)
+	out = append(out, body...)
+	return out
+}
+
+func encodeInt(v int64) (uint64, []byte) {
+	switch {
+	case v >= math.MinInt8 && v <= math.MaxInt8:
+		return 1, []byte{byte(v)}
+	case v >= math.MinInt16 && v <= math.MaxInt16:
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], uint16(v))
+		return 2, b[:]
+	case v >= math.MinInt32 && v <= math.MaxInt32:
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(v))
+		return 3, b[:]
+	default:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		return 4, b[:]
+	}
+}
+
+// DecodeRecord parses a record into values.
+func DecodeRecord(data []byte) ([]Value, error) {
+	hdrLen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(n)+hdrLen > uint64(len(data)) {
+		return nil, errBadRecord
+	}
+	hdr := data[n : n+int(hdrLen)]
+	body := data[n+int(hdrLen):]
+	var vals []Value
+	for len(hdr) > 0 {
+		st, m := binary.Uvarint(hdr)
+		if m <= 0 {
+			return nil, errBadRecord
+		}
+		hdr = hdr[m:]
+		switch {
+		case st == 0:
+			vals = append(vals, Null)
+		case st == 1:
+			if len(body) < 1 {
+				return nil, errBadRecord
+			}
+			vals = append(vals, Int(int64(int8(body[0]))))
+			body = body[1:]
+		case st == 2:
+			if len(body) < 2 {
+				return nil, errBadRecord
+			}
+			vals = append(vals, Int(int64(int16(binary.BigEndian.Uint16(body)))))
+			body = body[2:]
+		case st == 3:
+			if len(body) < 4 {
+				return nil, errBadRecord
+			}
+			vals = append(vals, Int(int64(int32(binary.BigEndian.Uint32(body)))))
+			body = body[4:]
+		case st == 4:
+			if len(body) < 8 {
+				return nil, errBadRecord
+			}
+			vals = append(vals, Int(int64(binary.BigEndian.Uint64(body))))
+			body = body[8:]
+		case st == 7:
+			if len(body) < 8 {
+				return nil, errBadRecord
+			}
+			vals = append(vals, Real(math.Float64frombits(binary.BigEndian.Uint64(body))))
+			body = body[8:]
+		case st >= 12 && st%2 == 0:
+			ln := int((st - 12) / 2)
+			if len(body) < ln {
+				return nil, errBadRecord
+			}
+			b := make([]byte, ln)
+			copy(b, body[:ln])
+			vals = append(vals, Blob(b))
+			body = body[ln:]
+		case st >= 13:
+			ln := int((st - 13) / 2)
+			if len(body) < ln {
+				return nil, errBadRecord
+			}
+			vals = append(vals, Text(string(body[:ln])))
+			body = body[ln:]
+		default:
+			return nil, fmt.Errorf("%w: serial type %d", errBadRecord, st)
+		}
+	}
+	return vals, nil
+}
+
+// CompareRecords orders two encoded records column-wise with SQLite
+// value semantics; shorter records order before longer ones when equal
+// on the shared prefix. Used as the index-tree comparator.
+func CompareRecords(a, b []byte) int {
+	av, errA := DecodeRecord(a)
+	bv, errB := DecodeRecord(b)
+	if errA != nil || errB != nil {
+		return compareBytes(a, b) // degraded but total order
+	}
+	n := min(len(av), len(bv))
+	for i := 0; i < n; i++ {
+		if c := Compare(av[i], bv[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(av) < len(bv):
+		return -1
+	case len(av) > len(bv):
+		return 1
+	default:
+		return 0
+	}
+}

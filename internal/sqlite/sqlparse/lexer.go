@@ -1,0 +1,194 @@
+// Package sqlparse provides the SQL lexer, parser and AST for the
+// simulated SQLite engine. The grammar covers the statement shapes the
+// paper's workloads use: CREATE TABLE/INDEX, DROP, INSERT, SELECT with
+// joins/aggregates/ORDER BY/LIMIT, UPDATE, DELETE, BEGIN/COMMIT/
+// ROLLBACK and PRAGMA.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokBlob
+	TokParam  // ?
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords upper-cased; idents as written
+	Pos  int
+}
+
+// Error is a parse error with position context.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "ON": true, "DROP": true, "BEGIN": true,
+	"COMMIT": true, "ROLLBACK": true, "TRANSACTION": true, "PRAGMA": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true, "IN": true,
+	"LIKE": true, "BETWEEN": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "CROSS": true, "GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"DISTINCT": true, "PRIMARY": true, "KEY": true, "UNIQUE": true,
+	"INTEGER": true, "INT": true, "TEXT": true, "REAL": true, "BLOB": true,
+	"IF": true, "EXISTS": true, "DEFAULT": true, "HAVING": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "CAST": true,
+}
+
+// Lex tokenizes a SQL statement.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				return nil, &Error{i, "unterminated comment"}
+			}
+			i += j + 4
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, &Error{start, "unterminated string"}
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c == '"' || c == '`' || c == '[':
+			// Quoted identifier.
+			start := i
+			closer := byte('"')
+			if c == '`' {
+				closer = '`'
+			} else if c == '[' {
+				closer = ']'
+			}
+			i++
+			j := i
+			for j < n && src[j] != closer {
+				j++
+			}
+			if j >= n {
+				return nil, &Error{start, "unterminated quoted identifier"}
+			}
+			toks = append(toks, Token{TokIdent, src[i:j], start})
+			i = j + 1
+		case (c == 'x' || c == 'X') && i+1 < n && src[i+1] == '\'':
+			start := i
+			j := i + 2
+			for j < n && src[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, &Error{start, "unterminated blob literal"}
+			}
+			toks = append(toks, Token{TokBlob, src[i+2 : j], start})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			isFloat := false
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' ||
+				src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && i > start && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				if src[i] == '.' || src[i] == 'e' || src[i] == 'E' {
+					isFloat = true
+				}
+				i++
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{kind, src[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentCont(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case c == '?':
+			toks = append(toks, Token{TokParam, "?", i})
+			i++
+		default:
+			start := i
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "!=", "<>", "||":
+				toks = append(toks, Token{TokSymbol, two, start})
+				i += 2
+			default:
+				switch c {
+				case '(', ')', ',', ';', '*', '+', '-', '/', '%', '=', '<', '>', '.':
+					toks = append(toks, Token{TokSymbol, string(c), start})
+					i++
+				default:
+					return nil, &Error{i, fmt.Sprintf("unexpected character %q", c)}
+				}
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,100 @@
+package sqlparse
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT a, 'str''ing', 1.5e3, x'ff00', ? FROM t -- comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokKeyword, TokIdent, TokSymbol, TokString, TokSymbol,
+		TokFloat, TokSymbol, TokBlob, TokSymbol, TokParam, TokKeyword, TokIdent, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d kind = %v, want %v (%q)", i, got[i], want[i], toks[i].Text)
+		}
+	}
+	if toks[3].Text != "str'ing" {
+		t.Errorf("escaped string = %q", toks[3].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`a <= b >= c != d <> e || f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{}
+	for _, tk := range toks {
+		if tk.Kind == TokSymbol {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<=", ">=", "!=", "<>", "||"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT /* block\ncomment */ 1 -- trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 { // SELECT, 1, EOF
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexQuotedIdentifiers(t *testing.T) {
+	toks, err := Lex("SELECT \"a b\", `c d`, [e f]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, tk := range toks {
+		if tk.Kind == TokIdent {
+			names = append(names, tk.Text)
+		}
+	}
+	if len(names) != 3 || names[0] != "a b" || names[1] != "c d" || names[2] != "e f" {
+		t.Errorf("idents = %v", names)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'open", "/* open", "x'open", "\"open", "@"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexKeywordCase(t *testing.T) {
+	toks, _ := Lex("select FROM WhErE")
+	for _, tk := range toks[:3] {
+		if tk.Kind != TokKeyword {
+			t.Errorf("%q not a keyword", tk.Text)
+		}
+	}
+	if toks[0].Text != "SELECT" || toks[2].Text != "WHERE" {
+		t.Errorf("keywords not upper-cased: %v", toks)
+	}
+}

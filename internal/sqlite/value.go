@@ -1,0 +1,319 @@
+// Package sqlite implements the embedded SQL database engine of the
+// simulation: a SQLite-3.7.10-like library with a pager supporting
+// rollback-journal, write-ahead-log and journaling-off (X-FTL) modes,
+// B+tree tables and indexes, and a SQL front end covering the statement
+// shapes used by the paper's workloads (RL Benchmark, the Android
+// application traces, TPC-C and the synthetic partsupp updates).
+package sqlite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type is a runtime value type, following SQLite's dynamic typing.
+type Type int
+
+// Value types, in SQLite's cross-type sort order.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeReal
+	TypeText
+	TypeBlob
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INTEGER"
+	case TypeReal:
+		return "REAL"
+	case TypeText:
+		return "TEXT"
+	case TypeBlob:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is one dynamically typed SQL value.
+type Value struct {
+	typ Type
+	i   int64
+	f   float64
+	s   string
+	b   []byte
+}
+
+// Null is the SQL NULL value.
+var Null = Value{typ: TypeNull}
+
+// Int makes an INTEGER value.
+func Int(v int64) Value { return Value{typ: TypeInt, i: v} }
+
+// Real makes a REAL value.
+func Real(v float64) Value { return Value{typ: TypeReal, f: v} }
+
+// Text makes a TEXT value.
+func Text(v string) Value { return Value{typ: TypeText, s: v} }
+
+// Blob makes a BLOB value (the bytes are not copied).
+func Blob(v []byte) Value { return Value{typ: TypeBlob, b: v} }
+
+// Bool makes an INTEGER 0/1 value, SQL's boolean representation.
+func Bool(v bool) Value {
+	if v {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// FromGo converts common Go types to a Value.
+func FromGo(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null, nil
+	case int:
+		return Int(int64(x)), nil
+	case int32:
+		return Int(int64(x)), nil
+	case int64:
+		return Int(x), nil
+	case uint32:
+		return Int(int64(x)), nil
+	case float64:
+		return Real(x), nil
+	case float32:
+		return Real(float64(x)), nil
+	case string:
+		return Text(x), nil
+	case []byte:
+		return Blob(x), nil
+	case bool:
+		return Bool(x), nil
+	case Value:
+		return x, nil
+	default:
+		return Null, fmt.Errorf("sqlite: unsupported Go type %T", v)
+	}
+}
+
+// Type reports the value's runtime type.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == TypeNull }
+
+// Int coerces the value to an integer (SQLite numeric affinity rules,
+// simplified).
+func (v Value) Int() int64 {
+	switch v.typ {
+	case TypeInt:
+		return v.i
+	case TypeReal:
+		return int64(v.f)
+	case TypeText:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if ferr != nil {
+				return 0
+			}
+			return int64(f)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Real coerces the value to a float.
+func (v Value) Real() float64 {
+	switch v.typ {
+	case TypeInt:
+		return float64(v.i)
+	case TypeReal:
+		return v.f
+	case TypeText:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// Text coerces the value to a string.
+func (v Value) Text() string {
+	switch v.typ {
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeReal:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeText:
+		return v.s
+	case TypeBlob:
+		return string(v.b)
+	default:
+		return ""
+	}
+}
+
+// Blob returns the value's bytes (TEXT is converted; others are nil).
+func (v Value) Blob() []byte {
+	switch v.typ {
+	case TypeBlob:
+		return v.b
+	case TypeText:
+		return []byte(v.s)
+	default:
+		return nil
+	}
+}
+
+// Truthy implements SQL boolean evaluation: NULL is false, numbers are
+// nonzero, text parses numerically.
+func (v Value) Truthy() bool {
+	switch v.typ {
+	case TypeNull:
+		return false
+	case TypeInt:
+		return v.i != 0
+	case TypeReal:
+		return v.f != 0
+	default:
+		return v.Real() != 0
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeNull:
+		return "NULL"
+	case TypeText:
+		return v.s
+	case TypeBlob:
+		return fmt.Sprintf("x'%x'", v.b)
+	default:
+		return v.Text()
+	}
+}
+
+// Compare orders two values with SQLite semantics: NULL < numbers <
+// text < blob; integers and reals compare numerically across types.
+func Compare(a, b Value) int {
+	ra, rb := rank(a.typ), rank(b.typ)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0: // both NULL
+		return 0
+	case 1: // numeric
+		af, bf := a.Real(), b.Real()
+		if a.typ == TypeInt && b.typ == TypeInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case 2:
+		return strings.Compare(a.s, b.s)
+	default:
+		return compareBytes(a.b, b.b)
+	}
+}
+
+func rank(t Type) int {
+	switch t {
+	case TypeNull:
+		return 0
+	case TypeInt, TypeReal:
+		return 1
+	case TypeText:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// applyAffinity nudges a value toward a column's declared affinity at
+// insert time, mirroring SQLite's type affinity behaviour closely
+// enough for the workloads.
+func applyAffinity(v Value, affinity string) Value {
+	if v.IsNull() {
+		return v
+	}
+	switch affinity {
+	case "INTEGER":
+		if v.typ == TypeText {
+			if n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64); err == nil {
+				return Int(n)
+			}
+		}
+		if v.typ == TypeReal && v.f == float64(int64(v.f)) {
+			return Int(int64(v.f))
+		}
+		return v
+	case "REAL":
+		if v.typ == TypeInt {
+			return Real(float64(v.i))
+		}
+		if v.typ == TypeText {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64); err == nil {
+				return Real(f)
+			}
+		}
+		return v
+	case "TEXT":
+		if v.typ == TypeInt || v.typ == TypeReal {
+			return Text(v.Text())
+		}
+		return v
+	default:
+		return v
+	}
+}

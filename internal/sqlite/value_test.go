@@ -1,0 +1,200 @@
+package sqlite
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		typ  Type
+		i    int64
+		f    float64
+		text string
+	}{
+		{Null, TypeNull, 0, 0, ""},
+		{Int(42), TypeInt, 42, 42, "42"},
+		{Real(2.5), TypeReal, 2, 2.5, "2.5"},
+		{Text("17"), TypeText, 17, 17, "17"},
+		{Text("abc"), TypeText, 0, 0, "abc"},
+		{Blob([]byte{1, 2}), TypeBlob, 0, 0, "\x01\x02"},
+		{Bool(true), TypeInt, 1, 1, "1"},
+		{Bool(false), TypeInt, 0, 0, "0"},
+	}
+	for _, c := range cases {
+		if c.v.Type() != c.typ {
+			t.Errorf("%v type = %v, want %v", c.v, c.v.Type(), c.typ)
+		}
+		if c.v.Int() != c.i {
+			t.Errorf("%v Int = %d, want %d", c.v, c.v.Int(), c.i)
+		}
+		if c.v.Real() != c.f {
+			t.Errorf("%v Real = %f, want %f", c.v, c.v.Real(), c.f)
+		}
+		if c.v.Text() != c.text {
+			t.Errorf("%v Text = %q, want %q", c.v, c.v.Text(), c.text)
+		}
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	good := []any{nil, 1, int32(2), int64(3), uint32(4), 1.5, float32(2.5), "s", []byte{1}, true, Int(9)}
+	for _, g := range good {
+		if _, err := FromGo(g); err != nil {
+			t.Errorf("FromGo(%v): %v", g, err)
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo accepted a struct")
+	}
+}
+
+func TestCompareCrossType(t *testing.T) {
+	// SQLite sort order: NULL < numbers < text < blob.
+	order := []Value{Null, Int(-5), Real(3.14), Int(10), Text("a"), Text("b"), Blob([]byte{0})}
+	for i := 0; i < len(order); i++ {
+		for j := 0; j < len(order); j++ {
+			got := Compare(order[i], order[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if (got < 0) != (want < 0) || (got > 0) != (want > 0) {
+				t.Errorf("Compare(%v, %v) = %d, want sign %d", order[i], order[j], got, want)
+			}
+		}
+	}
+	// Int/Real numeric equality across types.
+	if Compare(Int(3), Real(3.0)) != 0 {
+		t.Error("3 != 3.0")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if Null.Truthy() || Int(0).Truthy() || Real(0).Truthy() || Text("0").Truthy() {
+		t.Error("falsy values reported truthy")
+	}
+	if !Int(1).Truthy() || !Real(0.5).Truthy() || !Text("2").Truthy() {
+		t.Error("truthy values reported falsy")
+	}
+}
+
+func TestApplyAffinity(t *testing.T) {
+	if v := applyAffinity(Text("42"), "INTEGER"); v.Type() != TypeInt || v.Int() != 42 {
+		t.Errorf("TEXT->INTEGER = %v", v)
+	}
+	if v := applyAffinity(Real(3.0), "INTEGER"); v.Type() != TypeInt {
+		t.Errorf("lossless REAL->INTEGER = %v", v)
+	}
+	if v := applyAffinity(Real(3.5), "INTEGER"); v.Type() != TypeReal {
+		t.Errorf("lossy REAL kept = %v", v)
+	}
+	if v := applyAffinity(Int(2), "REAL"); v.Type() != TypeReal {
+		t.Errorf("INT->REAL = %v", v)
+	}
+	if v := applyAffinity(Int(2), "TEXT"); v.Type() != TypeText || v.Text() != "2" {
+		t.Errorf("INT->TEXT = %v", v)
+	}
+	if v := applyAffinity(Null, "INTEGER"); !v.IsNull() {
+		t.Error("affinity converted NULL")
+	}
+	if v := applyAffinity(Text("abc"), "INTEGER"); v.Type() != TypeText {
+		t.Error("non-numeric text coerced")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, Int(0), Int(127), Int(-128), Int(32000), Int(-1 << 40),
+		Int(math.MaxInt64), Real(3.14159), Real(-0.5),
+		Text(""), Text("hello"), Blob(nil), Blob([]byte{0, 255, 1}),
+	}
+	enc := EncodeRecord(vals)
+	got, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if Compare(got[i], vals[i]) != 0 || got[i].Type() != vals[i].Type() {
+			// Blob(nil) decodes as empty blob; treat as equal.
+			if vals[i].Type() == TypeBlob && got[i].Type() == TypeBlob && len(vals[i].Blob()) == 0 {
+				continue
+			}
+			t.Errorf("value %d: got %v (%v), want %v (%v)", i, got[i], got[i].Type(), vals[i], vals[i].Type())
+		}
+	}
+}
+
+func TestDecodeRecordCorrupt(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0xFF},
+		{5, 4}, // header longer than data
+	}
+	for _, b := range bad {
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("DecodeRecord(%v) succeeded", b)
+		}
+	}
+}
+
+// Property: record encoding round-trips arbitrary int/text tuples and
+// CompareRecords orders them like column-wise value comparison.
+func TestPropertyRecordOrdering(t *testing.T) {
+	fn := func(a1, b1 int32, a2, b2 string) bool {
+		ra := EncodeRecord([]Value{Int(int64(a1)), Text(a2)})
+		rb := EncodeRecord([]Value{Int(int64(b1)), Text(b2)})
+		want := Compare(Int(int64(a1)), Int(int64(b1)))
+		if want == 0 {
+			want = Compare(Text(a2), Text(b2))
+		}
+		got := CompareRecords(ra, rb)
+		return (got < 0) == (want < 0) && (got > 0) == (want > 0)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareRecordsPrefix(t *testing.T) {
+	short := EncodeRecord([]Value{Int(5)})
+	long := EncodeRecord([]Value{Int(5), Int(1)})
+	if CompareRecords(short, long) >= 0 {
+		t.Error("prefix should order before extension")
+	}
+	if CompareRecords(long, short) <= 0 {
+		t.Error("extension should order after prefix")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "ABC", true}, // case-insensitive
+		{"a%", "abcdef", true},
+		{"%f", "abcdef", true},
+		{"%cd%", "abcdef", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"%", "", true},
+		{"_", "", false},
+		{"a%z", "az", true},
+		{"a%z", "abz", true},
+		{"a%z", "ab", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}

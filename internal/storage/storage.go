@@ -1,0 +1,276 @@
+// Package storage models the host-visible storage device: the SATA
+// command interface of the OpenSSD board, extended as in §4.2 of the
+// paper with transaction-aware reads and writes plus commit and abort
+// commands (encoded, as on the prototype, by extending the trim
+// command's parameter set).
+//
+// A Device wraps either the baseline FTL or X-FTL and charges the
+// command-level costs the NAND layer cannot see: per-command controller
+// firmware time, bus transfer time for page payloads, and the flat cost
+// of a write barrier (which on OpenSSD persists the mapping table,
+// §6.3.4). Two Profiles reproduce the paper's hardware: the OpenSSD
+// Barefoot board and the Samsung S830 used for Figure 9.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+// ErrNotTransactional is returned when a transactional command is sent
+// to a device running the baseline (non-X) FTL.
+var ErrNotTransactional = errors.New("storage: device does not support transactional commands")
+
+// Profile describes one storage device model.
+type Profile struct {
+	Name string
+	// Nand is the flash geometry and raw cell timing.
+	Nand nand.Config
+	// CmdOverhead is controller firmware time charged per host command.
+	CmdOverhead time.Duration
+	// TransferPerPage is bus time to move one page between host and
+	// device.
+	TransferPerPage time.Duration
+	// BarrierOverhead is the flat extra cost of a write barrier beyond
+	// the mapping-table flush it triggers (cache drain, FUA handling).
+	BarrierOverhead time.Duration
+	// Channels is the internal flash parallelism available to queued
+	// I/O. Single-stream latency is unaffected; multi-threaded
+	// workloads (Figure 9) scale throughput by up to this factor.
+	Channels int
+}
+
+// OpenSSD returns the profile of the paper's prototype platform: the
+// Indilinx Barefoot controller (87.5 MHz ARM) with Samsung K9LCG08U1M
+// MLC NAND (8 KB pages, 128 pages/block) behind SATA 2.0.
+func OpenSSD() Profile {
+	return Profile{
+		Name:            "OpenSSD",
+		Nand:            nand.DefaultConfig(),
+		CmdOverhead:     120 * time.Microsecond,
+		TransferPerPage: 30 * time.Microsecond,
+		BarrierOverhead: 1 * time.Millisecond,
+		Channels:        4,
+	}
+}
+
+// S830 returns the profile of the Samsung S830 (128 GB, MLC) SSD used
+// as the one-generation-newer comparison device in Figure 9: faster
+// controller, SATA 3.0, quicker NAND path and more usable parallelism.
+func S830() Profile {
+	n := nand.DefaultConfig()
+	n.ReadLatency = 90 * time.Microsecond
+	n.ProgLatency = 600 * time.Microsecond
+	n.EraseLatency = 2 * time.Millisecond
+	n.InternalParallelism = 16
+	return Profile{
+		Name:            "S830",
+		Nand:            n,
+		CmdOverhead:     25 * time.Microsecond,
+		TransferPerPage: 15 * time.Microsecond,
+		BarrierOverhead: 300 * time.Microsecond,
+		Channels:        8,
+	}
+}
+
+// Options configures device construction beyond the hardware profile.
+type Options struct {
+	// Transactional selects the X-FTL firmware; otherwise the baseline
+	// page-mapping FTL runs.
+	Transactional bool
+	// FTL overrides the derived FTL configuration (zero value: derive
+	// from the profile with ftl.DefaultConfig).
+	FTL ftl.Config
+	// XFTL overrides the X-FTL configuration when Transactional.
+	XFTL core.Config
+}
+
+// Device is a simulated flash storage device exposing the (extended)
+// SATA command set. It is not safe for concurrent use.
+type Device struct {
+	prof  Profile
+	clock *simclock.Clock
+	flash *metrics.FlashCounters
+	base  *ftl.FTL
+	x     *core.XFTL // nil when running the baseline firmware
+
+	cmds     int64 // host commands processed
+	barriers int64 // barrier-class commands (flush/commit)
+}
+
+// New builds a device from a profile. The clock may be shared across
+// devices and with the host stack; nil allocates a fresh one.
+func New(prof Profile, clock *simclock.Clock, opts Options) (*Device, error) {
+	if clock == nil {
+		clock = simclock.New()
+	}
+	flash := &metrics.FlashCounters{}
+	chip, err := nand.New(prof.Nand, clock, flash)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	fcfg := opts.FTL
+	if fcfg.LogicalPages == 0 {
+		fcfg = ftl.DefaultConfig(prof.Nand)
+	}
+	base, err := ftl.New(chip, fcfg, flash)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	d := &Device{prof: prof, clock: clock, flash: flash, base: base}
+	if opts.Transactional {
+		xcfg := opts.XFTL
+		if xcfg.TableEntries == 0 {
+			xcfg = core.DefaultConfig()
+		}
+		x, err := core.New(base, xcfg, flash)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		d.x = x
+	}
+	return d, nil
+}
+
+// Profile returns the hardware profile the device was built from.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Clock returns the simulated clock the device advances.
+func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// FlashStats returns the device-internal counters (Table 1 FTL-side).
+func (d *Device) FlashStats() *metrics.FlashCounters { return d.flash }
+
+// Transactional reports whether the device runs the X-FTL firmware.
+func (d *Device) Transactional() bool { return d.x != nil }
+
+// XFTL returns the transactional layer, or nil on a baseline device.
+func (d *Device) XFTL() *core.XFTL { return d.x }
+
+// FTL returns the baseline mapping layer (always present).
+func (d *Device) FTL() *ftl.FTL { return d.base }
+
+// PageSize reports the device page size in bytes.
+func (d *Device) PageSize() int { return d.base.PageSize() }
+
+// LogicalPages reports the exported capacity in pages.
+func (d *Device) LogicalPages() int64 { return d.base.LogicalPages() }
+
+// Commands reports how many host commands the device has processed.
+func (d *Device) Commands() int64 { return d.cmds }
+
+// chargeCmd accounts controller time for one host command, with
+// optional payload transfer.
+func (d *Device) chargeCmd(pages int) {
+	d.cmds++
+	d.clock.Advance(d.prof.CmdOverhead + time.Duration(pages)*d.prof.TransferPerPage)
+}
+
+// Read services a plain read command for the last committed version.
+func (d *Device) Read(lpn int64, buf []byte) error {
+	d.chargeCmd(1)
+	if d.x != nil {
+		return d.x.Read(ftl.LPN(lpn), buf)
+	}
+	return d.base.Read(ftl.LPN(lpn), buf)
+}
+
+// Write services a plain (non-transactional) write command.
+func (d *Device) Write(lpn int64, data []byte) error {
+	d.chargeCmd(1)
+	if d.x != nil {
+		return d.x.Write(ftl.LPN(lpn), data)
+	}
+	return d.base.Write(ftl.LPN(lpn), data)
+}
+
+// Trim discards a logical page.
+func (d *Device) Trim(lpn int64) error {
+	d.chargeCmd(0)
+	if d.x != nil {
+		return d.x.Trim(ftl.LPN(lpn))
+	}
+	return d.base.Unmap(ftl.LPN(lpn))
+}
+
+// Barrier services a write-barrier / flush-cache command: the mapping
+// table becomes durable. On OpenSSD this is the expensive operation
+// behind every fsync (§6.3.4).
+func (d *Device) Barrier() error {
+	d.chargeCmd(0)
+	d.barriers++
+	d.clock.Advance(d.prof.BarrierOverhead)
+	if d.x != nil {
+		return d.x.Barrier()
+	}
+	return d.base.Barrier()
+}
+
+// ReadTx services read(t,p): the transaction sees its own uncommitted
+// version if it has one.
+func (d *Device) ReadTx(tid uint64, lpn int64, buf []byte) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	d.chargeCmd(1)
+	return d.x.ReadTx(core.TxID(tid), ftl.LPN(lpn), buf)
+}
+
+// WriteTx services write(t,p): a copy-on-write page update recorded in
+// the X-L2P table under the transaction id.
+func (d *Device) WriteTx(tid uint64, lpn int64, data []byte) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	d.chargeCmd(1)
+	return d.x.WriteTx(core.TxID(tid), ftl.LPN(lpn), data)
+}
+
+// Commit services commit(t). It doubles as the write barrier for the
+// transaction's fsync ("X-FTL invokes a commit command once as part of
+// a fsync system call, which plays the same role as a write barrier").
+func (d *Device) Commit(tid uint64) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	d.chargeCmd(0)
+	d.barriers++
+	d.clock.Advance(d.prof.BarrierOverhead)
+	return d.x.Commit(core.TxID(tid))
+}
+
+// Abort services abort(t): the transaction's new versions are
+// abandoned inside the device.
+func (d *Device) Abort(tid uint64) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	d.chargeCmd(0)
+	return d.x.Abort(core.TxID(tid))
+}
+
+// PowerCut simulates pulling the plug: volatile controller state is
+// lost. Subsequent commands fail until Restart.
+func (d *Device) PowerCut() {
+	if d.x != nil {
+		d.x.PowerCut()
+		return
+	}
+	d.base.PowerCut()
+}
+
+// Restart powers the device back on and runs firmware recovery,
+// charging its cost on the simulated clock.
+func (d *Device) Restart() error {
+	if d.x != nil {
+		return d.x.Restart()
+	}
+	return d.base.Restart()
+}

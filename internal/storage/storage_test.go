@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// smallProfile shrinks the device so tests stay fast.
+func smallProfile() Profile {
+	p := OpenSSD()
+	p.Nand.Blocks = 32
+	p.Nand.PagesPerBlock = 16
+	p.Nand.PageSize = 512
+	return p
+}
+
+func newDev(t *testing.T, transactional bool) *Device {
+	t.Helper()
+	d, err := New(smallProfile(), simclock.New(), Options{Transactional: transactional})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func devPage(d *Device, fill byte) []byte {
+	b := make([]byte, d.PageSize())
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	o, s := OpenSSD(), S830()
+	if o.Name == s.Name {
+		t.Error("profiles share a name")
+	}
+	if s.CmdOverhead >= o.CmdOverhead {
+		t.Error("S830 should have a faster controller than OpenSSD")
+	}
+	if s.Nand.ProgLatency >= o.Nand.ProgLatency {
+		t.Error("S830 should have a faster program path")
+	}
+	if s.Channels <= o.Channels {
+		t.Error("S830 should expose more parallelism")
+	}
+}
+
+func TestBaselineReadWrite(t *testing.T) {
+	d := newDev(t, false)
+	if d.Transactional() {
+		t.Fatal("baseline device claims to be transactional")
+	}
+	if err := d.Write(5, devPage(d, 0x33)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, d.PageSize())
+	if err := d.Read(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x33 {
+		t.Errorf("read = %x, want 0x33", buf[0])
+	}
+}
+
+func TestBaselineRejectsTransactionalCommands(t *testing.T) {
+	d := newDev(t, false)
+	buf := make([]byte, d.PageSize())
+	if err := d.WriteTx(1, 0, devPage(d, 1)); !errors.Is(err, ErrNotTransactional) {
+		t.Errorf("WriteTx = %v, want ErrNotTransactional", err)
+	}
+	if err := d.ReadTx(1, 0, buf); !errors.Is(err, ErrNotTransactional) {
+		t.Errorf("ReadTx = %v, want ErrNotTransactional", err)
+	}
+	if err := d.Commit(1); !errors.Is(err, ErrNotTransactional) {
+		t.Errorf("Commit = %v, want ErrNotTransactional", err)
+	}
+	if err := d.Abort(1); !errors.Is(err, ErrNotTransactional) {
+		t.Errorf("Abort = %v, want ErrNotTransactional", err)
+	}
+}
+
+func TestTransactionalLifecycle(t *testing.T) {
+	d := newDev(t, true)
+	if err := d.WriteTx(7, 3, devPage(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, d.PageSize())
+	if err := d.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("uncommitted write visible to plain read")
+	}
+	if err := d.Commit(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Error("committed write not visible")
+	}
+}
+
+func TestCommandLatencyCharged(t *testing.T) {
+	clk := simclock.New()
+	d, err := New(smallProfile(), clk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Profile()
+	before := clk.Now()
+	if err := d.Write(0, devPage(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now() - before
+	want := p.CmdOverhead + p.TransferPerPage + p.Nand.ProgLatency
+	if elapsed != want {
+		t.Errorf("write cost %v, want %v", elapsed, want)
+	}
+	before = clk.Now()
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now() - before; got < p.BarrierOverhead {
+		t.Errorf("barrier cost %v, want >= %v", got, p.BarrierOverhead)
+	}
+}
+
+func TestBarrierDurability(t *testing.T) {
+	d := newDev(t, false)
+	if err := d.Write(9, devPage(d, 0x44)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerCut()
+	if err := d.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, d.PageSize())
+	if err := d.Read(9, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x44 {
+		t.Errorf("post-restart read = %x, want 0x44", buf[0])
+	}
+}
+
+func TestTransactionalCrashAtomicity(t *testing.T) {
+	d := newDev(t, true)
+	for l := int64(0); l < 3; l++ {
+		if err := d.WriteTx(1, l, devPage(d, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.PowerCut()
+	if err := d.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, d.PageSize())
+	for l := int64(0); l < 3; l++ {
+		if err := d.Read(l, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0 {
+			t.Errorf("page %d shows uncommitted data after crash", l)
+		}
+	}
+}
+
+func TestTrim(t *testing.T) {
+	d := newDev(t, true)
+	if err := d.Write(2, devPage(d, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trim(2); err != nil {
+		t.Fatal(err)
+	}
+	buf := devPage(d, 0xFF)
+	if err := d.Read(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("trimmed page still returns data")
+	}
+}
+
+func TestCommandCounting(t *testing.T) {
+	d := newDev(t, false)
+	n0 := d.Commands()
+	_ = d.Write(0, devPage(d, 1))
+	_ = d.Read(0, make([]byte, d.PageSize()))
+	_ = d.Barrier()
+	if got := d.Commands() - n0; got != 3 {
+		t.Errorf("commands = %d, want 3", got)
+	}
+}
+
+func TestS830IsFasterEndToEnd(t *testing.T) {
+	run := func(p Profile) time.Duration {
+		p.Nand.Blocks = 32
+		p.Nand.PagesPerBlock = 16
+		p.Nand.PageSize = 512
+		clk := simclock.New()
+		d, err := New(p, clk, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, d.PageSize())
+		for i := int64(0); i < 50; i++ {
+			if err := d.Write(i, data); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 == 0 {
+				if err := d.Barrier(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return clk.Now()
+	}
+	if open, s830 := run(OpenSSD()), run(S830()); s830 >= open {
+		t.Errorf("S830 (%v) should beat OpenSSD (%v) on the same workload", s830, open)
+	}
+}

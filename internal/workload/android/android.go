@@ -1,0 +1,306 @@
+// Package android generates SQLite statement streams that statistically
+// match the four smartphone application traces of the paper's Table 2:
+// RL Benchmark, Gmail, Facebook and the Android web browser. The real
+// traces were captured from instrumented applications; this package is
+// the closest synthetic equivalent (see DESIGN.md substitution #5): a
+// seeded generator that reproduces each trace's file count, table
+// count, statement-class mix, payload shapes (e.g. Facebook thumbnail
+// blobs) and transaction sizes.
+package android
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Counts is the statement-class census of one trace (Table 2).
+type Counts struct {
+	Files   int
+	Tables  int
+	Selects int
+	Joins   int
+	Inserts int
+	Updates int
+	Deletes int
+	DDL     int
+	// AvgUpdatedPages is the paper's measured average number of pages
+	// updated per transaction, used to pick batching granularity.
+	AvgUpdatedPages float64
+}
+
+// Op is one SQL statement against one database file of the trace.
+type Op struct {
+	DB   int // database file index (0-based)
+	SQL  string
+	Args []any
+}
+
+// Txn is a group of operations committed atomically. Single-op
+// transactions model autocommit statements.
+type Txn struct {
+	DB  int
+	Ops []Op
+}
+
+// Trace is a generated workload.
+type Trace struct {
+	Name   string
+	Counts Counts
+	Schema []Op  // DDL to run once per database before replay
+	Txns   []Txn // the transaction stream
+}
+
+// Paper Table 2 censuses.
+var (
+	rlCounts       = Counts{Files: 1, Tables: 3, Selects: 5200, Joins: 0, Inserts: 51002, Updates: 26000, Deletes: 2, DDL: 30, AvgUpdatedPages: 3.31}
+	gmailCounts    = Counts{Files: 2, Tables: 31, Selects: 3540, Joins: 1381, Inserts: 7288, Updates: 889, Deletes: 2357, DDL: 78, AvgUpdatedPages: 4.93}
+	facebookCounts = Counts{Files: 11, Tables: 72, Selects: 1687, Joins: 28, Inserts: 2403, Updates: 430, Deletes: 117, DDL: 259, AvgUpdatedPages: 2.29}
+	browserCounts  = Counts{Files: 6, Tables: 26, Selects: 1954, Joins: 1351, Inserts: 1261, Updates: 1813, Deletes: 1373, DDL: 177, AvgUpdatedPages: 2.95}
+)
+
+// profile captures the per-trace payload and batching shape.
+type profile struct {
+	name        string
+	counts      Counts
+	insertBatch int // inserts grouped per transaction
+	updateBatch int
+	deleteBatch int
+	payloadMin  int // bytes of text payload per inserted row
+	payloadMax  int
+	blobEvery   int // every n-th insert carries a blob (0 = never)
+	blobMin     int
+	blobMax     int
+}
+
+var profiles = []profile{
+	{
+		// RL Benchmark: 13 statement shapes on a single 3-column table;
+		// bulk inserts and updates dominate (§6.3.2).
+		name: "RLBenchmark", counts: rlCounts,
+		insertBatch: 25, updateBatch: 12, deleteBatch: 1,
+		payloadMin: 30, payloadMax: 80,
+	},
+	{
+		// Gmail: message store; large text bodies, many inserts and
+		// deletes, read-write ratio about 3:7.
+		name: "Gmail", counts: gmailCounts,
+		insertBatch: 4, updateBatch: 2, deleteBatch: 4,
+		payloadMin: 400, payloadMax: 2000,
+	},
+	{
+		// Facebook: news feed rows plus small thumbnail images stored
+		// as blobs, pushing updated pages per transaction up.
+		name: "Facebook", counts: facebookCounts,
+		insertBatch: 2, updateBatch: 1, deleteBatch: 1,
+		payloadMin: 100, payloadMax: 400,
+		blobEvery: 3, blobMin: 2000, blobMax: 6000,
+	},
+	{
+		// Browser: history/cookie churn with URL-sized rows and many
+		// join queries over history x visits.
+		name: "WebBrowser", counts: browserCounts,
+		insertBatch: 2, updateBatch: 2, deleteBatch: 2,
+		payloadMin: 60, payloadMax: 160,
+	},
+}
+
+// Names lists the four traces in paper order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.name
+	}
+	return out
+}
+
+// CountsFor returns the Table 2 census of a trace.
+func CountsFor(name string) (Counts, bool) {
+	for _, p := range profiles {
+		if strings.EqualFold(p.name, name) {
+			return p.counts, true
+		}
+	}
+	return Counts{}, false
+}
+
+// Generate builds a trace. Scale in (0, 1] shrinks every statement
+// count proportionally (scale 1 reproduces the full Table 2 census);
+// the same seed always yields the same stream.
+func Generate(name string, scale float64, seed int64) (*Trace, error) {
+	var prof *profile
+	for i := range profiles {
+		if strings.EqualFold(profiles[i].name, name) {
+			prof = &profiles[i]
+			break
+		}
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("android: unknown trace %q", name)
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("android: scale %f outside (0, 1]", scale)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := prof.counts
+	scaled := Counts{
+		Files:           c.Files,
+		Tables:          maxi(1, int(float64(c.Tables)*scale)),
+		Selects:         int(float64(c.Selects) * scale),
+		Joins:           int(float64(c.Joins) * scale),
+		Inserts:         int(float64(c.Inserts) * scale),
+		Updates:         int(float64(c.Updates) * scale),
+		Deletes:         int(float64(c.Deletes) * scale),
+		DDL:             maxi(c.Tables, int(float64(c.DDL)*scale)),
+		AvgUpdatedPages: c.AvgUpdatedPages,
+	}
+	tr := &Trace{Name: prof.name, Counts: scaled}
+
+	// Schema: tables spread round-robin across the files, plus indexes
+	// on the hot lookup column; together these consume the DDL budget.
+	nTables := scaled.Tables
+	ddlLeft := scaled.DDL
+	for t := 0; t < nTables; t++ {
+		db := t % c.Files
+		tbl := tableName(t)
+		tr.Schema = append(tr.Schema, Op{DB: db, SQL: fmt.Sprintf(
+			`CREATE TABLE %s (id INTEGER PRIMARY KEY, k INTEGER, ref INTEGER, data TEXT, payload BLOB)`, tbl)})
+		ddlLeft--
+		if ddlLeft > 0 && t < nTables/2 {
+			tr.Schema = append(tr.Schema, Op{DB: db, SQL: fmt.Sprintf(
+				`CREATE INDEX idx_%s_k ON %s (k)`, tbl, tbl)})
+			ddlLeft--
+		}
+	}
+
+	// Most traffic targets a few hot tables, like fb.db and
+	// browser2.db dominate in the paper's traces.
+	hotTable := func() int {
+		if rng.Float64() < 0.7 {
+			return rng.Intn(maxi(1, nTables/4))
+		}
+		return rng.Intn(nTables)
+	}
+
+	nextID := make([]int, nTables)
+	payload := func() string {
+		n := prof.payloadMin
+		if prof.payloadMax > prof.payloadMin {
+			n += rng.Intn(prof.payloadMax - prof.payloadMin)
+		}
+		return strings.Repeat("x", n)
+	}
+	blob := func() []byte {
+		n := prof.blobMin + rng.Intn(maxi(1, prof.blobMax-prof.blobMin))
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+
+	// Build the transaction multiset, then shuffle for realism.
+	var txns []Txn
+	ins, upd, del, sel, joins := scaled.Inserts, scaled.Updates, scaled.Deletes, scaled.Selects, scaled.Joins
+	insCount := 0
+	for ins > 0 {
+		t := hotTable()
+		db := t % c.Files
+		n := mini(prof.insertBatch, ins)
+		txn := Txn{DB: db}
+		for i := 0; i < n; i++ {
+			nextID[t]++
+			insCount++
+			var b any
+			if prof.blobEvery > 0 && insCount%prof.blobEvery == 0 {
+				b = blob()
+			}
+			txn.Ops = append(txn.Ops, Op{DB: db,
+				SQL:  fmt.Sprintf(`INSERT INTO %s (id, k, ref, data, payload) VALUES (?, ?, ?, ?, ?)`, tableName(t)),
+				Args: []any{nextID[t], rng.Intn(1000), rng.Intn(maxi(1, nextID[t])), payload(), b}})
+		}
+		ins -= n
+		txns = append(txns, txn)
+	}
+	for upd > 0 {
+		t := hotTable()
+		db := t % c.Files
+		n := mini(prof.updateBatch, upd)
+		txn := Txn{DB: db}
+		for i := 0; i < n; i++ {
+			txn.Ops = append(txn.Ops, Op{DB: db,
+				SQL:  fmt.Sprintf(`UPDATE %s SET data = ?, k = ? WHERE id = ?`, tableName(t)),
+				Args: []any{payload(), rng.Intn(1000), rng.Intn(maxi(1, nextID[t])) + 1}})
+		}
+		upd -= n
+		txns = append(txns, txn)
+	}
+	for del > 0 {
+		t := hotTable()
+		db := t % c.Files
+		n := mini(prof.deleteBatch, del)
+		txn := Txn{DB: db}
+		for i := 0; i < n; i++ {
+			txn.Ops = append(txn.Ops, Op{DB: db,
+				SQL:  fmt.Sprintf(`DELETE FROM %s WHERE id = ?`, tableName(t)),
+				Args: []any{rng.Intn(maxi(1, nextID[t])) + 1}})
+		}
+		del -= n
+		txns = append(txns, txn)
+	}
+	for sel > 0 {
+		t := hotTable()
+		db := t % c.Files
+		txn := Txn{DB: db, Ops: []Op{{DB: db,
+			SQL:  fmt.Sprintf(`SELECT id, data FROM %s WHERE k = ? LIMIT 20`, tableName(t)),
+			Args: []any{rng.Intn(1000)}}}}
+		sel--
+		txns = append(txns, txn)
+	}
+	for joins > 0 {
+		// Join two tables living in the same file (a self-join when the
+		// trace has only one table per file).
+		t := hotTable()
+		t2 := t
+		if t+c.Files < nTables {
+			t2 = t + c.Files
+		}
+		db := t % c.Files
+		txn := Txn{DB: db, Ops: []Op{{DB: db,
+			SQL: fmt.Sprintf(`SELECT a.id, b.id FROM %s a JOIN %s b ON a.ref = b.id WHERE a.k = ? LIMIT 20`,
+				tableName(t), tableName(t2)),
+			Args: []any{rng.Intn(1000)}}}}
+		joins--
+		txns = append(txns, txn)
+	}
+	rng.Shuffle(len(txns), func(i, j int) { txns[i], txns[j] = txns[j], txns[i] })
+
+	// Interleave reads early so update targets exist: move a slice of
+	// insert transactions to the front.
+	var front, rest []Txn
+	moved := 0
+	for _, txn := range txns {
+		if moved < len(txns)/5 && len(txn.Ops) > 0 && strings.HasPrefix(txn.Ops[0].SQL, "INSERT") {
+			front = append(front, txn)
+			moved++
+		} else {
+			rest = append(rest, txn)
+		}
+	}
+	tr.Txns = append(front, rest...)
+	return tr, nil
+}
+
+func tableName(t int) string { return fmt.Sprintf("t%02d", t) }
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package android
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesAndCounts(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	// Spot-check the Table 2 census values.
+	rl, ok := CountsFor("RLBenchmark")
+	if !ok || rl.Inserts != 51002 || rl.Updates != 26000 || rl.Tables != 3 {
+		t.Errorf("RL census = %+v", rl)
+	}
+	gm, _ := CountsFor("Gmail")
+	if gm.Files != 2 || gm.Joins != 1381 || gm.Deletes != 2357 {
+		t.Errorf("Gmail census = %+v", gm)
+	}
+	fb, _ := CountsFor("Facebook")
+	if fb.Files != 11 || fb.Tables != 72 {
+		t.Errorf("Facebook census = %+v", fb)
+	}
+	br, _ := CountsFor("WebBrowser")
+	if br.Files != 6 || br.Updates != 1813 {
+		t.Errorf("Browser census = %+v", br)
+	}
+	if _, ok := CountsFor("nope"); ok {
+		t.Error("unknown trace found")
+	}
+}
+
+func TestGenerateStatementCensus(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(name, 0.1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ins, upd, del, sel, join int
+			for _, txn := range tr.Txns {
+				for _, op := range txn.Ops {
+					switch {
+					case strings.HasPrefix(op.SQL, "INSERT"):
+						ins++
+					case strings.HasPrefix(op.SQL, "UPDATE"):
+						upd++
+					case strings.HasPrefix(op.SQL, "DELETE"):
+						del++
+					case strings.Contains(op.SQL, "JOIN"):
+						join++
+					case strings.HasPrefix(op.SQL, "SELECT"):
+						sel++
+					}
+				}
+			}
+			c := tr.Counts
+			if ins != c.Inserts || upd != c.Updates || del != c.Deletes || sel != c.Selects || join != c.Joins {
+				t.Errorf("generated ins=%d upd=%d del=%d sel=%d join=%d, census %+v",
+					ins, upd, del, sel, join, c)
+			}
+		})
+	}
+}
+
+func TestGenerateOneDBPerTxn(t *testing.T) {
+	tr, err := Generate("Facebook", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, txn := range tr.Txns {
+		for _, op := range txn.Ops {
+			if op.DB != txn.DB {
+				t.Fatalf("txn %d spans databases %d and %d", i, txn.DB, op.DB)
+			}
+			if op.DB < 0 || op.DB >= tr.Counts.Files {
+				t.Fatalf("op db %d outside %d files", op.DB, tr.Counts.Files)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("Gmail", 0.05, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("Gmail", 0.05, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Txns) != len(b.Txns) {
+		t.Fatalf("txn counts differ: %d vs %d", len(a.Txns), len(b.Txns))
+	}
+	for i := range a.Txns {
+		if len(a.Txns[i].Ops) != len(b.Txns[i].Ops) {
+			t.Fatalf("txn %d sizes differ", i)
+		}
+		for j := range a.Txns[i].Ops {
+			if a.Txns[i].Ops[j].SQL != b.Txns[i].Ops[j].SQL {
+				t.Fatalf("txn %d op %d SQL differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateValidations(t *testing.T) {
+	if _, err := Generate("nope", 1, 1); err == nil {
+		t.Error("unknown trace accepted")
+	}
+	if _, err := Generate("Gmail", 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Generate("Gmail", 1.5, 1); err == nil {
+		t.Error("overscale accepted")
+	}
+}
+
+func TestFacebookCarriesBlobs(t *testing.T) {
+	tr, err := Generate("Facebook", 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := 0
+	for _, txn := range tr.Txns {
+		for _, op := range txn.Ops {
+			if len(op.Args) == 5 {
+				if b, ok := op.Args[4].([]byte); ok && len(b) >= 2000 {
+					blobs++
+				}
+			}
+		}
+	}
+	if blobs == 0 {
+		t.Error("no thumbnail blobs generated for Facebook")
+	}
+}

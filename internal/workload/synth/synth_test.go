@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/simfs"
+	"repro/internal/sqlite"
+	"repro/internal/sqlite/pager"
+	"repro/internal/storage"
+)
+
+func smallDB(t *testing.T, mode pager.JournalMode) *sqlite.DB {
+	t.Helper()
+	prof := storage.OpenSSD()
+	prof.Nand.Blocks = 512
+	prof.Nand.PagesPerBlock = 32
+	prof.Nand.PageSize = 2048
+	transactional := mode == pager.Off
+	fsMode := simfs.Ordered
+	if transactional {
+		fsMode = simfs.OffXFTL
+	}
+	dev, err := storage.New(prof, simclock.New(), storage.Options{Transactional: transactional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := simfs.New(dev, simfs.Config{Mode: fsMode}, &metrics.HostCounters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sqlite.Open(fsys, "synth.db", sqlite.Config{JournalMode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func smallConfig() Config {
+	return Config{Tuples: 500, TupleBytes: 220, UpdatesPerTxn: 5, Transactions: 40, Seed: 3}
+}
+
+func TestLoadAndRun(t *testing.T) {
+	for _, mode := range []pager.JournalMode{pager.Rollback, pager.WAL, pager.Off} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db := smallDB(t, mode)
+			defer db.Close()
+			cfg := smallConfig()
+			if err := Load(db, cfg); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			row, ok, err := db.QueryRow(`SELECT COUNT(*) FROM partsupp`)
+			if err != nil || !ok || row[0].Int() != int64(cfg.Tuples) {
+				t.Fatalf("count = %v, %v", row, err)
+			}
+			st, err := Run(db, cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if st.Committed != cfg.Transactions {
+				t.Errorf("committed = %d, want %d", st.Committed, cfg.Transactions)
+			}
+			if st.TuplesUpdated != cfg.Transactions*cfg.UpdatesPerTxn {
+				t.Errorf("updated = %d", st.TuplesUpdated)
+			}
+		})
+	}
+}
+
+func TestTupleSize(t *testing.T) {
+	db := smallDB(t, pager.Off)
+	defer db.Close()
+	cfg := smallConfig()
+	if err := Load(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	row, _, err := db.QueryRow(`SELECT LENGTH(ps_comment) FROM partsupp WHERE ps_partkey = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row[0].Int(); got != 200 {
+		t.Errorf("comment bytes = %d, want 200 (tuple ~220 B)", got)
+	}
+}
+
+func TestAborts(t *testing.T) {
+	db := smallDB(t, pager.Off)
+	defer db.Close()
+	cfg := smallConfig()
+	cfg.AbortEvery = 4
+	if err := Load(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted != int(cfg.Transactions/4) {
+		t.Errorf("aborted = %d, want %d", st.Aborted, cfg.Transactions/4)
+	}
+	if st.Committed+st.Aborted != cfg.Transactions {
+		t.Errorf("committed+aborted = %d", st.Committed+st.Aborted)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		db := smallDB(t, pager.WAL)
+		defer db.Close()
+		cfg := smallConfig()
+		if err := Load(db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		row, _, err := db.QueryRow(`SELECT SUM(ps_supplycost) FROM partsupp`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(row[0].Real() * 100)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs diverged: %d vs %d", a, b)
+	}
+}

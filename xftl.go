@@ -1,0 +1,186 @@
+package xftl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/simfs"
+	"repro/internal/sqlite"
+	"repro/internal/sqlite/pager"
+	"repro/internal/storage"
+)
+
+// Mode is one of the paper's three system configurations (§6.1).
+type Mode int
+
+const (
+	// ModeRollback runs SQLite in rollback-journal mode on ext4
+	// (ordered journaling) over the baseline FTL — "RBJ" in the paper.
+	ModeRollback Mode = iota
+	// ModeWAL runs SQLite in write-ahead-log mode on ext4 (ordered
+	// journaling) over the baseline FTL — "WAL".
+	ModeWAL
+	// ModeXFTL runs SQLite with journaling off and the file system in
+	// X-FTL passthrough mode over the transactional FTL — "X-FTL".
+	ModeXFTL
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRollback:
+		return "RBJ"
+	case ModeWAL:
+		return "WAL"
+	case ModeXFTL:
+		return "X-FTL"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Re-exported building blocks for users who want to assemble their own
+// stack or instrument individual layers.
+type (
+	// Profile describes a storage device model.
+	Profile = storage.Profile
+	// Device is the simulated flash device with the extended commands.
+	Device = storage.Device
+	// FS is the simulated journaling file system.
+	FS = simfs.FS
+	// File is an open simulated file.
+	File = simfs.File
+	// DB is the embedded SQL database engine.
+	DB = sqlite.DB
+	// Rows is a materialized query result.
+	Rows = sqlite.Rows
+	// Value is one dynamically typed SQL value.
+	Value = sqlite.Value
+	// Clock is the simulated time base.
+	Clock = simclock.Clock
+	// HostCounters are the host-side I/O counters (Table 1, left).
+	HostCounters = metrics.HostCounters
+	// FlashCounters are the device-side counters (Table 1, right).
+	FlashCounters = metrics.FlashCounters
+)
+
+// OpenSSD returns the profile of the paper's prototype board.
+func OpenSSD() Profile { return storage.OpenSSD() }
+
+// S830 returns the profile of the newer comparison SSD (Figure 9).
+func S830() Profile { return storage.S830() }
+
+// Stack is a fully assembled system: device, file system, counters and
+// clock, configured for one of the paper's modes.
+type Stack struct {
+	Mode   Mode
+	Clock  *simclock.Clock
+	Device *storage.Device
+	FS     *simfs.FS
+	Host   *metrics.HostCounters
+
+	dbConfig sqlite.Config
+}
+
+// StackOptions tunes stack construction.
+type StackOptions struct {
+	// CacheSize overrides the SQLite page-cache size (pages).
+	CacheSize int
+	// CheckpointPages overrides the WAL auto-checkpoint threshold.
+	CheckpointPages int64
+	// FTLLogicalPages overrides the exported device capacity, which is
+	// the aging/GC-pressure knob of the Figure 5/6 experiments.
+	FTLLogicalPages int64
+}
+
+// NewStack builds the device and file system for a mode on the given
+// hardware profile.
+func NewStack(prof Profile, mode Mode) (*Stack, error) {
+	return NewStackOptions(prof, mode, StackOptions{})
+}
+
+// NewStackOptions is NewStack with tuning knobs.
+func NewStackOptions(prof Profile, mode Mode, opts StackOptions) (*Stack, error) {
+	devOpts := storage.Options{Transactional: mode == ModeXFTL}
+	if opts.FTLLogicalPages > 0 {
+		devOpts.FTL.LogicalPages = opts.FTLLogicalPages
+		devOpts.FTL.MetaBlocks = 4
+		devOpts.FTL.GCLowWater = 3
+	}
+	return NewStackDevice(prof, mode, devOpts, opts)
+}
+
+// NewStackDevice is the fully explicit constructor: device options
+// (FTL and X-FTL configuration) are passed straight through. Used by
+// ablation studies that vary firmware policies.
+func NewStackDevice(prof Profile, mode Mode, devOpts storage.Options, opts StackOptions) (*Stack, error) {
+	clock := simclock.New()
+	devOpts.Transactional = mode == ModeXFTL
+	dev, err := storage.New(prof, clock, devOpts)
+	if err != nil {
+		return nil, err
+	}
+	host := &metrics.HostCounters{}
+	fsMode := simfs.Ordered
+	if mode == ModeXFTL {
+		fsMode = simfs.OffXFTL
+	}
+	fsys, err := simfs.New(dev, simfs.Config{Mode: fsMode}, host)
+	if err != nil {
+		return nil, err
+	}
+	jm := pager.Rollback
+	switch mode {
+	case ModeWAL:
+		jm = pager.WAL
+	case ModeXFTL:
+		jm = pager.Off
+	}
+	return &Stack{
+		Mode:   mode,
+		Clock:  clock,
+		Device: dev,
+		FS:     fsys,
+		Host:   host,
+		dbConfig: sqlite.Config{
+			JournalMode:     jm,
+			CacheSize:       opts.CacheSize,
+			CheckpointPages: opts.CheckpointPages,
+		},
+	}, nil
+}
+
+// OpenDB opens (or creates) a database on the stack's file system with
+// the journal mode the stack was built for.
+func (s *Stack) OpenDB(name string) (*sqlite.DB, error) {
+	return sqlite.Open(s.FS, name, s.dbConfig)
+}
+
+// OpenDBWithCache is OpenDB with an explicit page-cache size, used by
+// experiments that need the steal path exercised aggressively.
+func (s *Stack) OpenDBWithCache(name string, cacheSize int) (*sqlite.DB, error) {
+	cfg := s.dbConfig
+	cfg.CacheSize = cacheSize
+	return sqlite.Open(s.FS, name, cfg)
+}
+
+// Elapsed reports total simulated time since the stack was created.
+func (s *Stack) Elapsed() time.Duration { return s.Clock.Now() }
+
+// PowerCut simulates a power failure of the whole stack.
+func (s *Stack) PowerCut() { s.FS.PowerCut() }
+
+// Remount recovers the stack after a power cut (device firmware
+// recovery plus file-system journal replay). Databases must be
+// re-opened afterwards, which runs SQLite-level recovery.
+func (s *Stack) Remount() error { return s.FS.Remount() }
+
+// FlashStats returns the device-internal counters.
+func (s *Stack) FlashStats() *metrics.FlashCounters { return s.Device.FlashStats() }
+
+// CommitAtomic commits open transactions on several databases (on the
+// same X-FTL stack) as one atomic unit — the multi-file transaction of
+// the paper's §4.3, which SQLite's rollback mode needs a master journal
+// to approximate and X-FTL provides through one shared transaction id.
+func CommitAtomic(dbs ...*sqlite.DB) error { return sqlite.CommitAtomic(dbs...) }
