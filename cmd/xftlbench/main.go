@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	xftlbench [-quick] [-quiet] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}
+//	xftlbench [-quick] [-quiet] [-faults N] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}
+//	xftlbench [-quick] -torture
 //
 // -quick shrinks workloads for a fast smoke run; the published numbers
-// in EXPERIMENTS.md come from full runs (no -quick).
+// in EXPERIMENTS.md come from full runs (no -quick). -faults N runs the
+// chosen experiment on faulty flash (the wear-correlated NAND fault
+// model scaled by N; 1 = realistic MLC rates). -torture skips the paper
+// experiments and runs the crash/fault torture harness: a device-level
+// sweep of seeds x cut points x fault rates plus full-SQL runs in all
+// three journal modes, each checking committed-durable /
+// uncommitted-discarded after every recovery.
 package main
 
 import (
@@ -15,22 +22,38 @@ import (
 	"fmt"
 	"os"
 
+	xftl "repro"
 	"repro/internal/bench"
+	"repro/internal/torture"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads (smoke mode)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	faults := flag.Float64("faults", 0, "NAND fault-model scale (0 = ideal flash, 1 = realistic MLC rates)")
+	tortureMode := flag.Bool("torture", false, "run the crash/fault torture harness instead of an experiment")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}\n")
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}\n")
+		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -torture\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *tortureMode {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runTorture(*quick, *faults); err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -torture: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: *quick, FaultScale: *faults}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[xftlbench] "+format+"\n", args...)
@@ -169,6 +192,49 @@ func run(what string, opts bench.Options) error {
 	}
 	if !did {
 		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}
+
+// runTorture runs the device-level acceptance sweep (seeds x cut
+// cadences x fault scales), then the full-stack SQL torture in every
+// journal mode. A non-zero faults value replaces the sweep's fault
+// column and the SQL runs' default scale.
+func runTorture(quick bool, faults float64) error {
+	sw := torture.DefaultSweep()
+	sw.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[torture] "+format+"\n", args...)
+	}
+	if quick {
+		sw.Seeds = sw.Seeds[:2]
+	}
+	if faults > 0 {
+		sw.FaultScale = []float64{0, faults}
+	}
+	rep, err := torture.Sweep(sw)
+	if err != nil {
+		return fmt.Errorf("device sweep: %w", err)
+	}
+	fmt.Printf("device sweep: %s\n", rep)
+
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if quick {
+		seeds = seeds[:2]
+	}
+	for _, mode := range []xftl.Mode{xftl.ModeRollback, xftl.ModeWAL, xftl.ModeXFTL} {
+		agg := &torture.Report{}
+		for _, seed := range seeds {
+			o := torture.DefaultSQLOptions(mode, seed)
+			if faults > 0 {
+				o.FaultScale = faults
+			}
+			r, err := torture.RunSQL(o)
+			if err != nil {
+				return fmt.Errorf("sql %s seed %d: %w", mode, seed, err)
+			}
+			agg.Add(r)
+		}
+		fmt.Printf("sql %-5s: %s\n", mode, agg)
 	}
 	return nil
 }

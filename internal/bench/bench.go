@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/nand"
 	"repro/internal/simfs"
 	"repro/internal/storage"
 )
@@ -33,6 +34,13 @@ func AllModes() []Mode { return []Mode{RBJ, WAL, XFTL} }
 // tests and smoke runs); the xftlbench tool runs with Quick=false.
 type Options struct {
 	Quick bool
+	// FaultScale, when non-zero, runs the experiment on faulty flash:
+	// the default wear-correlated NAND fault model scaled by this
+	// factor (1 = realistic MLC rates). Program failures then exercise
+	// bad-block retirement and ECC correction during the measurement,
+	// so throughput reflects read-retry and retirement overheads. Set
+	// from xftlbench's -faults flag.
+	FaultScale float64
 	// Out receives progress lines; nil silences them.
 	Progress func(format string, args ...any)
 }
@@ -43,10 +51,33 @@ func (o Options) progress(format string, args ...any) {
 	}
 }
 
+// fault returns the experiment's NAND fault model, nil for ideal flash.
+func (o Options) fault() *nand.FaultModel {
+	if o.FaultScale <= 0 {
+		return nil
+	}
+	return nand.DefaultFaultModel(1).Scale(o.FaultScale)
+}
+
+// spares returns the bad-block reserve for the experiment: zero (the
+// derived default) on ideal flash, ~6% of the device when faults are
+// injected, so steady retirement over a full-length run does not
+// exhaust the GC pool.
+func (o Options) spares(prof storage.Profile) int {
+	if o.FaultScale <= 0 {
+		return 0
+	}
+	return prof.Nand.Blocks / 16
+}
+
 // newStack builds a stack whose FTL exports enough logical space for
 // the aging fill plus the experiment's database.
-func newStack(mode Mode) (*xftl.Stack, error) {
-	return xftl.NewStack(storage.OpenSSD(), mode)
+func newStack(mode Mode, opts Options) (*xftl.Stack, error) {
+	prof := storage.OpenSSD()
+	return xftl.NewStackOptions(prof, mode, xftl.StackOptions{
+		Fault:          opts.fault(),
+		FTLSpareBlocks: opts.spares(prof),
+	})
 }
 
 // reservePages is the logical space the experiments keep free for
@@ -61,16 +92,25 @@ const reservePages = 8192
 // "controlled aging of the flash memory chips" (§6.3.1). The
 // utilization values were calibrated by measurement (see
 // CalibrateValidity).
-func stackForValidity(mode Mode, validity float64) (*xftl.Stack, error) {
+func stackForValidity(mode Mode, validity float64, opts Options) (*xftl.Stack, error) {
 	prof := storage.OpenSSD()
 	dataPages := int64(prof.Nand.Blocks-4) * int64(prof.Nand.PagesPerBlock)
 	util := utilizationFor(validity)
 	logical := int64(float64(dataPages)*util) + reservePages
 	maxLogical := int64(float64(dataPages) * 0.97)
+	spare := opts.spares(prof)
+	if hard := int64(prof.Nand.Blocks-4-3-1-spare) * int64(prof.Nand.PagesPerBlock); hard < maxLogical {
+		// The spare reserve comes out of over-provisioning headroom.
+		maxLogical = hard
+	}
 	if logical > maxLogical {
 		logical = maxLogical
 	}
-	return xftl.NewStackOptions(prof, mode, xftl.StackOptions{FTLLogicalPages: logical})
+	return xftl.NewStackOptions(prof, mode, xftl.StackOptions{
+		FTLLogicalPages: logical,
+		Fault:           opts.fault(),
+		FTLSpareBlocks:  spare,
+	})
 }
 
 // AgeDevice fills a fraction of the device's logical space with a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/simfs"
@@ -35,9 +36,13 @@ func (m FSMode) String() string {
 }
 
 // newFSStack assembles device + file system for one FIO configuration.
-func newFSStack(prof storage.Profile, mode FSMode) (*simfs.FS, error) {
+func newFSStack(prof storage.Profile, mode FSMode, opts Options) (*simfs.FS, error) {
 	clock := simclock.New()
-	dev, err := storage.New(prof, clock, storage.Options{Transactional: mode == FSXFTL})
+	dev, err := storage.New(prof, clock, storage.Options{
+		Transactional: mode == FSXFTL,
+		Fault:         opts.fault(),
+		FTL:           ftl.Config{SpareBlocks: opts.spares(prof)},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +68,7 @@ type FioPoint struct {
 // RunFioPoint measures one configuration.
 func RunFioPoint(prof storage.Profile, mode FSMode, fsyncEvery, threads int, opts Options) (FioPoint, error) {
 	pt := FioPoint{Profile: prof.Name, FSMode: mode, FsyncEvery: fsyncEvery, Threads: threads}
-	fsys, err := newFSStack(prof, mode)
+	fsys, err := newFSStack(prof, mode, opts)
 	if err != nil {
 		return pt, err
 	}

@@ -33,7 +33,7 @@ func RunTable5(opts Options) (map[Mode]RecoveryRun, error) {
 	}
 	for _, mode := range AllModes() {
 		opts.progress("table5: mode %s", mode)
-		st, err := newStack(mode)
+		st, err := newStack(mode, opts)
 		if err != nil {
 			return nil, err
 		}

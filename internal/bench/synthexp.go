@@ -26,7 +26,7 @@ type SynthRun struct {
 // measurement window (load and aging excluded, as in the paper).
 func RunSynth(mode Mode, validity float64, updates, txns int, opts Options) (SynthRun, error) {
 	res := SynthRun{Mode: mode, TargetValidity: validity, UpdatesPerTxn: updates, Transactions: txns}
-	st, err := stackForValidity(mode, validity)
+	st, err := stackForValidity(mode, validity, opts)
 	if err != nil {
 		return res, err
 	}

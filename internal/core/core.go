@@ -292,6 +292,13 @@ func (x *XFTL) Commit(tid TxID) error {
 		e.status = StatusCommitted
 	}
 	if err := x.flushImage(); err != nil {
+		// The durable commit point was not reached (program failure or
+		// power cut mid-image): flip the entries back so the transaction
+		// is still active — matching what recovery would conclude from
+		// the old flash-resident image.
+		for _, e := range entries {
+			e.status = StatusActive
+		}
 		return err
 	}
 	for _, e := range entries {

@@ -15,6 +15,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/metrics"
@@ -60,6 +61,12 @@ type Config struct {
 	// negative value stores only the dirty map groups (an idealized
 	// incremental firmware, used as an ablation).
 	BarrierMapPages int
+	// SpareBlocks is the bad-block replacement reserve: capacity
+	// validation keeps this many data blocks out of the exported-space
+	// budget so block retirements do not eat into the GC headroom.
+	// Zero models a device with no spare budget (retirements then
+	// consume overprovisioning directly).
+	SpareBlocks int
 }
 
 // DefaultConfig sizes the FTL for the default chip: 75% of the data
@@ -68,11 +75,13 @@ type Config struct {
 // GC-pressure experiments control utilization explicitly).
 func DefaultConfig(chip nand.Config) Config {
 	meta := 4
+	spare := max(2, chip.Blocks/128)
 	dataBlocks := chip.Blocks - meta
 	return Config{
-		LogicalPages: int64(dataBlocks) * int64(chip.PagesPerBlock) * 3 / 4,
+		LogicalPages: int64(dataBlocks-spare) * int64(chip.PagesPerBlock) * 3 / 4,
 		MetaBlocks:   meta,
 		GCLowWater:   3,
+		SpareBlocks:  spare,
 	}
 }
 
@@ -111,6 +120,14 @@ type FTL struct {
 	metaSlots  map[string][]nand.PPN // slot name -> current page chain
 	groupSlots map[int64]nand.PPN    // map group -> current ppn
 
+	// Bad-block management: blocks retired after program/erase status
+	// fails (persisted via the "bbt" meta slot) and the current
+	// membership of the metadata ring (blocks drafted from the data
+	// pool replace failed ring blocks, so ring membership is dynamic).
+	bad         map[nand.BlockNum]bool
+	metaSet     map[nand.BlockNum]bool
+	retireDepth int // guards cascading retirements
+
 	hook  Hook
 	stats *metrics.FlashCounters
 	inGC  bool // guards against re-entrant collection from relocate
@@ -132,11 +149,14 @@ func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error
 	if cfg.GCLowWater < 1 {
 		return nil, errors.New("ftl: GCLowWater must be at least 1")
 	}
+	if cfg.SpareBlocks < 0 {
+		return nil, errors.New("ftl: SpareBlocks must be non-negative")
+	}
 	dataBlocks := chipCfg.Blocks - cfg.MetaBlocks
-	if dataBlocks < cfg.GCLowWater+2 {
+	if dataBlocks < cfg.GCLowWater+2+cfg.SpareBlocks {
 		return nil, errors.New("ftl: too few data blocks for GC to operate")
 	}
-	maxLogical := int64(dataBlocks-cfg.GCLowWater-1) * int64(chipCfg.PagesPerBlock)
+	maxLogical := int64(dataBlocks-cfg.GCLowWater-1-cfg.SpareBlocks) * int64(chipCfg.PagesPerBlock)
 	if cfg.LogicalPages <= 0 || cfg.LogicalPages > maxLogical {
 		return nil, fmt.Errorf("ftl: LogicalPages %d outside (0, %d]", cfg.LogicalPages, maxLogical)
 	}
@@ -149,6 +169,8 @@ func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error
 		dirtyGroup: make(map[int64]struct{}),
 		metaSlots:  make(map[string][]nand.PPN),
 		groupSlots: make(map[int64]nand.PPN),
+		bad:        make(map[nand.BlockNum]bool),
+		metaSet:    make(map[nand.BlockNum]bool, cfg.MetaBlocks),
 		stats:      stats,
 	}
 	for i := range f.l2p {
@@ -165,6 +187,7 @@ func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error
 	}
 	for b := dataBlocks; b < chipCfg.Blocks; b++ {
 		f.metaBlocks = append(f.metaBlocks, nand.BlockNum(b))
+		f.metaSet[nand.BlockNum(b)] = true
 	}
 	return f, nil
 }
@@ -249,16 +272,114 @@ func (f *FTL) WriteRaw(lpn LPN, data []byte) (nand.PPN, error) {
 	if err := f.checkLPN(lpn); err != nil {
 		return nand.InvalidPPN, err
 	}
-	ppn, err := f.allocPage()
+	ppn, err := f.programData(data, false)
 	if err != nil {
-		return nand.InvalidPPN, err
-	}
-	if err := f.program(ppn, data); err != nil {
 		return nand.InvalidPPN, err
 	}
 	f.rmap[ppn] = lpn
 	return ppn, nil
 }
+
+// maxProgramRetries bounds how many fresh pages one logical program
+// tries after ErrProgramFail before giving up.
+const maxProgramRetries = 5
+
+// maxRetireDepth bounds cascading retirements: a retirement whose own
+// evacuation or table writes hit further failing blocks.
+const maxRetireDepth = 3
+
+// programData allocates a frontier page and programs data into it. On a
+// program status fail it retires the failing block to the bad-block
+// table and retries on a fresh page, exactly the remap-and-retire
+// firmware response to NAND program failures. internal selects the GC
+// datapath (no host-transfer charge).
+func (f *FTL) programData(data []byte, internal bool) (nand.PPN, error) {
+	for attempt := 0; ; attempt++ {
+		ppn, err := f.allocPage()
+		if err != nil {
+			return nand.InvalidPPN, err
+		}
+		if internal {
+			err = f.chip.ProgramPageInternal(ppn, data)
+		} else {
+			err = f.program(ppn, data)
+		}
+		if err == nil {
+			return ppn, nil
+		}
+		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramRetries {
+			return nand.InvalidPPN, err
+		}
+		if rerr := f.retireDataBlock(f.chip.BlockOf(ppn)); rerr != nil {
+			return nand.InvalidPPN, rerr
+		}
+	}
+}
+
+// retireDataBlock takes a failing data block out of circulation: the
+// allocator, victim picker and frontier never touch it again, its
+// still-live pages (programmed before the failure; they stay readable)
+// are evacuated to fresh locations, and the bad-block table is
+// persisted. The failed page itself was already consumed by the chip.
+func (f *FTL) retireDataBlock(blk nand.BlockNum) error {
+	if f.bad[blk] {
+		return nil
+	}
+	if f.retireDepth >= maxRetireDepth {
+		return fmt.Errorf("ftl: cascading block failures while retiring block %d: %w", blk, nand.ErrProgramFail)
+	}
+	f.retireDepth++
+	defer func() { f.retireDepth-- }()
+	f.bad[blk] = true
+	if f.haveCur && f.cur == blk {
+		f.haveCur = false // abandon the frontier; its free pages are lost
+	}
+	f.removeFreeBlock(blk)
+	buf := make([]byte, f.PageSize())
+	ppb := f.chip.Config().PagesPerBlock
+	for pi := 0; pi < ppb; pi++ {
+		ppn := f.chip.PPNOf(blk, pi)
+		if st, _ := f.chip.State(ppn); st != nand.PageValid {
+			continue
+		}
+		if !f.isLive(ppn) {
+			f.rmap[ppn] = -1
+			_ = f.chip.Invalidate(ppn)
+			continue
+		}
+		if err := f.relocate(ppn, buf); err != nil {
+			return err
+		}
+	}
+	if f.stats != nil {
+		f.stats.RetiredBlocks.Add(1)
+	}
+	return f.persistBBT()
+}
+
+// persistBBT stores the bad-block table next to the mapping image (one
+// meta page). It is written immediately at every retirement — on a real
+// device a lost BBT means re-programming known-bad blocks after reboot
+// — and reloaded (one charged read) during Restart.
+func (f *FTL) persistBBT() error {
+	return f.WriteMetaSlot("bbt", 1)
+}
+
+// removeFreeBlock drops blk from the free pool if present.
+func (f *FTL) removeFreeBlock(blk nand.BlockNum) {
+	for i, fb := range f.freeBlocks {
+		if fb == blk {
+			f.freeBlocks = append(f.freeBlocks[:i], f.freeBlocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// BadBlockCount reports how many blocks the FTL has retired.
+func (f *FTL) BadBlockCount() int { return len(f.bad) }
+
+// IsBad reports whether a block has been retired to the bad-block table.
+func (f *FTL) IsBad(blk nand.BlockNum) bool { return f.bad[blk] }
 
 // program pads short data to a full page and programs it.
 func (f *FTL) program(ppn nand.PPN, data []byte) error {
@@ -360,6 +481,10 @@ func (f *FTL) allocPage() (nand.PPN, error) {
 		// frontier is still exhausted.
 		if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
 			if len(f.freeBlocks) == 0 {
+				if bad := len(f.bad); bad > f.cfg.SpareBlocks {
+					return nand.InvalidPPN, fmt.Errorf("%w: %d blocks retired, spare reserve of %d exhausted (device worn out)",
+						ErrDeviceFull, bad, f.cfg.SpareBlocks)
+				}
 				return nand.InvalidPPN, ErrDeviceFull
 			}
 			f.cur = f.freeBlocks[0]
@@ -428,9 +553,8 @@ func (f *FTL) collectOnce() error {
 			}
 		}
 	}
-	for g := range staleGroups {
-		f.syncGroup(g)
-		if err := f.flushMapGroup(g); err != nil {
+	for _, g := range sortedGroups(staleGroups) {
+		if err := f.persistGroup(g); err != nil {
 			return err
 		}
 	}
@@ -459,10 +583,31 @@ func (f *FTL) collectOnce() error {
 		}
 	}
 	if err := f.chip.EraseBlock(victim); err != nil {
+		if errors.Is(err, nand.ErrEraseFail) {
+			// The victim would not erase: retire it to the bad-block
+			// table instead of returning it to the free pool. Its pages
+			// are all invalid by now, so nothing needs evacuation.
+			f.bad[victim] = true
+			if f.stats != nil {
+				f.stats.RetiredBlocks.Add(1)
+			}
+			return f.persistBBT()
+		}
 		return err
 	}
 	f.freeBlocks = append(f.freeBlocks, victim)
 	return nil
+}
+
+// sortedGroups returns the keys of a group set in ascending order, so
+// flush sequences (and therefore fault injection) are deterministic.
+func sortedGroups(m map[int64]struct{}) []int64 {
+	gs := make([]int64, 0, len(m))
+	for g := range m {
+		gs = append(gs, g)
+	}
+	slices.Sort(gs)
+	return gs
 }
 
 // pickVictim chooses the greedy GC victim among fully written data
@@ -478,6 +623,9 @@ func (f *FTL) pickVictim() nand.BlockNum {
 		blk := nand.BlockNum(b)
 		if f.haveCur && blk == f.cur {
 			continue
+		}
+		if f.bad[blk] || f.metaSet[blk] {
+			continue // retired, or drafted into the metadata ring
 		}
 		freePages, _ := f.chip.FreePages(blk)
 		if freePages > 0 {
@@ -523,11 +671,8 @@ func (f *FTL) relocate(old nand.PPN, buf []byte) error {
 	if err := f.chip.ReadPageInternal(old, buf); err != nil {
 		return err
 	}
-	dst, err := f.allocPage()
+	dst, err := f.programData(buf, true)
 	if err != nil {
-		return err
-	}
-	if err := f.chip.ProgramPageInternal(dst, buf); err != nil {
 		return err
 	}
 	lpn := f.rmap[old]
@@ -539,15 +684,13 @@ func (f *FTL) relocate(old nand.PPN, buf []byte) error {
 			f.dirtyGroup[f.group(lpn)] = struct{}{}
 		}
 		if f.persisted[lpn] == old {
-			f.persisted[lpn] = dst
 			// The flash-resident map image must cover the new location
-			// before the victim block is erased. The group image is
-			// about to be rewritten, so reconcile the whole group first
-			// — otherwise its other entries' deferred invalidations
-			// would be dropped when the dirty flag clears, leaking
-			// zombie pages that GC can never reclaim.
-			f.syncGroup(f.group(lpn))
-			if err := f.flushMapGroup(f.group(lpn)); err != nil {
+			// before the victim block is erased. persistGroup programs
+			// the fresh group image first and then reconciles the whole
+			// group — so the other entries' deferred invalidations are
+			// not dropped when the dirty flag clears, and an
+			// interrupted flush leaves the previous image current.
+			if err := f.persistGroup(f.group(lpn)); err != nil {
 				return err
 			}
 		}
@@ -610,13 +753,20 @@ func (f *FTL) Barrier() error {
 	if len(f.dirtyGroup) == 0 {
 		return nil
 	}
-	dirty := len(f.dirtyGroup)
-	for g := range f.dirtyGroup {
+	dirty := sortedGroups(f.dirtyGroup)
+	// Program the new full-table image first (copy-on-write store); the
+	// in-memory shadow of the flash image flips only after the store
+	// succeeded, so a power cut or program failure mid-barrier leaves
+	// the previous image — and its shadow — both current.
+	if err := f.WriteMetaSlot("l2pmap", f.barrierStorePages(len(dirty))); err != nil {
+		return err
+	}
+	for _, g := range dirty {
 		f.syncGroup(g)
-		delete(f.groupSlots, g) // superseded by the full store below
+		delete(f.groupSlots, g) // superseded by the full store
 	}
 	clear(f.dirtyGroup)
-	return f.WriteMetaSlot("l2pmap", f.barrierStorePages(dirty))
+	return nil
 }
 
 // FlushDirtyGroups persists only the map groups dirtied since the last
@@ -626,24 +776,26 @@ func (f *FTL) Barrier() error {
 // already makes the transaction durable.
 func (f *FTL) FlushDirtyGroups() (int, error) {
 	n := 0
-	for g := range f.dirtyGroup {
-		f.syncGroup(g)
-		if err := f.flushMapGroup(g); err != nil {
+	for _, g := range sortedGroups(f.dirtyGroup) {
+		if err := f.persistGroup(g); err != nil {
 			return n, err
 		}
 		n++
 	}
-	clear(f.dirtyGroup)
 	return n, nil
 }
 
-// flushMapGroup programs one mapping-table page image into the metadata
-// region and updates the group's slot pointer.
-func (f *FTL) flushMapGroup(g int64) error {
+// persistGroup makes one map group durable: the new group image is
+// programmed first, and only then is the in-memory shadow reconciled
+// and the group pointer flipped — modeling the atomic pointer flip of a
+// copy-on-write firmware, so a power cut or program failure mid-flush
+// leaves the previous group image current.
+func (f *FTL) persistGroup(g int64) error {
 	ppn, err := f.metaProgram()
 	if err != nil {
 		return err
 	}
+	f.syncGroup(g)
 	if old, ok := f.groupSlots[g]; ok {
 		_ = f.chip.Invalidate(old)
 	}
@@ -689,51 +841,59 @@ func (f *FTL) MetaSlotPages(name string) bool {
 // not content-addressed in the simulation: only their count and cost
 // matter, so a synthesized page image is programmed.
 func (f *FTL) metaProgram() (nand.PPN, error) {
-	if f.metaPage >= f.chip.Config().PagesPerBlock {
-		next := (f.metaCur + 1) % len(f.metaBlocks)
-		// recycleMetaBlock repositions the ring frontier (metaCur,
-		// metaPage) and re-homes any still-current resident pages.
-		if err := f.recycleMetaBlock(next); err != nil {
+	for attempt := 0; ; attempt++ {
+		if f.metaPage >= f.chip.Config().PagesPerBlock {
+			next := (f.metaCur + 1) % len(f.metaBlocks)
+			// recycleMetaBlock repositions the ring frontier (metaCur,
+			// metaPage) and re-homes any still-current resident pages.
+			if err := f.recycleMetaBlock(next); err != nil {
+				return nand.InvalidPPN, err
+			}
+		}
+		blk := f.metaBlocks[f.metaCur]
+		ppn := f.chip.PPNOf(blk, f.metaPage)
+		f.metaPage++
+		page := make([]byte, f.PageSize())
+		err := f.chip.ProgramPageInternal(ppn, page)
+		if err == nil {
+			return ppn, nil
+		}
+		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramRetries {
 			return nand.InvalidPPN, err
 		}
+		if rerr := f.retireCurrentMetaBlock(); rerr != nil {
+			return nand.InvalidPPN, rerr
+		}
 	}
-	blk := f.metaBlocks[f.metaCur]
-	ppn := f.chip.PPNOf(blk, f.metaPage)
-	f.metaPage++
-	page := make([]byte, f.PageSize())
-	if err := f.chip.ProgramPageInternal(ppn, page); err != nil {
-		return nand.InvalidPPN, err
-	}
-	return ppn, nil
 }
 
-// recycleMetaBlock prepares the next ring block for reuse, relocating
-// any still-current slot or map-group pages that live in it.
-func (f *FTL) recycleMetaBlock(idx int) error {
-	blk := f.metaBlocks[idx]
-	// Relocate current residents to the block after this one is erased:
-	// simplest is to re-flush them through the frontier after erase, so
-	// first collect who lives here.
-	var groups []int64
+// metaResidents reports which map groups and slot chains currently have
+// pages inside blk, in deterministic (sorted) order.
+func (f *FTL) metaResidents(blk nand.BlockNum) (groups []int64, slots []string, slotPages map[string]int) {
 	for g, ppn := range f.groupSlots {
 		if f.chip.BlockOf(ppn) == blk {
 			groups = append(groups, g)
 		}
 	}
-	var slots []string
-	slotPages := map[string]int{}
+	slices.Sort(groups)
+	slotPages = map[string]int{}
 	for s, chain := range f.metaSlots {
-		here := false
 		for _, ppn := range chain {
 			if f.chip.BlockOf(ppn) == blk {
-				here = true
+				slots = append(slots, s)
+				slotPages[s] = len(chain)
+				break
 			}
 		}
-		if here {
-			slots = append(slots, s)
-			slotPages[s] = len(chain)
-		}
 	}
+	slices.Sort(slots)
+	return groups, slots, slotPages
+}
+
+// evictResidents drops the in-block pages of the given residents so the
+// block can be erased (or abandoned): group pointers are removed and
+// chain pages inside blk invalidated. rehomeResidents re-programs them.
+func (f *FTL) evictResidents(blk nand.BlockNum, groups []int64, slots []string) {
 	for _, g := range groups {
 		_ = f.chip.Invalidate(f.groupSlots[g])
 		delete(f.groupSlots, g)
@@ -745,21 +905,13 @@ func (f *FTL) recycleMetaBlock(idx int) error {
 			}
 		}
 	}
-	ppb := f.chip.Config().PagesPerBlock
-	for pi := 0; pi < ppb; pi++ {
-		ppn := f.chip.PPNOf(blk, pi)
-		if st, _ := f.chip.State(ppn); st == nand.PageValid {
-			_ = f.chip.Invalidate(ppn)
-		}
-	}
-	if err := f.chip.EraseBlock(blk); err != nil {
-		return err
-	}
-	// Re-program evicted residents into other ring blocks via the
-	// normal path (metaCur/metaPage point into the erased block after
-	// the caller updates them; program there directly).
-	f.metaCur = idx
-	f.metaPage = 0
+}
+
+// rehomeResidents re-programs evicted map groups and slot chains
+// through the (repositioned) meta frontier. Chain pages that lived
+// outside the evicted block are invalidated as part of the copy-on-
+// write rewrite.
+func (f *FTL) rehomeResidents(evicted nand.BlockNum, groups []int64, slots []string, slotPages map[string]int) error {
 	for _, g := range groups {
 		ppn, err := f.metaProgram()
 		if err != nil {
@@ -768,8 +920,6 @@ func (f *FTL) recycleMetaBlock(idx int) error {
 		f.groupSlots[g] = ppn
 	}
 	for _, s := range slots {
-		// Re-home the whole chain: pages outside the recycled block are
-		// invalidated by WriteMetaSlot's copy-on-write replacement.
 		old := f.metaSlots[s]
 		chain := make([]nand.PPN, 0, slotPages[s])
 		for i := 0; i < slotPages[s]; i++ {
@@ -780,13 +930,84 @@ func (f *FTL) recycleMetaBlock(idx int) error {
 			chain = append(chain, ppn)
 		}
 		for _, ppn := range old {
-			if f.chip.BlockOf(ppn) != blk {
+			if f.chip.BlockOf(ppn) != evicted {
 				_ = f.chip.Invalidate(ppn)
 			}
 		}
 		f.metaSlots[s] = chain
 	}
 	return nil
+}
+
+// recycleMetaBlock prepares the next ring block for reuse, relocating
+// any still-current slot or map-group pages that live in it. A block
+// that refuses to erase is retired and replaced by a block drafted from
+// the data free pool.
+func (f *FTL) recycleMetaBlock(idx int) error {
+	blk := f.metaBlocks[idx]
+	groups, slots, slotPages := f.metaResidents(blk)
+	f.evictResidents(blk, groups, slots)
+	ppb := f.chip.Config().PagesPerBlock
+	for pi := 0; pi < ppb; pi++ {
+		ppn := f.chip.PPNOf(blk, pi)
+		if st, _ := f.chip.State(ppn); st == nand.PageValid {
+			_ = f.chip.Invalidate(ppn)
+		}
+	}
+	switch err := f.chip.EraseBlock(blk); {
+	case err == nil:
+		f.metaCur = idx
+		f.metaPage = 0
+	case errors.Is(err, nand.ErrEraseFail):
+		if serr := f.substituteMetaBlock(idx); serr != nil {
+			return serr
+		}
+	default:
+		return err
+	}
+	return f.rehomeResidents(blk, groups, slots, slotPages)
+}
+
+// retireCurrentMetaBlock handles a program failure in the metadata
+// ring: the current ring block is retired, a replacement is drafted
+// from the data free pool, and resident meta pages are re-homed into
+// it.
+func (f *FTL) retireCurrentMetaBlock() error {
+	idx := f.metaCur
+	blk := f.metaBlocks[idx]
+	groups, slots, slotPages := f.metaResidents(blk)
+	f.evictResidents(blk, groups, slots)
+	if err := f.substituteMetaBlock(idx); err != nil {
+		return err
+	}
+	return f.rehomeResidents(blk, groups, slots, slotPages)
+}
+
+// substituteMetaBlock retires the ring block at idx, installs a fresh
+// block drafted from the data free pool in its place, and makes it the
+// ring frontier. The bad-block table is persisted immediately.
+func (f *FTL) substituteMetaBlock(idx int) error {
+	blk := f.metaBlocks[idx]
+	if f.retireDepth >= maxRetireDepth {
+		return fmt.Errorf("ftl: cascading failures while retiring meta block %d: %w", blk, nand.ErrProgramFail)
+	}
+	f.retireDepth++
+	defer func() { f.retireDepth-- }()
+	if len(f.freeBlocks) == 0 {
+		return fmt.Errorf("%w: no spare block to replace failed meta block %d", ErrDeviceFull, blk)
+	}
+	f.bad[blk] = true
+	delete(f.metaSet, blk)
+	nb := f.freeBlocks[0]
+	f.freeBlocks = f.freeBlocks[1:]
+	f.metaBlocks[idx] = nb
+	f.metaSet[nb] = true
+	f.metaCur = idx
+	f.metaPage = 0
+	if f.stats != nil {
+		f.stats.RetiredBlocks.Add(1)
+	}
+	return f.persistBBT()
 }
 
 // PowerCut simulates sudden power loss: all volatile mapping state is
@@ -806,8 +1027,8 @@ func (f *FTL) Restart() error {
 	}
 	f.powerFailed = false
 	// Charge reads for reloading the mapping image (the full-table
-	// store plus any incremental group pages).
-	nMapPages := len(f.metaSlots["l2pmap"]) + len(f.groupSlots)
+	// store plus any incremental group pages) and the bad-block table.
+	nMapPages := len(f.metaSlots["l2pmap"]) + len(f.metaSlots["bbt"]) + len(f.groupSlots)
 	for i := 0; i < nMapPages; i++ {
 		f.chip.Clock().Advance(f.chip.Config().ReadLatency / f.chip.Config().InternalParallelismDiv())
 		if f.stats != nil {
@@ -829,7 +1050,7 @@ func (f *FTL) Restart() error {
 	dataBlocks := chipCfg.Blocks - f.cfg.MetaBlocks
 	for b := 0; b < dataBlocks; b++ {
 		blk := nand.BlockNum(b)
-		if f.isFree(blk) {
+		if f.isFree(blk) || f.bad[blk] || f.metaSet[blk] {
 			continue
 		}
 		for pi := 0; pi < chipCfg.PagesPerBlock; pi++ {
@@ -872,6 +1093,10 @@ func (f *FTL) DebugCounts() map[string]int {
 	chipCfg := f.chip.Config()
 	dataBlocks := chipCfg.Blocks - f.cfg.MetaBlocks
 	for b := 0; b < dataBlocks; b++ {
+		if f.bad[nand.BlockNum(b)] || f.metaSet[nand.BlockNum(b)] {
+			out["blk-bad-or-donated"]++
+			continue
+		}
 		freeP, _ := f.chip.FreePages(nand.BlockNum(b))
 		validP, _ := f.chip.ValidPages(nand.BlockNum(b))
 		switch {

@@ -77,13 +77,22 @@ func (s HostSnapshot) String() string {
 }
 
 // FlashCounters accumulates activity inside the flash device, matching
-// the "FTL-side" columns of Table 1. Writes and Reads include pages
-// copied internally by garbage collection and mapping-table flushes.
+// the "FTL-side" columns of Table 1, plus the reliability counters of
+// the fault-injection layer (ECC corrections, read retries, media
+// failures, bad-block retirements).
 type FlashCounters struct {
 	PageWrites  atomic.Int64 // flash page programs, including GC copies and map flushes
 	PageReads   atomic.Int64 // flash page reads, including GC copy-out reads
 	GCRuns      atomic.Int64 // garbage-collection invocations (per victim block)
 	BlockErases atomic.Int64 // block erases (GC victims plus metadata blocks)
+
+	// Reliability counters (zero on an ideal device).
+	CorrectedBits      atomic.Int64 // bit errors corrected by ECC across all reads
+	ReadRetries        atomic.Int64 // read-retry rounds charged near the ECC threshold
+	UncorrectableReads atomic.Int64 // reads whose error count exceeded the ECC capability
+	ProgramFails       atomic.Int64 // page programs that reported status fail
+	EraseFails         atomic.Int64 // block erases that reported status fail
+	RetiredBlocks      atomic.Int64 // blocks retired to the bad-block table
 }
 
 // Reset zeroes every counter.
@@ -92,15 +101,27 @@ func (f *FlashCounters) Reset() {
 	f.PageReads.Store(0)
 	f.GCRuns.Store(0)
 	f.BlockErases.Store(0)
+	f.CorrectedBits.Store(0)
+	f.ReadRetries.Store(0)
+	f.UncorrectableReads.Store(0)
+	f.ProgramFails.Store(0)
+	f.EraseFails.Store(0)
+	f.RetiredBlocks.Store(0)
 }
 
 // Snapshot returns a plain-struct copy of the current values.
 func (f *FlashCounters) Snapshot() FlashSnapshot {
 	return FlashSnapshot{
-		PageWrites:  f.PageWrites.Load(),
-		PageReads:   f.PageReads.Load(),
-		GCRuns:      f.GCRuns.Load(),
-		BlockErases: f.BlockErases.Load(),
+		PageWrites:         f.PageWrites.Load(),
+		PageReads:          f.PageReads.Load(),
+		GCRuns:             f.GCRuns.Load(),
+		BlockErases:        f.BlockErases.Load(),
+		CorrectedBits:      f.CorrectedBits.Load(),
+		ReadRetries:        f.ReadRetries.Load(),
+		UncorrectableReads: f.UncorrectableReads.Load(),
+		ProgramFails:       f.ProgramFails.Load(),
+		EraseFails:         f.EraseFails.Load(),
+		RetiredBlocks:      f.RetiredBlocks.Load(),
 	}
 }
 
@@ -110,19 +131,37 @@ type FlashSnapshot struct {
 	PageReads   int64
 	GCRuns      int64
 	BlockErases int64
+
+	CorrectedBits      int64
+	ReadRetries        int64
+	UncorrectableReads int64
+	ProgramFails       int64
+	EraseFails         int64
+	RetiredBlocks      int64
 }
 
 // Sub returns the element-wise difference s - o.
 func (s FlashSnapshot) Sub(o FlashSnapshot) FlashSnapshot {
 	return FlashSnapshot{
-		PageWrites:  s.PageWrites - o.PageWrites,
-		PageReads:   s.PageReads - o.PageReads,
-		GCRuns:      s.GCRuns - o.GCRuns,
-		BlockErases: s.BlockErases - o.BlockErases,
+		PageWrites:         s.PageWrites - o.PageWrites,
+		PageReads:          s.PageReads - o.PageReads,
+		GCRuns:             s.GCRuns - o.GCRuns,
+		BlockErases:        s.BlockErases - o.BlockErases,
+		CorrectedBits:      s.CorrectedBits - o.CorrectedBits,
+		ReadRetries:        s.ReadRetries - o.ReadRetries,
+		UncorrectableReads: s.UncorrectableReads - o.UncorrectableReads,
+		ProgramFails:       s.ProgramFails - o.ProgramFails,
+		EraseFails:         s.EraseFails - o.EraseFails,
+		RetiredBlocks:      s.RetiredBlocks - o.RetiredBlocks,
 	}
 }
 
 func (s FlashSnapshot) String() string {
-	return fmt.Sprintf("writes=%d reads=%d gc=%d erases=%d",
+	base := fmt.Sprintf("writes=%d reads=%d gc=%d erases=%d",
 		s.PageWrites, s.PageReads, s.GCRuns, s.BlockErases)
+	if s.CorrectedBits|s.ReadRetries|s.UncorrectableReads|s.ProgramFails|s.EraseFails|s.RetiredBlocks == 0 {
+		return base
+	}
+	return base + fmt.Sprintf(" eccbits=%d retries=%d uncorrectable=%d progfail=%d erasefail=%d retired=%d",
+		s.CorrectedBits, s.ReadRetries, s.UncorrectableReads, s.ProgramFails, s.EraseFails, s.RetiredBlocks)
 }

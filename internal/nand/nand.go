@@ -14,6 +14,7 @@ package nand
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/metrics"
@@ -130,11 +131,21 @@ type Chip struct {
 	clock  *simclock.Clock
 	stats  *metrics.FlashCounters
 	blocks []block
+
+	// Fault injection (fault.go). fault == nil models ideal flash.
+	fault *FaultModel
+	frng  *rand.Rand
+
+	// Op-indexed power-cut scheduler state (fault.go).
+	opCount   int64
+	cutAt     int64 // op index at which power fails; 0 = disarmed
+	powerLost bool
 }
 
 type block struct {
 	data       [][]byte    // lazily allocated page payloads
 	state      []PageState // per-page state
+	torn       []bool      // partially programmed/erased pages (never pass ECC)
 	eraseCount int64
 	freeHint   int // index of first possibly-free page (sequential-program hint)
 	validCount int // pages in PageValid, maintained incrementally
@@ -157,6 +168,7 @@ func New(cfg Config, clock *simclock.Clock, stats *metrics.FlashCounters) (*Chip
 		c.blocks[i] = block{
 			data:      make([][]byte, cfg.PagesPerBlock),
 			state:     make([]PageState, cfg.PagesPerBlock),
+			torn:      make([]bool, cfg.PagesPerBlock),
 			freeCount: cfg.PagesPerBlock,
 		}
 	}
@@ -188,7 +200,10 @@ func (c *Chip) BlockOf(p PPN) BlockNum {
 }
 
 // ReadPage copies a programmed page's content into buf, which must be at
-// least PageSize bytes. It charges the read latency.
+// least PageSize bytes. It charges the read latency, plus read-retry
+// rounds when the installed fault model pushes the raw bit-error count
+// near the ECC threshold; past the threshold it returns
+// ErrUncorrectable and buf is untouched.
 func (c *Chip) ReadPage(p PPN, buf []byte) error {
 	bi, pi, err := c.split(p)
 	if err != nil {
@@ -201,11 +216,20 @@ func (c *Chip) ReadPage(p PPN, buf []byte) error {
 	if b.state[pi] == PageFree {
 		return fmt.Errorf("%w: ppn %d", ErrReadFree, p)
 	}
-	copy(buf, b.data[pi])
+	if cut, err := c.opTick(); err != nil {
+		return err
+	} else if cut {
+		// Power died mid-read: no data transferred, no cell change.
+		return ErrPowerLost
+	}
 	c.clock.Advance(c.cfg.ReadLatency)
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
 	}
+	if err := c.readFaults(b, pi); err != nil {
+		return fmt.Errorf("%w: ppn %d", err, p)
+	}
+	copy(buf, b.data[pi])
 	return nil
 }
 
@@ -247,6 +271,37 @@ func (c *Chip) ProgramPage(p PPN, data []byte) error {
 	if b.state[pi] != PageFree {
 		return fmt.Errorf("%w: ppn %d is %v", ErrNotErased, p, b.state[pi])
 	}
+	if cut, err := c.opTick(); err != nil {
+		return err
+	} else if cut {
+		// Power died mid-program: the page is torn — some cells hold the
+		// new data, some don't, and ECC will never check out. The page is
+		// consumed (it cannot be programmed again without an erase).
+		b.state[pi] = PageValid
+		b.torn[pi] = true
+		b.validCount++
+		b.freeCount--
+		if pi == b.freeHint {
+			b.freeHint++
+		}
+		return ErrPowerLost
+	}
+	if c.programFails(b) {
+		// Status fail: the program pulse ran (and took its time) but the
+		// cells did not verify. The page is consumed; the firmware must
+		// rewrite the data elsewhere and retire the block.
+		b.state[pi] = PageInvalid
+		b.torn[pi] = true
+		b.freeCount--
+		if pi == b.freeHint {
+			b.freeHint++
+		}
+		c.clock.Advance(c.cfg.ProgLatency)
+		if c.stats != nil {
+			c.stats.ProgramFails.Add(1)
+		}
+		return fmt.Errorf("%w: ppn %d", ErrProgramFail, p)
+	}
 	if b.data[pi] == nil {
 		b.data[pi] = make([]byte, c.cfg.PageSize)
 	}
@@ -269,6 +324,9 @@ func (c *Chip) ProgramPage(p PPN, data []byte) error {
 // an already-invalid page is a harmless no-op (mappings may race with
 // GC bookkeeping in the layers above).
 func (c *Chip) Invalidate(p PPN) error {
+	if c.powerLost {
+		return ErrPowerLost
+	}
 	bi, pi, err := c.split(p)
 	if err != nil {
 		return err
@@ -297,9 +355,29 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 			return fmt.Errorf("%w: block %d page %d", ErrEraseValidPage, blk, pi)
 		}
 	}
+	if cut, err := c.opTick(); err != nil {
+		return err
+	} else if cut {
+		// Power died mid-erase: the cells are half-erased. Every page is
+		// unusable until a fresh, complete erase succeeds.
+		c.wreckBlock(b)
+		return ErrPowerLost
+	}
+	if c.eraseFails(b) {
+		// Status fail: the erase pulse ran but the block did not verify.
+		// The firmware must retire the block.
+		c.wreckBlock(b)
+		b.eraseCount++
+		c.clock.Advance(c.cfg.EraseLatency)
+		if c.stats != nil {
+			c.stats.EraseFails.Add(1)
+		}
+		return fmt.Errorf("%w: block %d", ErrEraseFail, blk)
+	}
 	for pi := range b.state {
 		b.state[pi] = PageFree
 		b.data[pi] = nil
+		b.torn[pi] = false
 	}
 	b.freeHint = 0
 	b.validCount = 0
@@ -310,6 +388,20 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 		c.stats.BlockErases.Add(1)
 	}
 	return nil
+}
+
+// wreckBlock leaves every page of a block in the torn, consumed state
+// (interrupted or failed erase): not free, not readable, reclaimable
+// only by a successful erase.
+func (c *Chip) wreckBlock(b *block) {
+	for pi := range b.state {
+		b.state[pi] = PageInvalid
+		b.data[pi] = nil
+		b.torn[pi] = true
+	}
+	b.freeHint = c.cfg.PagesPerBlock
+	b.validCount = 0
+	b.freeCount = 0
 }
 
 // ForceEraseBlock wipes a block even if it contains valid pages. It

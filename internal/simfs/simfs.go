@@ -384,7 +384,16 @@ func (fs *FS) Remount() error {
 			}
 		}
 	}
-	// Rebuild the free list below nextAlloc.
+	// Rebuild the free list below nextAlloc. Pre-crash pendingFree
+	// entries must be dropped, not carried over: a page trimmed after
+	// the last commit point may be live again now (its owning file was
+	// resurrected by the image), and when recovery re-deletes that file
+	// the page would enter pendingFree a second time — the duplicate
+	// free-list entries would then double-allocate one device page to
+	// two file pages. Pages whose deletion never committed but whose
+	// owner is also absent from the image are unreferenced and rejoin
+	// the free list through the rebuild below.
+	fs.pendingFree = fs.pendingFree[:0]
 	fs.freeList = fs.freeList[:0]
 	for lpn := fs.dataStart; lpn < fs.nextAlloc; lpn++ {
 		if !used[lpn] {

@@ -15,6 +15,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -90,6 +91,9 @@ type Options struct {
 	FTL ftl.Config
 	// XFTL overrides the X-FTL configuration when Transactional.
 	XFTL core.Config
+	// Fault installs a NAND fault model (nil: ideal flash). See
+	// nand.DefaultFaultModel for realistic MLC rates.
+	Fault *nand.FaultModel
 }
 
 // Device is a simulated flash storage device exposing the (extended)
@@ -103,6 +107,8 @@ type Device struct {
 
 	cmds     int64 // host commands processed
 	barriers int64 // barrier-class commands (flush/commit)
+
+	inflight atomic.Bool // concurrent-use detector (see enter)
 }
 
 // New builds a device from a profile. The clock may be shared across
@@ -116,9 +122,18 @@ func New(prof Profile, clock *simclock.Clock, opts Options) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	if opts.Fault != nil {
+		chip.SetFaultModel(opts.Fault)
+	}
 	fcfg := opts.FTL
 	if fcfg.LogicalPages == 0 {
+		// Derive the configuration, honoring an explicit spare-reserve
+		// request if it exceeds the derived default.
+		spare := fcfg.SpareBlocks
 		fcfg = ftl.DefaultConfig(prof.Nand)
+		if spare > fcfg.SpareBlocks {
+			fcfg.SpareBlocks = spare
+		}
 	}
 	base, err := ftl.New(chip, fcfg, flash)
 	if err != nil {
@@ -166,6 +181,37 @@ func (d *Device) LogicalPages() int64 { return d.base.LogicalPages() }
 // Commands reports how many host commands the device has processed.
 func (d *Device) Commands() int64 { return d.cmds }
 
+// enter flags the device busy for the duration of one command and
+// panics if another command is already in flight: Device is documented
+// as not safe for concurrent use, and silent interleaving corrupts the
+// simulated clock and the mapping state. The check is one atomic CAS
+// per command — cheap enough to stay on in production use.
+func (d *Device) enter() func() {
+	if !d.inflight.CompareAndSwap(false, true) {
+		panic("storage: Device is not safe for concurrent use; serialize commands externally")
+	}
+	return func() { d.inflight.Store(false) }
+}
+
+// lost inspects a command error: when an armed power cut tripped
+// mid-command (the error wraps nand.ErrPowerLost), the device drops its
+// volatile firmware state exactly as PowerCut does, so the caller must
+// Restart before issuing further commands.
+func (d *Device) lost(err error) error {
+	if err != nil && errors.Is(err, nand.ErrPowerLost) {
+		d.powerCutFirmware()
+	}
+	return err
+}
+
+func (d *Device) powerCutFirmware() {
+	if d.x != nil {
+		d.x.PowerCut()
+	} else {
+		d.base.PowerCut()
+	}
+}
+
 // chargeCmd accounts controller time for one host command, with
 // optional payload transfer.
 func (d *Device) chargeCmd(pages int) {
@@ -175,42 +221,46 @@ func (d *Device) chargeCmd(pages int) {
 
 // Read services a plain read command for the last committed version.
 func (d *Device) Read(lpn int64, buf []byte) error {
+	defer d.enter()()
 	d.chargeCmd(1)
 	if d.x != nil {
-		return d.x.Read(ftl.LPN(lpn), buf)
+		return d.lost(d.x.Read(ftl.LPN(lpn), buf))
 	}
-	return d.base.Read(ftl.LPN(lpn), buf)
+	return d.lost(d.base.Read(ftl.LPN(lpn), buf))
 }
 
 // Write services a plain (non-transactional) write command.
 func (d *Device) Write(lpn int64, data []byte) error {
+	defer d.enter()()
 	d.chargeCmd(1)
 	if d.x != nil {
-		return d.x.Write(ftl.LPN(lpn), data)
+		return d.lost(d.x.Write(ftl.LPN(lpn), data))
 	}
-	return d.base.Write(ftl.LPN(lpn), data)
+	return d.lost(d.base.Write(ftl.LPN(lpn), data))
 }
 
 // Trim discards a logical page.
 func (d *Device) Trim(lpn int64) error {
+	defer d.enter()()
 	d.chargeCmd(0)
 	if d.x != nil {
-		return d.x.Trim(ftl.LPN(lpn))
+		return d.lost(d.x.Trim(ftl.LPN(lpn)))
 	}
-	return d.base.Unmap(ftl.LPN(lpn))
+	return d.lost(d.base.Unmap(ftl.LPN(lpn)))
 }
 
 // Barrier services a write-barrier / flush-cache command: the mapping
 // table becomes durable. On OpenSSD this is the expensive operation
 // behind every fsync (§6.3.4).
 func (d *Device) Barrier() error {
+	defer d.enter()()
 	d.chargeCmd(0)
 	d.barriers++
 	d.clock.Advance(d.prof.BarrierOverhead)
 	if d.x != nil {
-		return d.x.Barrier()
+		return d.lost(d.x.Barrier())
 	}
-	return d.base.Barrier()
+	return d.lost(d.base.Barrier())
 }
 
 // ReadTx services read(t,p): the transaction sees its own uncommitted
@@ -219,8 +269,9 @@ func (d *Device) ReadTx(tid uint64, lpn int64, buf []byte) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
+	defer d.enter()()
 	d.chargeCmd(1)
-	return d.x.ReadTx(core.TxID(tid), ftl.LPN(lpn), buf)
+	return d.lost(d.x.ReadTx(core.TxID(tid), ftl.LPN(lpn), buf))
 }
 
 // WriteTx services write(t,p): a copy-on-write page update recorded in
@@ -229,8 +280,9 @@ func (d *Device) WriteTx(tid uint64, lpn int64, data []byte) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
+	defer d.enter()()
 	d.chargeCmd(1)
-	return d.x.WriteTx(core.TxID(tid), ftl.LPN(lpn), data)
+	return d.lost(d.x.WriteTx(core.TxID(tid), ftl.LPN(lpn), data))
 }
 
 // Commit services commit(t). It doubles as the write barrier for the
@@ -240,10 +292,11 @@ func (d *Device) Commit(tid uint64) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
+	defer d.enter()()
 	d.chargeCmd(0)
 	d.barriers++
 	d.clock.Advance(d.prof.BarrierOverhead)
-	return d.x.Commit(core.TxID(tid))
+	return d.lost(d.x.Commit(core.TxID(tid)))
 }
 
 // Abort services abort(t): the transaction's new versions are
@@ -252,23 +305,41 @@ func (d *Device) Abort(tid uint64) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
+	defer d.enter()()
 	d.chargeCmd(0)
-	return d.x.Abort(core.TxID(tid))
+	return d.lost(d.x.Abort(core.TxID(tid)))
 }
 
-// PowerCut simulates pulling the plug: volatile controller state is
-// lost. Subsequent commands fail until Restart.
+// PowerCut simulates pulling the plug at a command boundary: volatile
+// controller state is lost and the chip refuses further operations
+// until Restart.
 func (d *Device) PowerCut() {
-	if d.x != nil {
-		d.x.PowerCut()
-		return
-	}
-	d.base.PowerCut()
+	defer d.enter()()
+	d.base.Chip().PowerOff()
+	d.powerCutFirmware()
 }
+
+// PowerCutAfter schedules a power cut during the n-th NAND operation
+// (read, program or erase) counted from now; n == 1 interrupts the very
+// next operation. Unlike PowerCut, this lands the cut in the middle of
+// firmware activity — mid-GC, mid-barrier, mid-commit — leaving torn
+// pages or half-erased blocks behind. When the cut trips, the in-flight
+// command returns an error wrapping nand.ErrPowerLost and the device
+// behaves as after PowerCut until Restart.
+func (d *Device) PowerCutAfter(n int64) {
+	defer d.enter()()
+	d.base.Chip().ArmPowerCut(n)
+}
+
+// NANDOps reports how many NAND operations (reads, programs, erases)
+// the device has executed; it is the time base for PowerCutAfter.
+func (d *Device) NANDOps() int64 { return d.base.Chip().OpCount() }
 
 // Restart powers the device back on and runs firmware recovery,
 // charging its cost on the simulated clock.
 func (d *Device) Restart() error {
+	defer d.enter()()
+	d.base.Chip().Restore()
 	if d.x != nil {
 		return d.x.Restart()
 	}

@@ -230,3 +230,28 @@ func TestS830IsFasterEndToEnd(t *testing.T) {
 		t.Errorf("S830 (%v) should beat OpenSSD (%v) on the same workload", s830, open)
 	}
 }
+
+func TestConcurrentUseDetector(t *testing.T) {
+	d := newDev(t, false)
+	// Sequential commands never trip the detector.
+	if err := d.Write(0, devPage(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the in-flight flag as an overlapping command would, then
+	// issue a second command: it must panic rather than silently
+	// interleave with the first.
+	release := d.enter()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("overlapping command did not panic")
+			}
+		}()
+		_ = d.Write(1, devPage(d, 2))
+	}()
+	// Releasing the first command re-admits traffic.
+	release()
+	if err := d.Write(1, devPage(d, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	xftl "repro"
+	"repro/internal/nand"
+	"repro/internal/sqlite"
+	"repro/internal/storage"
+)
+
+// SQLOptions parameterizes a full-stack torture run: the synth-style
+// update workload (partsupp table, supplycost updates) through SQLite,
+// the file system and the device, with mid-operation power cuts.
+type SQLOptions struct {
+	Mode xftl.Mode
+	Seed int64
+	// CutEvery arms a power cut 1..CutEvery NAND operations ahead,
+	// re-arming after every recovery; 0 disables cuts.
+	CutEvery int64
+	// FaultScale multiplies the default fault-model rates; 0 = ideal.
+	FaultScale float64
+	// Tuples is the table cardinality; Transactions the update-txn
+	// count; UpdatesPerTxn the keys rewritten per transaction.
+	Tuples        int
+	Transactions  int
+	UpdatesPerTxn int
+}
+
+// DefaultSQLOptions returns a run small enough for tests yet long
+// enough to cross several commits, checkpoints and crashes.
+func DefaultSQLOptions(mode xftl.Mode, seed int64) SQLOptions {
+	return SQLOptions{
+		Mode:          mode,
+		Seed:          seed,
+		CutEvery:      4000,
+		FaultScale:    20,
+		Tuples:        400,
+		Transactions:  40,
+		UpdatesPerTxn: 4,
+	}
+}
+
+// sqlProfile is a mid-size geometry: big enough for the simfs metadata
+// and journal regions plus a few thousand database pages, small enough
+// to keep a multi-crash run fast.
+func sqlProfile() storage.Profile {
+	return storage.Profile{
+		Name: "torture-sql",
+		Nand: nand.Config{
+			Blocks:              256,
+			PagesPerBlock:       64,
+			PageSize:            2048,
+			ReadLatency:         60 * time.Microsecond,
+			ProgLatency:         400 * time.Microsecond,
+			EraseLatency:        2 * time.Millisecond,
+			InternalParallelism: 4,
+		},
+		CmdOverhead:     30 * time.Microsecond,
+		TransferPerPage: 8 * time.Microsecond,
+		BarrierOverhead: 200 * time.Microsecond,
+		Channels:        2,
+	}
+}
+
+// RunSQL executes one full-stack torture run: after every injected
+// crash the stack is remounted, the database reopened (running its own
+// recovery), and every key's supplycost checked against the oracle of
+// committed updates. A transaction whose COMMIT was interrupted is
+// in-doubt and may land either way, but must be atomic across its keys.
+//
+// In rollback-journal mode one extra outcome is legal: the journal
+// deletion that commits a transaction is a metadata operation whose
+// durability lags until the next file-system metadata commit (the next
+// fsync), exactly as with SQLite's journal_mode=DELETE on a journaling
+// file system without a directory sync. A crash inside that window
+// resurrects the hot journal and recovery rolls the transaction back.
+// The harness therefore accepts the state just before the most recent
+// commit as well — but only as a complete, consistent snapshot; any
+// mix of states is still a corruption.
+func RunSQL(o SQLOptions) (*Report, error) {
+	rep, _, err := runSQL(o)
+	return rep, err
+}
+
+func runSQL(o SQLOptions) (*Report, *xftl.Stack, error) {
+	var fault *nand.FaultModel
+	if o.FaultScale > 0 {
+		fault = nand.DefaultFaultModel(o.Seed).Scale(o.FaultScale)
+	}
+	st, err := xftl.NewStackOptions(sqlProfile(), o.Mode, xftl.StackOptions{Fault: fault})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Runs: 1}
+	db, err := st.OpenDBWithCache("torture.db", 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Load the table and capture the committed baseline.
+	if err := loadTable(db, o); err != nil {
+		return rep, st, fmt.Errorf("load: %w", err)
+	}
+	oracle := make(map[int]float64, o.Tuples)
+	if err := scanInto(db, oracle); err != nil {
+		return rep, st, fmt.Errorf("baseline scan: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed * 7919))
+	arm := func() {
+		if o.CutEvery > 0 {
+			st.Device.PowerCutAfter(1 + rng.Int63n(o.CutEvery))
+		}
+	}
+	// prevOracle, in rollback-journal mode, is the committed state just
+	// before the most recent successful commit: that commit stays
+	// revocable (hot-journal resurrection, see above) until the next
+	// fsync makes the journal deletion durable. nil = nothing revocable.
+	var prevOracle map[int]float64
+	// recoverCrash remounts, reopens and verifies that the recovered
+	// database equals exactly one of the consistent candidate states:
+	// the oracle, the pre-last-commit state (rollback mode only), or —
+	// when a commit command itself was interrupted — oracle+newVals.
+	recoverCrash := func(cause error, newVals map[int]float64) error {
+		if !errors.Is(cause, nand.ErrPowerLost) {
+			return fmt.Errorf("non-power fault escaped the stack: %w", cause)
+		}
+		rep.Crashes++
+		st.FS.PowerCut() // align FS state with the already-dead device
+		if err := st.Remount(); err != nil {
+			return fmt.Errorf("remount: %w", err)
+		}
+		db, err = st.OpenDBWithCache("torture.db", 8)
+		if err != nil {
+			return fmt.Errorf("reopen: %w", err)
+		}
+		got := make(map[int]float64, len(oracle))
+		if err := scanInto(db, got); err != nil {
+			return fmt.Errorf("post-recovery scan: %w", err)
+		}
+		type candidate struct {
+			name  string
+			state map[int]float64
+		}
+		cands := []candidate{{"committed", oracle}}
+		if prevOracle != nil {
+			cands = append(cands, candidate{"revoked", prevOracle})
+		}
+		if newVals != nil {
+			next := make(map[int]float64, len(oracle))
+			for k, v := range oracle {
+				next[k] = v
+			}
+			for k, v := range newVals {
+				next[k] = v
+			}
+			cands = append(cands, candidate{"indoubt-new", next})
+			rep.InDoubt++
+		}
+		var mismatches []string
+		for _, c := range cands {
+			bad := ""
+			for k, want := range c.state {
+				if got[k] != want {
+					bad = fmt.Sprintf("%s: key %d = %v, want %v", c.name, k, got[k], want)
+					break
+				}
+			}
+			if bad == "" {
+				// Recovery landed on a consistent snapshot; it becomes
+				// the new oracle. Replay of a resurrected journal is
+				// idempotent and the pager fsyncs after playback, so the
+				// recovered state is durable — nothing stays revocable.
+				oracle = c.state
+				prevOracle = nil
+				if c.name == "revoked" {
+					rep.Revoked++
+				}
+				arm()
+				return nil
+			}
+			mismatches = append(mismatches, bad)
+		}
+		return fmt.Errorf("recovered state matches no consistent snapshot: %v", mismatches)
+	}
+
+	arm()
+	for txn := 1; txn <= o.Transactions; txn++ {
+		rep.Transactions++
+		keys := make([]int, 0, o.UpdatesPerTxn)
+		seen := map[int]bool{}
+		for len(keys) < o.UpdatesPerTxn {
+			k := rng.Intn(o.Tuples) + 1
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		if err := db.Begin(); err != nil {
+			if err := recoverCrash(err, nil); err != nil {
+				return rep, st, fmt.Errorf("txn %d begin: %w", txn, err)
+			}
+			continue
+		}
+		newVals := make(map[int]float64, len(keys))
+		crashed := false
+		for i, k := range keys {
+			nv := float64(txn*1000 + i)
+			if _, err := db.Exec(`UPDATE partsupp SET ps_supplycost = ? WHERE ps_partkey = ?`, nv, k); err != nil {
+				// Uncommitted: recovery must discard every new value.
+				if err := recoverCrash(err, nil); err != nil {
+					return rep, st, fmt.Errorf("txn %d update: %w", txn, err)
+				}
+				crashed = true
+				break
+			}
+			newVals[k] = nv
+		}
+		if crashed {
+			continue
+		}
+		if err := db.Commit(); err != nil {
+			if err := recoverCrash(err, newVals); err != nil {
+				return rep, st, fmt.Errorf("txn %d commit: %w", txn, err)
+			}
+			continue
+		}
+		next := make(map[int]float64, len(oracle))
+		for k, v := range oracle {
+			next[k] = v
+		}
+		for k, v := range newVals {
+			next[k] = v
+		}
+		if o.Mode == xftl.ModeRollback {
+			// This commit is revocable until the journal deletion is
+			// made durable by the next fsync.
+			prevOracle = oracle
+		}
+		oracle = next
+		rep.Committed++
+	}
+	// Final verification with the cut disarmed.
+	st.Device.PowerCutAfter(0)
+	got := make(map[int]float64, len(oracle))
+	if err := scanInto(db, got); err != nil {
+		return rep, st, fmt.Errorf("final scan: %w", err)
+	}
+	for k, want := range oracle {
+		if got[k] != want {
+			return rep, st, fmt.Errorf("final durability violation: key %d = %v, committed value %v", k, got[k], want)
+		}
+	}
+	rep.Flash = st.FlashStats().Snapshot()
+	if rep.Flash.UncorrectableReads > 0 {
+		return rep, st, fmt.Errorf("uncorrectable-error escapes: %d", rep.Flash.UncorrectableReads)
+	}
+	return rep, st, nil
+}
+
+// loadTable creates and fills partsupp with deterministic supplycosts.
+func loadTable(db *sqlite.DB, o SQLOptions) error {
+	if err := db.ExecScript(`
+		CREATE TABLE partsupp (
+			ps_partkey   INTEGER PRIMARY KEY,
+			ps_supplycost REAL,
+			ps_comment   TEXT
+		);
+	`); err != nil {
+		return err
+	}
+	const batch = 200
+	if err := db.Begin(); err != nil {
+		return err
+	}
+	ins, err := db.Prepare(`INSERT INTO partsupp VALUES (?, ?, ?)`)
+	if err != nil {
+		return err
+	}
+	for k := 1; k <= o.Tuples; k++ {
+		if _, err := ins.Exec(k, float64(k), fmt.Sprintf("torture-%d", k)); err != nil {
+			_ = db.Rollback()
+			return err
+		}
+		if k%batch == 0 && k < o.Tuples {
+			if err := db.Commit(); err != nil {
+				return err
+			}
+			if err := db.Begin(); err != nil {
+				return err
+			}
+		}
+	}
+	return db.Commit()
+}
+
+// scanInto reads every (partkey, supplycost) pair into m.
+func scanInto(db *sqlite.DB, m map[int]float64) error {
+	rows, err := db.Query(`SELECT ps_partkey, ps_supplycost FROM partsupp`)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows.Data {
+		m[int(r[0].Int())] = r[1].Real()
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package torture
+
+import "testing"
+
+import xftl "repro"
+
+// TestDeviceSweep is the acceptance sweep: >= 50 (seed, cut-point,
+// fault-rate) combinations at the device command level, with zero
+// uncorrectable-error escapes at the default ECC threshold.
+func TestDeviceSweep(t *testing.T) {
+	o := DefaultSweep()
+	if combos := len(o.Seeds) * len(o.CutEvery) * len(o.FaultScale); combos < 50 {
+		t.Fatalf("sweep covers only %d combos, want >= 50", combos)
+	}
+	rep, err := Sweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flash.UncorrectableReads > 0 {
+		t.Fatalf("uncorrectable-error escapes: %d", rep.Flash.UncorrectableReads)
+	}
+	if rep.Crashes == 0 || rep.InDoubt == 0 {
+		t.Fatalf("sweep exercised no crashes or no in-doubt commits: %s", rep)
+	}
+	if rep.Flash.GCRuns == 0 || rep.Flash.RetiredBlocks == 0 {
+		t.Fatalf("sweep exercised no GC or no block retirement: %s", rep)
+	}
+	t.Log(rep.String())
+}
+
+// TestSQLTorture runs the full-stack workload (SQLite -> simfs ->
+// device) under injected crashes and faults in all three journal
+// modes, checking committed-durable / uncommitted-discarded through
+// SQL queries after every recovery.
+func TestSQLTorture(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, mode := range []xftl.Mode{xftl.ModeRollback, xftl.ModeWAL, xftl.ModeXFTL} {
+		agg := &Report{}
+		for _, seed := range seeds {
+			o := DefaultSQLOptions(mode, seed)
+			if testing.Short() {
+				// X-FTL issues so few NAND ops per transaction that the
+				// default cut cadence rarely trips in a two-seed run.
+				o.CutEvery = 600
+			}
+			rep, err := RunSQL(o)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", mode, seed, err)
+			}
+			agg.Add(rep)
+		}
+		if agg.Crashes == 0 {
+			t.Errorf("%s: no crashes injected across %d seeds", mode, len(seeds))
+		}
+		t.Logf("%s: %s", mode, agg)
+	}
+}
+
+// TestSQLTortureCutsOnly isolates the power-cut machinery from the
+// fault model: ideal flash, aggressive cut cadence.
+func TestSQLTortureCutsOnly(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		o := DefaultSQLOptions(xftl.ModeRollback, seed)
+		o.FaultScale = 0
+		o.CutEvery = 1500
+		rep, err := RunSQL(o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Crashes == 0 {
+			t.Errorf("seed %d: no crashes injected", seed)
+		}
+	}
+}

@@ -5,12 +5,19 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/nand"
 	"repro/internal/simclock"
 	"repro/internal/simfs"
 	"repro/internal/sqlite"
 	"repro/internal/sqlite/pager"
 	"repro/internal/storage"
 )
+
+// FaultModel re-exports the NAND fault model for stack construction.
+type FaultModel = nand.FaultModel
+
+// DefaultFaultModel returns MLC-class fault rates for the given seed.
+func DefaultFaultModel(seed int64) *FaultModel { return nand.DefaultFaultModel(seed) }
 
 // Mode is one of the paper's three system configurations (§6.1).
 type Mode int
@@ -92,6 +99,13 @@ type StackOptions struct {
 	// FTLLogicalPages overrides the exported device capacity, which is
 	// the aging/GC-pressure knob of the Figure 5/6 experiments.
 	FTLLogicalPages int64
+	// Fault installs a NAND fault model on the device (nil: ideal
+	// flash). See nand.DefaultFaultModel for realistic MLC rates.
+	Fault *nand.FaultModel
+	// FTLSpareBlocks widens the bad-block replacement reserve beyond
+	// the derived default — long runs on faulty flash retire blocks
+	// steadily, and without headroom retirement exhausts the GC pool.
+	FTLSpareBlocks int
 }
 
 // NewStack builds the device and file system for a mode on the given
@@ -108,6 +122,8 @@ func NewStackOptions(prof Profile, mode Mode, opts StackOptions) (*Stack, error)
 		devOpts.FTL.MetaBlocks = 4
 		devOpts.FTL.GCLowWater = 3
 	}
+	devOpts.FTL.SpareBlocks = opts.FTLSpareBlocks
+	devOpts.Fault = opts.Fault
 	return NewStackDevice(prof, mode, devOpts, opts)
 }
 
