@@ -32,9 +32,11 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	faults := flag.Float64("faults", 0, "NAND fault-model scale (0 = ideal flash, 1 = realistic MLC rates)")
 	tortureMode := flag.Bool("torture", false, "run the crash/fault torture harness instead of an experiment")
+	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -torture\n")
+		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,6 +49,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xftlbench -torture: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *recoveryScan {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		opts := bench.Options{Quick: *quick, FaultScale: *faults}
+		if !*quiet {
+			opts.Progress = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "[xftlbench] "+format+"\n", args...)
+			}
+		}
+		runs, err := bench.RunRecoveryScan(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -recovery-scan: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RecoveryScanTable(runs))
 		return
 	}
 	if flag.NArg() != 1 {
@@ -236,5 +257,21 @@ func runTorture(quick bool, faults float64) error {
 		}
 		fmt.Printf("sql %-5s: %s\n", mode, agg)
 	}
+
+	// Metadata-corruption sweep: destroy every persisted copy of the
+	// mapping table (and, separately, the bad-block table) after each
+	// crash and require full recovery from per-page OOB records.
+	ms := torture.DefaultMetaSweep()
+	ms.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[torture] "+format+"\n", args...)
+	}
+	if quick {
+		ms.Seeds = ms.Seeds[:1]
+	}
+	mrep, err := torture.MetaSweep(ms)
+	if err != nil {
+		return fmt.Errorf("meta sweep: %w", err)
+	}
+	fmt.Printf("meta sweep:   %s\n", mrep)
 	return nil
 }

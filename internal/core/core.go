@@ -19,6 +19,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -184,7 +185,7 @@ func (x *XFTL) WriteTx(tid TxID, lpn ftl.LPN, data []byte) error {
 		if e.tid != tid {
 			return fmt.Errorf("%w: lpn %d held by tx %d", ErrConflict, lpn, e.tid)
 		}
-		newPPN, err := x.base.WriteRaw(lpn, data)
+		newPPN, err := x.base.WriteRawTx(lpn, data, uint64(tid))
 		if err != nil {
 			return err
 		}
@@ -201,7 +202,7 @@ func (x *XFTL) WriteTx(tid TxID, lpn ftl.LPN, data []byte) error {
 	if len(x.byLPN) >= x.cfg.TableEntries {
 		return fmt.Errorf("%w: capacity %d", ErrTableFull, x.cfg.TableEntries)
 	}
-	newPPN, err := x.base.WriteRaw(lpn, data)
+	newPPN, err := x.base.WriteRawTx(lpn, data, uint64(tid))
 	if err != nil {
 		return err
 	}
@@ -301,6 +302,15 @@ func (x *XFTL) Commit(tid TxID) error {
 		}
 		return err
 	}
+	// The committed-transaction log entry is the durable commit point:
+	// recovery applies an image row (and accepts the transaction's CoW
+	// data pages during a full-device scan) only when its tid is logged.
+	if err := x.base.NoteCommittedTx(uint64(tid)); err != nil {
+		for _, e := range entries {
+			e.status = StatusActive
+		}
+		return err
+	}
 	for _, e := range entries {
 		if err := x.base.Map(e.lpn, e.newPPN); err != nil {
 			return err
@@ -314,8 +324,9 @@ func (x *XFTL) Commit(tid TxID) error {
 		return err
 	}
 	// Pad to the calibrated per-commit mapping cost (controller
-	// housekeeping the incremental model doesn't capture).
-	pad := x.cfg.CommitMapPages - flushed - x.imagePages()
+	// housekeeping the incremental model doesn't capture). The one-page
+	// commit-log append above counts toward the budget.
+	pad := x.cfg.CommitMapPages - flushed - x.imagePages() - 1
 	for i := 0; i < pad; i++ {
 		if err := x.base.WriteMetaSlot("xl2p-housekeeping", 1); err != nil {
 			return err
@@ -379,19 +390,56 @@ func (x *XFTL) imagePages() int {
 	return (bytes + ps - 1) / ps
 }
 
+// encodeImage serializes X-L2P rows in the paper's 16-byte format:
+// tid (u64), lpn with the status in its top bits (u32), ppn (u32).
+func encodeImage(img []imageEntry) []byte {
+	buf := make([]byte, len(img)*EntrySize)
+	for i, r := range img {
+		o := i * EntrySize
+		binary.LittleEndian.PutUint64(buf[o:], uint64(r.tid))
+		binary.LittleEndian.PutUint32(buf[o+8:], uint32(r.lpn)|uint32(r.status)<<30)
+		binary.LittleEndian.PutUint32(buf[o+12:], uint32(r.ppn))
+	}
+	return buf
+}
+
+// decodeImage parses a recovered X-L2P image payload. Trailing bytes
+// that do not form a whole row are ignored.
+func decodeImage(payload []byte) []imageEntry {
+	img := make([]imageEntry, 0, len(payload)/EntrySize)
+	for o := 0; o+EntrySize <= len(payload); o += EntrySize {
+		lf := binary.LittleEndian.Uint32(payload[o+8:])
+		img = append(img, imageEntry{
+			tid:    TxID(binary.LittleEndian.Uint64(payload[o:])),
+			lpn:    ftl.LPN(lf & 0x3FFFFFFF),
+			ppn:    nand.PPN(int64(binary.LittleEndian.Uint32(payload[o+12:]))),
+			status: Status(lf >> 30),
+		})
+	}
+	return img
+}
+
 // flushImage writes the entire X-L2P table to flash copy-on-write and
 // records the shadow the recovery path would read back.
 func (x *XFTL) flushImage() error {
 	img := make([]imageEntry, 0, len(x.byLPN))
-	committed := make(map[nand.PPN]int)
 	for _, e := range x.byLPN {
 		img = append(img, imageEntry{tid: e.tid, lpn: e.lpn, ppn: e.newPPN, status: e.status})
-		if e.status == StatusCommitted {
-			committed[e.newPPN] = len(img) - 1
-		}
 	}
-	if err := x.base.WriteMetaSlot("xl2p", x.imagePages()); err != nil {
+	return x.writeImage(img)
+}
+
+// writeImage persists an X-L2P image (checksummed, recoverable) and
+// adopts it as the current shadow.
+func (x *XFTL) writeImage(img []imageEntry) error {
+	if err := x.base.WriteMetaSlotData("xl2p", encodeImage(img), x.imagePages()); err != nil {
 		return err
+	}
+	committed := make(map[nand.PPN]int)
+	for i, r := range img {
+		if r.status == StatusCommitted {
+			committed[r.ppn] = i
+		}
 	}
 	x.image = img
 	x.imageCommitted = committed
@@ -427,8 +475,7 @@ func (x *XFTL) Relocated(old, new nand.PPN) {
 		x.xstats.GCReflushes++
 		// Best-effort rewrite; GC is already mid-flight, so an error
 		// here surfaces on the next commit instead.
-		_ = x.base.WriteMetaSlot("xl2p", x.imagePages())
-		x.xstats.TableImages++
+		_ = x.writeImage(x.image)
 	}
 }
 
@@ -441,35 +488,43 @@ func (x *XFTL) PowerCut() {
 }
 
 // Restart performs X-FTL crash recovery (§5.4): both the L2P and X-L2P
-// tables are loaded from flash; every X-L2P row with committed status
-// is reflected into the L2P table (idempotent); rows of incomplete
+// tables are loaded from flash; every X-L2P row whose status is
+// committed AND whose transaction is in the durable commit log is
+// reflected into the L2P table (idempotent); rows of incomplete
 // transactions are discarded and their pages reclaimed.
 func (x *XFTL) Restart() error {
 	if !x.powerOff {
 		return nil
 	}
 	x.powerOff = false
-	// Volatile indexes are rebuilt empty; only the flash image matters.
+	// Volatile indexes are rebuilt empty. The pre-crash image shadow is
+	// kept through base recovery: the hook still protects committed
+	// image rows, so their pages survive the orphan sweep.
 	x.byLPN = make(map[ftl.LPN]*entry)
 	x.byPPN = make(map[nand.PPN]*entry)
 	x.byTx = make(map[TxID][]*entry)
-	// Charge reads for loading the X-L2P table image from flash.
-	chip := x.base.Chip()
-	for i := 0; i < x.imagePages(); i++ {
-		chip.Clock().Advance(chip.Config().ReadLatency)
-		if x.stats != nil {
-			x.stats.PageReads.Add(1)
-		}
-	}
-	// Base recovery first (the hook still protects committed image
-	// rows, so their pages survive the sweep), then reflect committed
-	// rows into L2P and persist.
 	if err := x.base.Restart(); err != nil {
 		return err
 	}
-	for _, row := range x.image {
-		if row.status != StatusCommitted {
+	// What flash actually holds wins over the RAM shadow: after a
+	// metadata-destroying crash the scan may have recovered an older
+	// image, or none at all (the committed data pages themselves were
+	// then adopted directly from their spare records).
+	for _, row := range decodeImage(x.base.MetaSlotData("xl2p")) {
+		if row.status != StatusCommitted || !x.base.TxCommitted(uint64(row.tid)) {
 			continue
+		}
+		rowSeq, live := x.base.PageSeq(row.ppn)
+		if !live {
+			continue // version superseded and already reclaimed
+		}
+		// Never regress a newer version the recovered L2P already maps
+		// (a post-commit rewrite of the same page can be newer than a
+		// still-lingering image row).
+		if cur := x.base.Mapping(row.lpn); cur != nand.InvalidPPN && cur != row.ppn {
+			if curSeq, ok := x.base.PageSeq(cur); ok && curSeq > rowSeq {
+				continue
+			}
 		}
 		if err := x.base.Map(row.lpn, row.ppn); err != nil {
 			return err

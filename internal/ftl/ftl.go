@@ -15,6 +15,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"slices"
 	"time"
 
@@ -120,6 +121,23 @@ type FTL struct {
 	metaSlots  map[string][]nand.PPN // slot name -> current page chain
 	groupSlots map[int64]nand.PPN    // map group -> current ppn
 
+	// Metadata integrity state. Every programmed page carries a
+	// checksummed spare-area record stamped with a sequence number from
+	// seq; metaTags mirrors the records of live meta pages so the ring
+	// can re-home them, and metaData mirrors slot payloads. The slot
+	// name <-> id binding is firmware-static (slotIDs/slotNames).
+	seq        uint64
+	metaTags   map[nand.PPN]metaTag
+	metaData   map[string][]byte
+	slotIDs    map[string]uint16
+	slotNames  map[uint16]string
+	nextSlotID uint16
+
+	// Committed-transaction log ("txlog" slot): the durable commit
+	// point for the transactional layer, kept as merged tid ranges.
+	committed    []tidRange
+	maxCommitted uint64
+
 	// Bad-block management: blocks retired after program/erase status
 	// fails (persisted via the "bbt" meta slot) and the current
 	// membership of the metadata ring (blocks drafted from the data
@@ -136,15 +154,23 @@ type FTL struct {
 	gcValidCopied int64 // valid pages copied out by GC
 	gcVictims     int64 // victim blocks processed
 
-	powerFailed bool
+	powerFailed  bool
+	wornOut      bool // spare reserve exhausted; terminal
+	lastRecovery RecoveryInfo
 }
 
 // New creates an FTL over the chip. The stats counters may be shared
 // with the chip (they usually are) and may be nil.
 func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error) {
 	chipCfg := chip.Config()
-	if cfg.MetaBlocks < 1 {
-		return nil, errors.New("ftl: need at least one metadata block")
+	if cfg.MetaBlocks < 2 {
+		// The ring keeps its next block clean of live pages so it can be
+		// erased without data movement after a crash; that invariant
+		// needs a current and a next block to be distinct.
+		return nil, errors.New("ftl: need at least two metadata blocks")
+	}
+	if chipCfg.OOBSize < oobRecSize {
+		return nil, fmt.Errorf("ftl: spare area %d bytes, need %d for the page metadata record", chipCfg.OOBSize, oobRecSize)
 	}
 	if cfg.GCLowWater < 1 {
 		return nil, errors.New("ftl: GCLowWater must be at least 1")
@@ -171,6 +197,11 @@ func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error
 		groupSlots: make(map[int64]nand.PPN),
 		bad:        make(map[nand.BlockNum]bool),
 		metaSet:    make(map[nand.BlockNum]bool, cfg.MetaBlocks),
+		seq:        1,
+		metaTags:   make(map[nand.PPN]metaTag),
+		metaData:   make(map[string][]byte),
+		slotIDs:    make(map[string]uint16),
+		slotNames:  make(map[uint16]string),
 		stats:      stats,
 	}
 	for i := range f.l2p {
@@ -269,10 +300,22 @@ func (f *FTL) Write(lpn LPN, data []byte) error {
 // it either Maps it or Invalidates it. This is the primitive behind the
 // X-FTL write(t,p) command: the old committed version must stay mapped.
 func (f *FTL) WriteRaw(lpn LPN, data []byte) (nand.PPN, error) {
+	return f.writeData(lpn, data, dataStateBase, 0)
+}
+
+// WriteRawTx is WriteRaw for a transactional copy-on-write page: the
+// spare-area record carries the transaction id and the in-flight state,
+// so a full-device scan can tell a committed version from one that was
+// mid-transaction when power failed.
+func (f *FTL) WriteRawTx(lpn LPN, data []byte, tid uint64) (nand.PPN, error) {
+	return f.writeData(lpn, data, dataStateTx, tid)
+}
+
+func (f *FTL) writeData(lpn LPN, data []byte, state uint8, tid uint64) (nand.PPN, error) {
 	if err := f.checkLPN(lpn); err != nil {
 		return nand.InvalidPPN, err
 	}
-	ppn, err := f.programData(data, false)
+	ppn, err := f.programData(data, f.dataOOB(lpn, state, tid), false)
 	if err != nil {
 		return nand.InvalidPPN, err
 	}
@@ -288,21 +331,21 @@ const maxProgramRetries = 5
 // evacuation or table writes hit further failing blocks.
 const maxRetireDepth = 3
 
-// programData allocates a frontier page and programs data into it. On a
-// program status fail it retires the failing block to the bad-block
-// table and retries on a fresh page, exactly the remap-and-retire
-// firmware response to NAND program failures. internal selects the GC
-// datapath (no host-transfer charge).
-func (f *FTL) programData(data []byte, internal bool) (nand.PPN, error) {
+// programData allocates a frontier page and programs data plus its
+// spare-area record into it. On a program status fail it retires the
+// failing block to the bad-block table and retries on a fresh page,
+// exactly the remap-and-retire firmware response to NAND program
+// failures. internal selects the GC datapath (no host-transfer charge).
+func (f *FTL) programData(data, oob []byte, internal bool) (nand.PPN, error) {
 	for attempt := 0; ; attempt++ {
 		ppn, err := f.allocPage()
 		if err != nil {
 			return nand.InvalidPPN, err
 		}
 		if internal {
-			err = f.chip.ProgramPageInternal(ppn, data)
+			err = f.chip.ProgramPageOOBInternal(ppn, data, oob)
 		} else {
-			err = f.program(ppn, data)
+			err = f.program(ppn, data, oob)
 		}
 		if err == nil {
 			return ppn, nil
@@ -357,12 +400,12 @@ func (f *FTL) retireDataBlock(blk nand.BlockNum) error {
 	return f.persistBBT()
 }
 
-// persistBBT stores the bad-block table next to the mapping image (one
-// meta page). It is written immediately at every retirement — on a real
-// device a lost BBT means re-programming known-bad blocks after reboot
-// — and reloaded (one charged read) during Restart.
+// persistBBT stores the bad-block table and ring membership next to the
+// mapping image. It is written immediately at every retirement — on a
+// real device a lost BBT means re-programming known-bad blocks after
+// reboot — and verified (one charged read per page) during Restart.
 func (f *FTL) persistBBT() error {
-	return f.WriteMetaSlot("bbt", 1)
+	return f.WriteMetaSlotData("bbt", f.serializeBBT(), 1)
 }
 
 // removeFreeBlock drops blk from the free pool if present.
@@ -381,18 +424,19 @@ func (f *FTL) BadBlockCount() int { return len(f.bad) }
 // IsBad reports whether a block has been retired to the bad-block table.
 func (f *FTL) IsBad(blk nand.BlockNum) bool { return f.bad[blk] }
 
-// program pads short data to a full page and programs it.
-func (f *FTL) program(ppn nand.PPN, data []byte) error {
+// program pads short data to a full page and programs it with its
+// spare-area record.
+func (f *FTL) program(ppn nand.PPN, data, oob []byte) error {
 	ps := f.PageSize()
 	if len(data) == ps {
-		return f.chip.ProgramPage(ppn, data)
+		return f.chip.ProgramPageOOB(ppn, data, oob)
 	}
 	if len(data) > ps {
 		return fmt.Errorf("ftl: data longer than page (%d > %d)", len(data), ps)
 	}
 	padded := make([]byte, ps)
 	copy(padded, data)
-	return f.chip.ProgramPage(ppn, padded)
+	return f.chip.ProgramPageOOB(ppn, padded, oob)
 }
 
 // Map installs ppn as the committed version of lpn, retiring any prior
@@ -481,9 +525,8 @@ func (f *FTL) allocPage() (nand.PPN, error) {
 		// frontier is still exhausted.
 		if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
 			if len(f.freeBlocks) == 0 {
-				if bad := len(f.bad); bad > f.cfg.SpareBlocks {
-					return nand.InvalidPPN, fmt.Errorf("%w: %d blocks retired, spare reserve of %d exhausted (device worn out)",
-						ErrDeviceFull, bad, f.cfg.SpareBlocks)
+				if len(f.bad) > f.cfg.SpareBlocks {
+					return nand.InvalidPPN, f.markWornOut()
 				}
 				return nand.InvalidPPN, ErrDeviceFull
 			}
@@ -664,14 +707,18 @@ func (f *FTL) isLive(ppn nand.PPN) bool {
 }
 
 // relocate copies one live page to the write frontier and fixes every
-// table that referenced it. When the flash-resident mapping image
+// table that referenced it. The spare-area record is copied verbatim —
+// the sequence number is version identity, so the relocated copy must
+// not outrank (or fall behind) the version it is a byte-for-byte copy
+// of in a later recovery scan. When the flash-resident mapping image
 // pointed at the old location, the affected map group is re-flushed so
 // a power cut never references an erased page.
 func (f *FTL) relocate(old nand.PPN, buf []byte) error {
-	if err := f.chip.ReadPageInternal(old, buf); err != nil {
+	oob := make([]byte, f.chip.Config().OOBSize)
+	if err := f.chip.ReadPageOOBInternal(old, buf, oob); err != nil {
 		return err
 	}
-	dst, err := f.programData(buf, true)
+	dst, err := f.programData(buf, oob, true)
 	if err != nil {
 		return err
 	}
@@ -707,15 +754,17 @@ func (f *FTL) fullMapPages() int {
 	return int((f.cfg.LogicalPages + per - 1) / per)
 }
 
-// barrierStorePages is the number of map pages one barrier programs.
-func (f *FTL) barrierStorePages(dirty int) int {
+// barrierPadPages is how many extra (content-free) meta pages a
+// barrier programs beyond the dirty group images, modeling firmware
+// that always stores a fixed-size table image.
+func (f *FTL) barrierPadPages(dirty int) int {
 	switch {
 	case f.cfg.BarrierMapPages > 0:
-		return max(f.cfg.BarrierMapPages, dirty)
+		return max(f.cfg.BarrierMapPages-dirty, 0)
 	case f.cfg.BarrierMapPages < 0:
-		return dirty // idealized incremental firmware (ablation)
+		return 0 // idealized incremental firmware (ablation)
 	default:
-		return max(f.fullMapPages(), dirty)
+		return max(f.fullMapPages()-dirty, 0)
 	}
 }
 
@@ -754,16 +803,22 @@ func (f *FTL) Barrier() error {
 		return nil
 	}
 	dirty := sortedGroups(f.dirtyGroup)
-	// Program the new full-table image first (copy-on-write store); the
-	// in-memory shadow of the flash image flips only after the store
-	// succeeded, so a power cut or program failure mid-barrier leaves
-	// the previous image — and its shadow — both current.
-	if err := f.WriteMetaSlot("l2pmap", f.barrierStorePages(len(dirty))); err != nil {
-		return err
-	}
+	// Each dirty group is stored copy-on-write: the new group image is
+	// programmed first and its pointer flips only on success, so a power
+	// cut or program failure mid-barrier leaves the previous image — and
+	// its shadow — both current. Clean groups keep their existing flash
+	// images; the pad pages model the firmware's fixed-size full-table
+	// store without carrying content.
+	pad := f.barrierPadPages(len(dirty))
 	for _, g := range dirty {
-		f.syncGroup(g)
-		delete(f.groupSlots, g) // superseded by the full store
+		if err := f.persistGroup(g); err != nil {
+			return err
+		}
+	}
+	if pad > 0 {
+		if err := f.WriteMetaSlot("l2pmap-pad", pad); err != nil {
+			return err
+		}
 	}
 	clear(f.dirtyGroup)
 	return nil
@@ -785,18 +840,21 @@ func (f *FTL) FlushDirtyGroups() (int, error) {
 	return n, nil
 }
 
-// persistGroup makes one map group durable: the new group image is
-// programmed first, and only then is the in-memory shadow reconciled
-// and the group pointer flipped — modeling the atomic pointer flip of a
-// copy-on-write firmware, so a power cut or program failure mid-flush
-// leaves the previous group image current.
+// persistGroup makes one map group durable: the new group image — real
+// serialized content, checksummed in its spare record — is programmed
+// first, and only then is the in-memory shadow reconciled and the group
+// pointer flipped — modeling the atomic pointer flip of a copy-on-write
+// firmware, so a power cut or program failure mid-flush leaves the
+// previous group image current.
 func (f *FTL) persistGroup(g int64) error {
-	ppn, err := f.metaProgram()
+	tag := metaTag{state: metaStateGroup, group: g, seq: f.nextSeq(), payLen: f.PageSize()}
+	ppn, err := f.metaProgram(f.serializeGroup(f.l2p, g), tag)
 	if err != nil {
 		return err
 	}
 	f.syncGroup(g)
 	if old, ok := f.groupSlots[g]; ok {
+		delete(f.metaTags, old)
 		_ = f.chip.Invalidate(old)
 	}
 	f.groupSlots[g] = ppn
@@ -804,30 +862,73 @@ func (f *FTL) persistGroup(g int64) error {
 	return nil
 }
 
-// WriteMetaSlot persists an upper-layer metadata object (a mapping
-// table image or the X-L2P table image) as a chain of meta pages under
-// a named slot, copy-on-write: the new chain is programmed, then the
-// previous chain is invalidated. Passing pages <= 0 drops the slot.
+// WriteMetaSlot persists an upper-layer metadata object as a content-
+// free chain of meta pages under a named slot (cost-model padding, e.g.
+// the fixed-size barrier store). Passing pages <= 0 drops the slot.
 func (f *FTL) WriteMetaSlot(name string, pages int) error {
 	if pages <= 0 {
 		for _, old := range f.metaSlots[name] {
+			delete(f.metaTags, old)
 			_ = f.chip.Invalidate(old)
 		}
 		delete(f.metaSlots, name)
+		delete(f.metaData, name)
 		return nil
 	}
+	return f.writeMetaSlot(name, nil, pages)
+}
+
+// WriteMetaSlotData persists a content-bearing metadata object (the
+// X-L2P table image, the bad-block table, the committed-transaction
+// log) as a chain of checksummed meta pages. The chain is padded to
+// minPages when the payload is smaller, preserving the cost model of
+// fixed-size table stores. The payload is recoverable by MetaSlotData
+// after a crash, from either recovery path.
+func (f *FTL) WriteMetaSlotData(name string, payload []byte, minPages int) error {
+	ps := f.PageSize()
+	pages := max((len(payload)+ps-1)/ps, minPages, 1)
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	return f.writeMetaSlot(name, p, pages)
+}
+
+// writeMetaSlot programs a slot's new chain and then flips the slot
+// pointer, invalidating the previous chain — a crash in between leaves
+// the old chain pointed-at and intact, while the half-written new chain
+// is garbage the scan path can identify (incomplete, lower sequence).
+// The whole chain shares a contiguous sequence range so any complete
+// copy can be ranked by its base sequence number.
+func (f *FTL) writeMetaSlot(name string, payload []byte, pages int) error {
+	ps := f.PageSize()
+	baseSeq := f.seq
+	f.seq += uint64(pages)
 	chain := make([]nand.PPN, 0, pages)
 	for i := 0; i < pages; i++ {
-		ppn, err := f.metaProgram()
+		var piece []byte
+		if lo := i * ps; lo < len(payload) {
+			piece = payload[lo:min(lo+ps, len(payload))]
+		}
+		tag := metaTag{
+			state: metaStateChain, slot: name,
+			idx: i, length: pages,
+			seq: baseSeq + uint64(i), payLen: len(piece),
+		}
+		ppn, err := f.metaProgram(piece, tag)
 		if err != nil {
 			return err
 		}
 		chain = append(chain, ppn)
 	}
 	for _, old := range f.metaSlots[name] {
+		delete(f.metaTags, old)
 		_ = f.chip.Invalidate(old)
 	}
 	f.metaSlots[name] = chain
+	if payload != nil {
+		f.metaData[name] = payload
+	} else {
+		delete(f.metaData, name)
+	}
 	return nil
 }
 
@@ -836,26 +937,47 @@ func (f *FTL) MetaSlotPages(name string) bool {
 	return len(f.metaSlots[name]) > 0
 }
 
-// metaProgram programs one page in the metadata ring and returns its
-// address, recycling exhausted meta blocks as needed. Meta payloads are
-// not content-addressed in the simulation: only their count and cost
-// matter, so a synthesized page image is programmed.
-func (f *FTL) metaProgram() (nand.PPN, error) {
+// MetaSlotData returns a copy of a content-bearing slot's payload, or
+// nil when the slot does not exist or was written content-free.
+func (f *FTL) MetaSlotData(name string) []byte {
+	p := f.metaData[name]
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// MetaRingBlocks returns the current metadata ring membership (for
+// tests and the recovery benchmark's worst-case corruption).
+func (f *FTL) MetaRingBlocks() []nand.BlockNum {
+	out := make([]nand.BlockNum, len(f.metaBlocks))
+	copy(out, f.metaBlocks)
+	return out
+}
+
+// metaProgram programs one page (payload plus checksummed spare record)
+// in the metadata ring and returns its address, advancing to the next
+// ring block as the frontier fills.
+func (f *FTL) metaProgram(payload []byte, tag metaTag) (nand.PPN, error) {
+	page := make([]byte, f.PageSize())
+	copy(page, payload)
+	oob := f.metaOOB(tag, crc32.ChecksumIEEE(page))
 	for attempt := 0; ; attempt++ {
-		if f.metaPage >= f.chip.Config().PagesPerBlock {
-			next := (f.metaCur + 1) % len(f.metaBlocks)
-			// recycleMetaBlock repositions the ring frontier (metaCur,
-			// metaPage) and re-homes any still-current resident pages.
-			if err := f.recycleMetaBlock(next); err != nil {
+		// Loop, not if: re-homing during an advance can fill the fresh
+		// frontier completely, requiring another advance.
+		for f.metaPage >= f.chip.Config().PagesPerBlock {
+			if err := f.advanceMetaFrontier(); err != nil {
 				return nand.InvalidPPN, err
 			}
 		}
 		blk := f.metaBlocks[f.metaCur]
 		ppn := f.chip.PPNOf(blk, f.metaPage)
 		f.metaPage++
-		page := make([]byte, f.PageSize())
-		err := f.chip.ProgramPageInternal(ppn, page)
+		err := f.chip.ProgramPageOOBInternal(ppn, page, oob)
 		if err == nil {
+			f.metaTags[ppn] = tag
 			return ppn, nil
 		}
 		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramRetries {
@@ -867,120 +989,128 @@ func (f *FTL) metaProgram() (nand.PPN, error) {
 	}
 }
 
-// metaResidents reports which map groups and slot chains currently have
-// pages inside blk, in deterministic (sorted) order.
-func (f *FTL) metaResidents(blk nand.BlockNum) (groups []int64, slots []string, slotPages map[string]int) {
-	for g, ppn := range f.groupSlots {
-		if f.chip.BlockOf(ppn) == blk {
-			groups = append(groups, g)
-		}
-	}
-	slices.Sort(groups)
-	slotPages = map[string]int{}
-	for s, chain := range f.metaSlots {
-		for _, ppn := range chain {
-			if f.chip.BlockOf(ppn) == blk {
-				slots = append(slots, s)
-				slotPages[s] = len(chain)
-				break
-			}
-		}
-	}
-	slices.Sort(slots)
-	return groups, slots, slotPages
-}
-
-// evictResidents drops the in-block pages of the given residents so the
-// block can be erased (or abandoned): group pointers are removed and
-// chain pages inside blk invalidated. rehomeResidents re-programs them.
-func (f *FTL) evictResidents(blk nand.BlockNum, groups []int64, slots []string) {
-	for _, g := range groups {
-		_ = f.chip.Invalidate(f.groupSlots[g])
-		delete(f.groupSlots, g)
-	}
-	for _, s := range slots {
-		for _, ppn := range f.metaSlots[s] {
-			if f.chip.BlockOf(ppn) == blk {
+// advanceMetaFrontier moves the ring frontier to the next block and
+// restores the ring invariant: the block after the new frontier holds
+// no live (pointed-at) meta pages. The invariant means the block
+// entered here carries only superseded garbage — it can be invalidated
+// and erased without reprogramming anything, so a power cut at any
+// point in the advance loses nothing.
+func (f *FTL) advanceMetaFrontier() error {
+	next := (f.metaCur + 1) % len(f.metaBlocks)
+	blk := f.metaBlocks[next]
+	ppb := f.chip.Config().PagesPerBlock
+	if free, _ := f.chip.FreePages(blk); free < ppb {
+		for pi := 0; pi < ppb; pi++ {
+			ppn := f.chip.PPNOf(blk, pi)
+			if st, _ := f.chip.State(ppn); st == nand.PageValid {
+				delete(f.metaTags, ppn)
 				_ = f.chip.Invalidate(ppn)
 			}
 		}
+		switch err := f.chip.EraseBlock(blk); {
+		case err == nil:
+			f.metaCur = next
+			f.metaPage = 0
+		case errors.Is(err, nand.ErrEraseFail):
+			// substituteMetaBlock repositions the frontier itself (and
+			// may consume pages of the fresh block persisting the BBT).
+			if serr := f.substituteMetaBlock(next); serr != nil {
+				return serr
+			}
+		default:
+			return err
+		}
+	} else {
+		f.metaCur = next
+		f.metaPage = 0
 	}
+	return f.cleanNextMetaBlock()
 }
 
-// rehomeResidents re-programs evicted map groups and slot chains
-// through the (repositioned) meta frontier. Chain pages that lived
-// outside the evicted block are invalidated as part of the copy-on-
-// write rewrite.
-func (f *FTL) rehomeResidents(evicted nand.BlockNum, groups []int64, slots []string, slotPages map[string]int) error {
-	for _, g := range groups {
-		ppn, err := f.metaProgram()
+// cleanNextMetaBlock re-homes every live meta page out of the ring
+// block that will be erased next, re-establishing the advance
+// invariant. A live page is reprogrammed from its RAM mirror with its
+// original spare record (same sequence number: the copy is the same
+// version), the pointer flips to the copy, and the original is
+// invalidated. At most one block's worth of pages is moved and the
+// frontier block is fresh, so the copies always fit. A cut mid-way is
+// harmless: every page is either still pointed at its old home or
+// already pointed at its copy, and Restart finishes the job.
+func (f *FTL) cleanNextMetaBlock() error {
+	next := (f.metaCur + 1) % len(f.metaBlocks)
+	return f.rehomePointed(f.metaBlocks[next])
+}
+
+// rehomePointed moves the live meta pages found in blk to the current
+// frontier. Tagged pages that are no longer pointed at (their slot was
+// rewritten mid-crash) are invalidated as garbage instead.
+func (f *FTL) rehomePointed(blk nand.BlockNum) error {
+	var ppns []nand.PPN
+	for ppn := range f.metaTags {
+		if f.chip.BlockOf(ppn) == blk {
+			ppns = append(ppns, ppn)
+		}
+	}
+	slices.Sort(ppns)
+	for _, old := range ppns {
+		tag := f.metaTags[old]
+		pointed := false
+		if tag.state == metaStateGroup {
+			pointed = f.groupSlots[tag.group] == old
+		} else if chain := f.metaSlots[tag.slot]; tag.idx < len(chain) {
+			pointed = chain[tag.idx] == old
+		}
+		if !pointed {
+			delete(f.metaTags, old)
+			_ = f.chip.Invalidate(old)
+			continue
+		}
+		// Regenerate the page content from the RAM mirrors; both are
+		// guaranteed byte-identical to what flash holds (pointers only
+		// flip after successful programs).
+		var payload []byte
+		if tag.state == metaStateGroup {
+			payload = f.serializeGroup(f.persisted, tag.group)
+		} else {
+			payload = f.slotPagePayload(tag.slot, tag.idx)
+		}
+		moved, err := f.metaProgram(payload, tag)
 		if err != nil {
 			return err
 		}
-		f.groupSlots[g] = ppn
-	}
-	for _, s := range slots {
-		old := f.metaSlots[s]
-		chain := make([]nand.PPN, 0, slotPages[s])
-		for i := 0; i < slotPages[s]; i++ {
-			ppn, err := f.metaProgram()
-			if err != nil {
-				return err
-			}
-			chain = append(chain, ppn)
+		if tag.state == metaStateGroup {
+			f.groupSlots[tag.group] = moved
+		} else {
+			f.metaSlots[tag.slot][tag.idx] = moved
 		}
-		for _, ppn := range old {
-			if f.chip.BlockOf(ppn) != evicted {
-				_ = f.chip.Invalidate(ppn)
-			}
-		}
-		f.metaSlots[s] = chain
+		delete(f.metaTags, old)
+		_ = f.chip.Invalidate(old)
 	}
 	return nil
 }
 
-// recycleMetaBlock prepares the next ring block for reuse, relocating
-// any still-current slot or map-group pages that live in it. A block
-// that refuses to erase is retired and replaced by a block drafted from
-// the data free pool.
-func (f *FTL) recycleMetaBlock(idx int) error {
-	blk := f.metaBlocks[idx]
-	groups, slots, slotPages := f.metaResidents(blk)
-	f.evictResidents(blk, groups, slots)
-	ppb := f.chip.Config().PagesPerBlock
-	for pi := 0; pi < ppb; pi++ {
-		ppn := f.chip.PPNOf(blk, pi)
-		if st, _ := f.chip.State(ppn); st == nand.PageValid {
-			_ = f.chip.Invalidate(ppn)
-		}
+// slotPagePayload returns the idx-th page's worth of a slot's payload
+// mirror (nil for content-free chains or pages past the payload).
+func (f *FTL) slotPagePayload(name string, idx int) []byte {
+	payload := f.metaData[name]
+	ps := f.PageSize()
+	lo := idx * ps
+	if lo >= len(payload) {
+		return nil
 	}
-	switch err := f.chip.EraseBlock(blk); {
-	case err == nil:
-		f.metaCur = idx
-		f.metaPage = 0
-	case errors.Is(err, nand.ErrEraseFail):
-		if serr := f.substituteMetaBlock(idx); serr != nil {
-			return serr
-		}
-	default:
-		return err
-	}
-	return f.rehomeResidents(blk, groups, slots, slotPages)
+	return payload[lo:min(lo+ps, len(payload))]
 }
 
 // retireCurrentMetaBlock handles a program failure in the metadata
 // ring: the current ring block is retired, a replacement is drafted
-// from the data free pool, and resident meta pages are re-homed into
-// it.
+// from the data free pool, and the retired block's live meta pages are
+// re-homed into it.
 func (f *FTL) retireCurrentMetaBlock() error {
-	idx := f.metaCur
-	blk := f.metaBlocks[idx]
-	groups, slots, slotPages := f.metaResidents(blk)
-	f.evictResidents(blk, groups, slots)
-	if err := f.substituteMetaBlock(idx); err != nil {
+	blk := f.metaBlocks[f.metaCur]
+	if err := f.substituteMetaBlock(f.metaCur); err != nil {
 		return err
 	}
-	return f.rehomeResidents(blk, groups, slots, slotPages)
+	return f.rehomePointed(blk)
 }
 
 // substituteMetaBlock retires the ring block at idx, installs a fresh
@@ -994,7 +1124,7 @@ func (f *FTL) substituteMetaBlock(idx int) error {
 	f.retireDepth++
 	defer func() { f.retireDepth-- }()
 	if len(f.freeBlocks) == 0 {
-		return fmt.Errorf("%w: no spare block to replace failed meta block %d", ErrDeviceFull, blk)
+		return fmt.Errorf("no spare block to replace failed meta block %d: %w", blk, f.markWornOut())
 	}
 	f.bad[blk] = true
 	delete(f.metaSet, blk)
@@ -1011,60 +1141,9 @@ func (f *FTL) substituteMetaBlock(idx int) error {
 }
 
 // PowerCut simulates sudden power loss: all volatile mapping state is
-// dropped. Restart rebuilds it from the flash-resident image.
+// dropped. Restart rebuilds it from what flash actually holds.
 func (f *FTL) PowerCut() {
 	f.powerFailed = true
-}
-
-// Restart recovers the FTL after a power cut: the volatile L2P table is
-// reloaded from the persistent image (charging one flash read per
-// flushed map group) and every physical page not referenced by the
-// recovered tables is invalidated. The recovery duration is whatever
-// the charged reads cost on the simulated clock.
-func (f *FTL) Restart() error {
-	if !f.powerFailed {
-		return nil
-	}
-	f.powerFailed = false
-	// Charge reads for reloading the mapping image (the full-table
-	// store plus any incremental group pages) and the bad-block table.
-	nMapPages := len(f.metaSlots["l2pmap"]) + len(f.metaSlots["bbt"]) + len(f.groupSlots)
-	for i := 0; i < nMapPages; i++ {
-		f.chip.Clock().Advance(f.chip.Config().ReadLatency / f.chip.Config().InternalParallelismDiv())
-		if f.stats != nil {
-			f.stats.PageReads.Add(1)
-		}
-	}
-	copy(f.l2p, f.persisted)
-	clear(f.dirtyGroup)
-	// Rebuild rmap and page validity from the recovered mapping.
-	for i := range f.rmap {
-		f.rmap[i] = -1
-	}
-	for lpn, ppn := range f.l2p {
-		if ppn != nand.InvalidPPN {
-			f.rmap[ppn] = LPN(lpn)
-		}
-	}
-	chipCfg := f.chip.Config()
-	dataBlocks := chipCfg.Blocks - f.cfg.MetaBlocks
-	for b := 0; b < dataBlocks; b++ {
-		blk := nand.BlockNum(b)
-		if f.isFree(blk) || f.bad[blk] || f.metaSet[blk] {
-			continue
-		}
-		for pi := 0; pi < chipCfg.PagesPerBlock; pi++ {
-			ppn := f.chip.PPNOf(blk, pi)
-			st, _ := f.chip.State(ppn)
-			if st != nand.PageValid {
-				continue
-			}
-			if f.rmap[ppn] == -1 && (f.hook == nil || !f.hook.Live(ppn)) {
-				_ = f.chip.Invalidate(ppn)
-			}
-		}
-	}
-	return nil
 }
 
 // GCStats reports cumulative GC observability counters: how many victim

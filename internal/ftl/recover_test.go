@@ -1,0 +1,340 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/nand"
+)
+
+// TestOOBRoundTrip checks the spare-area record survives encode/decode
+// and that header corruption is detected, never silently accepted.
+func TestOOBRoundTrip(t *testing.T) {
+	f, _ := newTestFTL(t)
+	recs := []oobRec{
+		{kind: oobKindData, state: dataStateBase, seq: 1, a: 42, b: 0},
+		{kind: oobKindData, state: dataStateTx, seq: 99, a: 7, b: 12345 | 99<<32},
+		{kind: oobKindMeta, state: metaStateGroup, seq: 3, a: 2, b: 0xDEADBEEF | uint64(f.PageSize())<<32},
+		{kind: oobKindMeta, state: metaStateChain, seq: 8, a: 5 | 2<<16 | 4<<32, b: 1},
+	}
+	for _, want := range recs {
+		buf := encodeOOB(want)
+		got, ok := decodeOOB(buf)
+		if !ok {
+			t.Fatalf("decodeOOB rejected valid record %+v", want)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+		for i := range buf {
+			bad := make([]byte, len(buf))
+			copy(bad, buf)
+			bad[i] ^= 0xFF
+			if _, ok := decodeOOB(bad); ok {
+				t.Errorf("decodeOOB accepted record with byte %d corrupted", i)
+			}
+		}
+	}
+	if _, ok := decodeOOB(make([]byte, oobRecSize)); ok {
+		t.Error("decodeOOB accepted an all-zero (never written) spare area")
+	}
+}
+
+// writeAndBarrier commits a deterministic working set.
+func writeAndBarrier(t *testing.T, f *FTL, lpns []LPN) {
+	t.Helper()
+	for _, lpn := range lpns {
+		if err := f.Write(lpn, page(f, byte(0x30+lpn))); err != nil {
+			t.Fatalf("Write lpn %d: %v", lpn, err)
+		}
+	}
+	if err := f.Barrier(); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+}
+
+func verifyPages(t *testing.T, f *FTL, lpns []LPN) {
+	t.Helper()
+	buf := make([]byte, f.PageSize())
+	for _, lpn := range lpns {
+		if err := f.Read(lpn, buf); err != nil {
+			t.Fatalf("Read lpn %d: %v", lpn, err)
+		}
+		if !bytes.Equal(buf, page(f, byte(0x30+lpn))) {
+			t.Errorf("lpn %d content mismatch after recovery", lpn)
+		}
+	}
+}
+
+// TestImageFastPathOnCleanCrash: with intact metadata, mount takes the
+// image path and never scans.
+func TestImageFastPathOnCleanCrash(t *testing.T) {
+	f, stats := newTestFTL(t)
+	lpns := []LPN{1, 5, 9, 13}
+	writeAndBarrier(t, f, lpns)
+	f.PowerCut()
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	info := f.LastRecovery()
+	if info.Mode != RecoveryImage {
+		t.Fatalf("recovery mode %v, want image (reason %q)", info.Mode, info.Reason)
+	}
+	if got := stats.ImageRecoveries.Load(); got != 1 {
+		t.Errorf("ImageRecoveries = %d, want 1", got)
+	}
+	if got := stats.ScanRecoveries.Load(); got != 0 {
+		t.Errorf("ScanRecoveries = %d, want 0", got)
+	}
+	verifyPages(t, f, lpns)
+}
+
+// TestScanRecoversAfterMetaDestruction: every persisted copy of each
+// metadata structure is corrupted or destroyed outright; the OOB scan
+// must still recover all barriered data, and the CRC framing must
+// detect silent corruption (never accept it as the fast path).
+func TestScanRecoversAfterMetaDestruction(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		target string
+		erase  bool
+	}{
+		{"map corrupted", "map", false},
+		{"map destroyed", "map", true},
+		{"pad chain corrupted", "l2pmap-pad", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, stats := newTestFTL(t)
+			lpns := []LPN{0, 3, 7, 11, 200}
+			writeAndBarrier(t, f, lpns)
+			f.PowerCut()
+			n, err := f.CorruptMeta(tc.target, tc.erase)
+			if err != nil {
+				t.Fatalf("CorruptMeta: %v", err)
+			}
+			if n == 0 {
+				t.Fatal("CorruptMeta hit no pages")
+			}
+			if err := f.Restart(); err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+			info := f.LastRecovery()
+			if info.Mode != RecoveryScan {
+				t.Fatalf("recovery mode %v, want scan", info.Mode)
+			}
+			if info.ScanPages != f.Chip().Config().TotalPages() {
+				t.Errorf("scan visited %d pages, want %d", info.ScanPages, f.Chip().Config().TotalPages())
+			}
+			if !tc.erase && stats.MetaCRCFailures.Load() == 0 {
+				t.Error("silent corruption was not detected by any CRC check")
+			}
+			if tc.erase && info.TornSkipped == 0 {
+				t.Error("destroyed pages were not accounted as torn")
+			}
+			if stats.UncorrectableReads.Load() != 0 {
+				t.Errorf("recovery reads leaked %d uncorrectable-read counts", stats.UncorrectableReads.Load())
+			}
+			verifyPages(t, f, lpns)
+			// Self-healing: the next crash must take the fast path again.
+			f.PowerCut()
+			if err := f.Restart(); err != nil {
+				t.Fatalf("second Restart: %v", err)
+			}
+			if mode := f.LastRecovery().Mode; mode != RecoveryImage {
+				t.Errorf("post-heal recovery mode %v, want image (reason %q)", mode, f.LastRecovery().Reason)
+			}
+			verifyPages(t, f, lpns)
+		})
+	}
+}
+
+// TestScanPicksNewestChain: a slot rewritten twice leaves both chains
+// physically on flash (the old one invalidated); when the mapping image
+// is gone, the scan must deterministically pick the newer complete
+// chain by base sequence number.
+func TestScanPicksNewestChain(t *testing.T) {
+	f, _ := newTestFTL(t)
+	writeAndBarrier(t, f, []LPN{2, 4})
+	v1 := bytes.Repeat([]byte{0xA1}, 100)
+	v2 := bytes.Repeat([]byte{0xB2}, 900) // two pages
+	if err := f.WriteMetaSlotData("testslot", v1, 1); err != nil {
+		t.Fatalf("write v1: %v", err)
+	}
+	if err := f.WriteMetaSlotData("testslot", v2, 1); err != nil {
+		t.Fatalf("write v2: %v", err)
+	}
+	f.PowerCut()
+	if _, err := f.CorruptMeta("map", false); err != nil {
+		t.Fatalf("CorruptMeta: %v", err)
+	}
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if mode := f.LastRecovery().Mode; mode != RecoveryScan {
+		t.Fatalf("recovery mode %v, want scan", mode)
+	}
+	if got := f.MetaSlotData("testslot"); !bytes.Equal(got, v2) {
+		t.Errorf("scan recovered %d-byte payload, want the newer %d-byte version", len(got), len(v2))
+	}
+}
+
+// TestScanFallsBackToOldChainOnTornWrite (the chain-replacement crash
+// regression): a power cut tears the replacement chain mid-write, so
+// the newest complete version on flash is the old one — recovery must
+// return it, not the torn fragment and not garbage.
+func TestScanFallsBackToOldChainOnTornWrite(t *testing.T) {
+	f, _ := newTestFTL(t)
+	writeAndBarrier(t, f, []LPN{2, 4})
+	v1 := bytes.Repeat([]byte{0xC3}, 700) // two pages
+	v2 := bytes.Repeat([]byte{0xD4}, 700)
+	if err := f.WriteMetaSlotData("testslot", v1, 1); err != nil {
+		t.Fatalf("write v1: %v", err)
+	}
+	// Cut power on the second page program of the v2 chain: the chain
+	// is incomplete on flash and its pointer never flipped.
+	f.Chip().ArmPowerCut(2)
+	if err := f.WriteMetaSlotData("testslot", v2, 1); !errors.Is(err, nand.ErrPowerLost) {
+		t.Fatalf("write v2: got %v, want power cut", err)
+	}
+	f.Chip().Restore()
+	f.PowerCut()
+	if _, err := f.CorruptMeta("map", false); err != nil {
+		t.Fatalf("CorruptMeta: %v", err)
+	}
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if mode := f.LastRecovery().Mode; mode != RecoveryScan {
+		t.Fatalf("recovery mode %v, want scan", mode)
+	}
+	if got := f.MetaSlotData("testslot"); !bytes.Equal(got, v1) {
+		t.Errorf("scan recovered %d-byte payload, want the old complete version", len(got))
+	}
+}
+
+// TestScanHonorsCommitLog: transactional CoW pages are recovered only
+// when their transaction is in the durable commit log, even when every
+// mapping structure is destroyed.
+func TestScanHonorsCommitLog(t *testing.T) {
+	f, _ := newTestFTL(t)
+	writeAndBarrier(t, f, []LPN{20})
+	committed := page(f, 0xCC)
+	uncommitted := page(f, 0xEE)
+	if _, err := f.WriteRawTx(21, committed, 7); err != nil {
+		t.Fatalf("WriteRawTx committed: %v", err)
+	}
+	if err := f.NoteCommittedTx(7); err != nil {
+		t.Fatalf("NoteCommittedTx: %v", err)
+	}
+	if _, err := f.WriteRawTx(22, uncommitted, 8); err != nil {
+		t.Fatalf("WriteRawTx uncommitted: %v", err)
+	}
+	f.PowerCut()
+	if _, err := f.CorruptMeta("map", true); err != nil {
+		t.Fatalf("CorruptMeta: %v", err)
+	}
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if mode := f.LastRecovery().Mode; mode != RecoveryScan {
+		t.Fatalf("recovery mode %v, want scan", mode)
+	}
+	if !f.TxCommitted(7) || f.TxCommitted(8) {
+		t.Fatalf("commit log recovered wrong: tx7=%v tx8=%v", f.TxCommitted(7), f.TxCommitted(8))
+	}
+	buf := make([]byte, f.PageSize())
+	if err := f.Read(21, buf); err != nil {
+		t.Fatalf("Read committed: %v", err)
+	}
+	if !bytes.Equal(buf, committed) {
+		t.Error("committed transactional write lost by scan recovery")
+	}
+	if err := f.Read(22, buf); err != nil {
+		t.Fatalf("Read uncommitted: %v", err)
+	}
+	if bytes.Equal(buf, uncommitted) {
+		t.Error("uncommitted transactional write resurrected by scan recovery")
+	}
+}
+
+// TestScanSurvivesTotalMetaAnnihilation: every page of every meta ring
+// block is destroyed — mapping image, chains, commit log, all copies.
+// Base (barriered) data must still be fully recovered from data-page
+// spare records alone.
+func TestScanSurvivesTotalMetaAnnihilation(t *testing.T) {
+	f, _ := newTestFTL(t)
+	lpns := []LPN{0, 1, 2, 50, 51, 300}
+	writeAndBarrier(t, f, lpns)
+	f.PowerCut()
+	chip := f.Chip()
+	for _, blk := range f.MetaRingBlocks() {
+		for pi := 0; pi < chip.Config().PagesPerBlock; pi++ {
+			ppn := chip.PPNOf(blk, pi)
+			if st, _ := chip.State(ppn); st != nand.PageFree {
+				if err := chip.DestroyPage(ppn); err != nil {
+					t.Fatalf("DestroyPage: %v", err)
+				}
+			}
+		}
+	}
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if mode := f.LastRecovery().Mode; mode != RecoveryScan {
+		t.Fatalf("recovery mode %v, want scan", mode)
+	}
+	verifyPages(t, f, lpns)
+	// And the device keeps working: new writes, barrier, clean restart.
+	writeAndBarrier(t, f, []LPN{77})
+	f.PowerCut()
+	if err := f.Restart(); err != nil {
+		t.Fatalf("post-heal Restart: %v", err)
+	}
+	verifyPages(t, f, append(lpns, 77))
+}
+
+// TestWornOutTypedError: spare-pool exhaustion surfaces as the typed
+// worn-out state, matching both the new sentinel and the legacy
+// device-full error for compatibility.
+func TestWornOutTypedError(t *testing.T) {
+	f, _ := newTestFTL(t)
+	err := f.markWornOut()
+	if !errors.Is(err, ErrWornOut) {
+		t.Error("worn-out error does not match ErrWornOut")
+	}
+	if !errors.Is(err, ErrDeviceFull) {
+		t.Error("worn-out error does not match legacy ErrDeviceFull")
+	}
+	if !f.WornOut() {
+		t.Error("WornOut() false after markWornOut")
+	}
+}
+
+// TestRecoveryDurationUsesSimulatedTime: the scan charges simulated
+// read time for every page it visits, so Duration must be positive and
+// larger than the image path's.
+func TestRecoveryDurationUsesSimulatedTime(t *testing.T) {
+	f, _ := newTestFTL(t)
+	writeAndBarrier(t, f, []LPN{1, 2, 3})
+	f.PowerCut()
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	imageDur := f.LastRecovery().Duration
+	if imageDur <= 0 {
+		t.Fatalf("image recovery duration %v, want > 0", imageDur)
+	}
+	writeAndBarrier(t, f, []LPN{4})
+	f.PowerCut()
+	if _, err := f.CorruptMeta("map", true); err != nil {
+		t.Fatalf("CorruptMeta: %v", err)
+	}
+	if err := f.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	scanDur := f.LastRecovery().Duration
+	if scanDur <= imageDur {
+		t.Errorf("scan duration %v not larger than image duration %v", scanDur, imageDur)
+	}
+}

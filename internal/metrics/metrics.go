@@ -93,6 +93,12 @@ type FlashCounters struct {
 	ProgramFails       atomic.Int64 // page programs that reported status fail
 	EraseFails         atomic.Int64 // block erases that reported status fail
 	RetiredBlocks      atomic.Int64 // blocks retired to the bad-block table
+
+	// Recovery counters (zero while the metadata fast path holds).
+	MetaCRCFailures atomic.Int64 // meta pages rejected by header/payload CRC or identity check
+	ImageRecoveries atomic.Int64 // mounts served by the mapping-image fast path
+	ScanRecoveries  atomic.Int64 // mounts that fell back to the full-device OOB scan
+	ScanPages       atomic.Int64 // physical pages visited by OOB scans
 }
 
 // Reset zeroes every counter.
@@ -107,6 +113,10 @@ func (f *FlashCounters) Reset() {
 	f.ProgramFails.Store(0)
 	f.EraseFails.Store(0)
 	f.RetiredBlocks.Store(0)
+	f.MetaCRCFailures.Store(0)
+	f.ImageRecoveries.Store(0)
+	f.ScanRecoveries.Store(0)
+	f.ScanPages.Store(0)
 }
 
 // Snapshot returns a plain-struct copy of the current values.
@@ -122,6 +132,10 @@ func (f *FlashCounters) Snapshot() FlashSnapshot {
 		ProgramFails:       f.ProgramFails.Load(),
 		EraseFails:         f.EraseFails.Load(),
 		RetiredBlocks:      f.RetiredBlocks.Load(),
+		MetaCRCFailures:    f.MetaCRCFailures.Load(),
+		ImageRecoveries:    f.ImageRecoveries.Load(),
+		ScanRecoveries:     f.ScanRecoveries.Load(),
+		ScanPages:          f.ScanPages.Load(),
 	}
 }
 
@@ -138,6 +152,11 @@ type FlashSnapshot struct {
 	ProgramFails       int64
 	EraseFails         int64
 	RetiredBlocks      int64
+
+	MetaCRCFailures int64
+	ImageRecoveries int64
+	ScanRecoveries  int64
+	ScanPages       int64
 }
 
 // Sub returns the element-wise difference s - o.
@@ -153,15 +172,23 @@ func (s FlashSnapshot) Sub(o FlashSnapshot) FlashSnapshot {
 		ProgramFails:       s.ProgramFails - o.ProgramFails,
 		EraseFails:         s.EraseFails - o.EraseFails,
 		RetiredBlocks:      s.RetiredBlocks - o.RetiredBlocks,
+		MetaCRCFailures:    s.MetaCRCFailures - o.MetaCRCFailures,
+		ImageRecoveries:    s.ImageRecoveries - o.ImageRecoveries,
+		ScanRecoveries:     s.ScanRecoveries - o.ScanRecoveries,
+		ScanPages:          s.ScanPages - o.ScanPages,
 	}
 }
 
 func (s FlashSnapshot) String() string {
 	base := fmt.Sprintf("writes=%d reads=%d gc=%d erases=%d",
 		s.PageWrites, s.PageReads, s.GCRuns, s.BlockErases)
-	if s.CorrectedBits|s.ReadRetries|s.UncorrectableReads|s.ProgramFails|s.EraseFails|s.RetiredBlocks == 0 {
-		return base
+	if s.CorrectedBits|s.ReadRetries|s.UncorrectableReads|s.ProgramFails|s.EraseFails|s.RetiredBlocks != 0 {
+		base += fmt.Sprintf(" eccbits=%d retries=%d uncorrectable=%d progfail=%d erasefail=%d retired=%d",
+			s.CorrectedBits, s.ReadRetries, s.UncorrectableReads, s.ProgramFails, s.EraseFails, s.RetiredBlocks)
 	}
-	return base + fmt.Sprintf(" eccbits=%d retries=%d uncorrectable=%d progfail=%d erasefail=%d retired=%d",
-		s.CorrectedBits, s.ReadRetries, s.UncorrectableReads, s.ProgramFails, s.EraseFails, s.RetiredBlocks)
+	if s.MetaCRCFailures|s.ImageRecoveries|s.ScanRecoveries|s.ScanPages != 0 {
+		base += fmt.Sprintf(" metacrc=%d imgrec=%d scanrec=%d scanpages=%d",
+			s.MetaCRCFailures, s.ImageRecoveries, s.ScanRecoveries, s.ScanPages)
+	}
+	return base
 }

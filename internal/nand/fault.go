@@ -200,14 +200,16 @@ func (c *Chip) opTick() (interrupted bool, err error) {
 // succeed. It returns nil when the (possibly corrected) data is valid,
 // or ErrUncorrectable when the error count exceeds the ECC capability.
 // Latency for retry rounds is charged here; the caller has already
-// charged the base read latency.
-func (c *Chip) readFaults(b *block, pi int) error {
+// charged the base read latency. quiet reads (recovery scans) do not
+// count expected failures in the UncorrectableReads/ReadRetries escape
+// counters.
+func (c *Chip) readFaults(b *block, pi int, quiet bool) error {
 	if b.torn[pi] {
 		// A torn page never passes ECC no matter how many retries.
 		if c.fault != nil {
 			c.clock.Advance(time.Duration(c.fault.MaxReadRetries) * c.fault.ReadRetryLatency)
 		}
-		if c.stats != nil {
+		if c.stats != nil && !quiet {
 			c.stats.UncorrectableReads.Add(1)
 		}
 		return ErrUncorrectable
@@ -224,7 +226,7 @@ func (c *Chip) readFaults(b *block, pi int) error {
 	}
 	if m.ECCBits > 0 && n > m.ECCBits {
 		c.clock.Advance(time.Duration(m.MaxReadRetries) * m.ReadRetryLatency)
-		if c.stats != nil {
+		if c.stats != nil && !quiet {
 			c.stats.ReadRetries.Add(int64(m.MaxReadRetries))
 			c.stats.UncorrectableReads.Add(1)
 		}

@@ -66,14 +66,24 @@ var (
 	ErrEraseValidPage = errors.New("nand: erasing a block that still holds valid pages")
 )
 
+// DefaultOOBSize is the per-page spare (out-of-band) area used when
+// Config.OOBSize is zero. Real K9LCG08U1M pages carry 436 spare bytes;
+// the FTL's page metadata record needs far less.
+const DefaultOOBSize = 32
+
 // Config describes chip geometry and operation latencies.
 type Config struct {
 	Blocks        int           // number of erase blocks
 	PagesPerBlock int           // pages per erase block
 	PageSize      int           // bytes per page
-	ReadLatency   time.Duration // page read (cell array -> register)
-	ProgLatency   time.Duration // page program
-	EraseLatency  time.Duration // block erase
+	// OOBSize is the per-page spare-area size in bytes. The spare area
+	// is programmed atomically with the page data (one program pulse
+	// covers both, as on real NAND) and read back with it; a torn page
+	// loses both. Zero selects DefaultOOBSize.
+	OOBSize      int
+	ReadLatency  time.Duration // page read (cell array -> register)
+	ProgLatency  time.Duration // page program
+	EraseLatency time.Duration // block erase
 	// InternalParallelism is the effective channel/plane concurrency
 	// available to firmware-initiated bulk operations (mapping-table
 	// flushes, GC copy-back). Host-issued single-page commands see the
@@ -107,6 +117,8 @@ func (c Config) Validate() error {
 		return errors.New("nand: PagesPerBlock must be positive")
 	case c.PageSize <= 0:
 		return errors.New("nand: PageSize must be positive")
+	case c.OOBSize < 0:
+		return errors.New("nand: OOBSize must not be negative")
 	default:
 		return nil
 	}
@@ -144,6 +156,7 @@ type Chip struct {
 
 type block struct {
 	data       [][]byte    // lazily allocated page payloads
+	oob        [][]byte    // lazily allocated spare-area contents
 	state      []PageState // per-page state
 	torn       []bool      // partially programmed/erased pages (never pass ECC)
 	eraseCount int64
@@ -162,11 +175,15 @@ func New(cfg Config, clock *simclock.Clock, stats *metrics.FlashCounters) (*Chip
 	if clock == nil {
 		clock = simclock.New()
 	}
+	if cfg.OOBSize == 0 {
+		cfg.OOBSize = DefaultOOBSize
+	}
 	c := &Chip{cfg: cfg, clock: clock, stats: stats}
 	c.blocks = make([]block, cfg.Blocks)
 	for i := range c.blocks {
 		c.blocks[i] = block{
 			data:      make([][]byte, cfg.PagesPerBlock),
+			oob:       make([][]byte, cfg.PagesPerBlock),
 			state:     make([]PageState, cfg.PagesPerBlock),
 			torn:      make([]bool, cfg.PagesPerBlock),
 			freeCount: cfg.PagesPerBlock,
@@ -205,6 +222,24 @@ func (c *Chip) BlockOf(p PPN) BlockNum {
 // near the ECC threshold; past the threshold it returns
 // ErrUncorrectable and buf is untouched.
 func (c *Chip) ReadPage(p PPN, buf []byte) error {
+	return c.readPage(p, buf, nil, false)
+}
+
+// ReadPageOOB is ReadPage plus the page's spare area: one read command
+// transfers both (the spare bytes ride in the same page register), so it
+// charges a single read. oobBuf must be at least OOBSize bytes.
+func (c *Chip) ReadPageOOB(p PPN, buf, oobBuf []byte) error {
+	if len(oobBuf) < c.cfg.OOBSize {
+		return ErrShortBuffer
+	}
+	return c.readPage(p, buf, oobBuf, false)
+}
+
+// readPage implements ReadPage and ReadPageOOB. quiet selects scan
+// semantics: expected failures (torn pages, ECC overflow) do not bump
+// the UncorrectableReads/ReadRetries escape counters — a recovery scan
+// deliberately reads pages that normal firmware would never touch.
+func (c *Chip) readPage(p PPN, buf, oobBuf []byte, quiet bool) error {
 	bi, pi, err := c.split(p)
 	if err != nil {
 		return err
@@ -226,11 +261,56 @@ func (c *Chip) ReadPage(p PPN, buf []byte) error {
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
 	}
-	if err := c.readFaults(b, pi); err != nil {
+	if err := c.readFaults(b, pi, quiet); err != nil {
 		return fmt.Errorf("%w: ppn %d", err, p)
 	}
 	copy(buf, b.data[pi])
+	if oobBuf != nil {
+		for i := 0; i < c.cfg.OOBSize && i < len(oobBuf); i++ {
+			oobBuf[i] = 0
+		}
+		copy(oobBuf, b.oob[pi])
+	}
 	return nil
+}
+
+// ScanRead is the recovery-scan read: firmware-internal latency, data
+// and spare area in one transfer, and quiet fault accounting (a torn or
+// ECC-dead page returns ErrUncorrectable without counting as an escaped
+// uncorrectable read — the scan expects to trip over such pages). A free
+// page returns (PageFree, nil) with nothing copied: the scan still
+// issued the read and found the all-ones erased pattern.
+func (c *Chip) ScanRead(p PPN, buf, oobBuf []byte) (PageState, error) {
+	bi, pi, err := c.split(p)
+	if err != nil {
+		return PageFree, err
+	}
+	if len(buf) < c.cfg.PageSize || len(oobBuf) < c.cfg.OOBSize {
+		return PageFree, ErrShortBuffer
+	}
+	b := &c.blocks[bi]
+	st := b.state[pi]
+	if cut, err := c.opTick(); err != nil {
+		return st, err
+	} else if cut {
+		return st, ErrPowerLost
+	}
+	c.clock.Advance(c.cfg.ReadLatency / c.internalDiv())
+	if c.stats != nil {
+		c.stats.PageReads.Add(1)
+	}
+	if st == PageFree {
+		return PageFree, nil
+	}
+	if err := c.readFaults(b, pi, true); err != nil {
+		return st, fmt.Errorf("%w: ppn %d", err, p)
+	}
+	copy(buf, b.data[pi])
+	for i := range oobBuf[:c.cfg.OOBSize] {
+		oobBuf[i] = 0
+	}
+	copy(oobBuf, b.oob[pi])
+	return st, nil
 }
 
 // internalDiv returns the latency divisor for firmware-internal ops.
@@ -239,9 +319,21 @@ func (c *Chip) internalDiv() time.Duration { return c.cfg.InternalParallelismDiv
 // ReadPageInternal is ReadPage for firmware-initiated transfers (GC
 // copy-back): the latency pipelines across the internal channels.
 func (c *Chip) ReadPageInternal(p PPN, buf []byte) error {
+	return c.readPageInternal(p, buf, nil)
+}
+
+// ReadPageOOBInternal is ReadPageOOB at firmware-internal latency.
+func (c *Chip) ReadPageOOBInternal(p PPN, buf, oobBuf []byte) error {
+	if len(oobBuf) < c.cfg.OOBSize {
+		return ErrShortBuffer
+	}
+	return c.readPageInternal(p, buf, oobBuf)
+}
+
+func (c *Chip) readPageInternal(p PPN, buf, oobBuf []byte) error {
 	save := c.cfg.ReadLatency
 	c.cfg.ReadLatency = save / c.internalDiv()
-	err := c.ReadPage(p, buf)
+	err := c.readPage(p, buf, oobBuf, false)
 	c.cfg.ReadLatency = save
 	return err
 }
@@ -249,9 +341,14 @@ func (c *Chip) ReadPageInternal(p PPN, buf []byte) error {
 // ProgramPageInternal is ProgramPage for firmware-initiated writes
 // (mapping-table flushes, GC copy-back).
 func (c *Chip) ProgramPageInternal(p PPN, data []byte) error {
+	return c.ProgramPageOOBInternal(p, data, nil)
+}
+
+// ProgramPageOOBInternal is ProgramPageOOB at firmware-internal latency.
+func (c *Chip) ProgramPageOOBInternal(p PPN, data, oob []byte) error {
 	save := c.cfg.ProgLatency
 	c.cfg.ProgLatency = save / c.internalDiv()
-	err := c.ProgramPage(p, data)
+	err := c.ProgramPageOOB(p, data, oob)
 	c.cfg.ProgLatency = save
 	return err
 }
@@ -260,12 +357,24 @@ func (c *Chip) ProgramPageInternal(p PPN, data []byte) error {
 // data length must equal PageSize. Programming a non-free page fails,
 // enforcing the erase-before-write rule.
 func (c *Chip) ProgramPage(p PPN, data []byte) error {
+	return c.ProgramPageOOB(p, data, nil)
+}
+
+// ProgramPageOOB programs a page together with its spare area in one
+// pulse, exactly as the flash interface does (the OOB bytes are loaded
+// into the tail of the page register before the program command). A nil
+// oob leaves the spare area all-zero; a torn or failed program consumes
+// data and spare alike.
+func (c *Chip) ProgramPageOOB(p PPN, data, oob []byte) error {
 	bi, pi, err := c.split(p)
 	if err != nil {
 		return err
 	}
 	if len(data) != c.cfg.PageSize {
 		return fmt.Errorf("%w: got %d want %d", ErrWrongDataSize, len(data), c.cfg.PageSize)
+	}
+	if len(oob) > c.cfg.OOBSize {
+		return fmt.Errorf("%w: oob %d exceeds spare area %d", ErrWrongDataSize, len(oob), c.cfg.OOBSize)
 	}
 	b := &c.blocks[bi]
 	if b.state[pi] != PageFree {
@@ -306,6 +415,11 @@ func (c *Chip) ProgramPage(p PPN, data []byte) error {
 		b.data[pi] = make([]byte, c.cfg.PageSize)
 	}
 	copy(b.data[pi], data)
+	b.oob[pi] = nil
+	if len(oob) > 0 {
+		b.oob[pi] = make([]byte, c.cfg.OOBSize)
+		copy(b.oob[pi], oob)
+	}
 	b.state[pi] = PageValid
 	b.validCount++
 	b.freeCount--
@@ -377,6 +491,7 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 	for pi := range b.state {
 		b.state[pi] = PageFree
 		b.data[pi] = nil
+		b.oob[pi] = nil
 		b.torn[pi] = false
 	}
 	b.freeHint = 0
@@ -397,6 +512,7 @@ func (c *Chip) wreckBlock(b *block) {
 	for pi := range b.state {
 		b.state[pi] = PageInvalid
 		b.data[pi] = nil
+		b.oob[pi] = nil
 		b.torn[pi] = true
 	}
 	b.freeHint = c.cfg.PagesPerBlock

@@ -29,6 +29,49 @@ import (
 // to a device running the baseline (non-X) FTL.
 var ErrNotTransactional = errors.New("storage: device does not support transactional commands")
 
+// ErrWornOut re-exports the firmware's typed worn-out error: the
+// bad-block replacement reserve is exhausted and the device has gone
+// permanently read-only. Query Health() for the full state.
+var ErrWornOut = ftl.ErrWornOut
+
+// HealthState classifies the device's media condition.
+type HealthState uint8
+
+const (
+	// Healthy: no blocks retired.
+	Healthy HealthState = iota
+	// Degraded: blocks have been retired but spares remain; fully
+	// operational.
+	Degraded
+	// WornOut: the spare reserve is exhausted; writes fail with
+	// ErrWornOut and only reads are served.
+	WornOut
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case WornOut:
+		return "worn-out"
+	default:
+		return fmt.Sprintf("HealthState(%d)", uint8(s))
+	}
+}
+
+// Health is the device's queryable wear state (a SMART-style report).
+type Health struct {
+	State         HealthState
+	RetiredBlocks int // blocks retired to the bad-block table
+	SpareBlocks   int // size of the replacement reserve
+}
+
+func (h Health) String() string {
+	return fmt.Sprintf("%v (retired %d of %d spare)", h.State, h.RetiredBlocks, h.SpareBlocks)
+}
+
 // Profile describes one storage device model.
 type Profile struct {
 	Name string
@@ -344,4 +387,36 @@ func (d *Device) Restart() error {
 		return d.x.Restart()
 	}
 	return d.base.Restart()
+}
+
+// Health reports the device's wear state: how many blocks have been
+// retired against the spare reserve, and whether the reserve is
+// exhausted (WornOut — writes fail with ErrWornOut).
+func (d *Device) Health() Health {
+	h := Health{
+		RetiredBlocks: d.base.BadBlockCount(),
+		SpareBlocks:   d.base.Config().SpareBlocks,
+	}
+	switch {
+	case d.base.WornOut():
+		h.State = WornOut
+	case h.RetiredBlocks > 0:
+		h.State = Degraded
+	}
+	return h
+}
+
+// LastRecovery reports how the most recent Restart brought the device
+// up: the fast mapping-image path, or the full-device OOB scan, with
+// page counts and the simulated time it cost.
+func (d *Device) LastRecovery() ftl.RecoveryInfo { return d.base.LastRecovery() }
+
+// CorruptMeta is a fault-injection hook (test/bench only): it corrupts
+// or erases every flash page of one persisted metadata structure —
+// "map" for the mapping-table group pages, or a meta slot name (such as
+// "bbt" or "xl2p") for that slot's chain. It returns the number of
+// pages damaged. The next Restart must detect the damage and fall back
+// to the OOB scan path.
+func (d *Device) CorruptMeta(target string, erase bool) (int, error) {
+	return d.base.CorruptMeta(target, erase)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ftl"
 	"repro/internal/simclock"
 )
 
@@ -253,5 +254,71 @@ func TestConcurrentUseDetector(t *testing.T) {
 	release()
 	if err := d.Write(1, devPage(d, 2)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHealthReporting(t *testing.T) {
+	d := newDev(t, false)
+	h := d.Health()
+	if h.State != Healthy {
+		t.Fatalf("fresh device health = %v, want healthy", h)
+	}
+	if h.SpareBlocks <= 0 {
+		t.Fatalf("SpareBlocks = %d, want > 0", h.SpareBlocks)
+	}
+	if h.RetiredBlocks != 0 {
+		t.Fatalf("RetiredBlocks = %d on fresh device", h.RetiredBlocks)
+	}
+	if got := h.String(); got == "" {
+		t.Fatal("Health.String empty")
+	}
+}
+
+func TestRecoveryModeSurfaced(t *testing.T) {
+	d := newDev(t, true)
+	if err := d.WriteTx(1, 3, devPage(d, 0xA1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerCut()
+	if err := d.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if ri := d.LastRecovery(); ri.Mode != ftl.RecoveryImage {
+		t.Fatalf("clean crash recovery mode = %v, want image", ri.Mode)
+	}
+
+	// Destroy every copy of the mapping image: the next mount must take
+	// the full-device scan path and still serve committed data.
+	d.PowerCut()
+	if n, err := d.CorruptMeta("map", true); err != nil || n == 0 {
+		t.Fatalf("CorruptMeta(map) = %d, %v", n, err)
+	}
+	if err := d.Restart(); err != nil {
+		t.Fatalf("Restart after corruption: %v", err)
+	}
+	ri := d.LastRecovery()
+	if ri.Mode != ftl.RecoveryScan {
+		t.Fatalf("recovery mode = %v, want scan (reason %q)", ri.Mode, ri.Reason)
+	}
+	if ri.ScanPages == 0 || ri.Duration <= 0 {
+		t.Fatalf("scan recovery info incomplete: %+v", ri)
+	}
+	buf := make([]byte, d.PageSize())
+	if err := d.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xA1 {
+		t.Fatalf("committed data lost across scan recovery: %x", buf[0])
+	}
+}
+
+func TestCorruptMetaUnknownSlot(t *testing.T) {
+	d := newDev(t, false)
+	d.PowerCut()
+	if _, err := d.CorruptMeta("no-such-slot", false); err == nil {
+		t.Fatal("CorruptMeta on unknown slot should error")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	xftl "repro"
+	"repro/internal/ftl"
 	"repro/internal/nand"
 	"repro/internal/sqlite"
 	"repro/internal/storage"
@@ -28,6 +29,11 @@ type SQLOptions struct {
 	Tuples        int
 	Transactions  int
 	UpdatesPerTxn int
+	// CorruptSlot / CorruptErase mirror Options: after every power cut,
+	// damage every persisted copy of the named metadata structure and
+	// require recovery to take the OOB scan path.
+	CorruptSlot  string
+	CorruptErase bool
 }
 
 // DefaultSQLOptions returns a run small enough for tests yet long
@@ -130,8 +136,26 @@ func runSQL(o SQLOptions) (*Report, *xftl.Stack, error) {
 		}
 		rep.Crashes++
 		st.FS.PowerCut() // align FS state with the already-dead device
+		damaged := 0
+		if o.CorruptSlot != "" {
+			n, err := st.Device.CorruptMeta(o.CorruptSlot, o.CorruptErase)
+			if err != nil && !errors.Is(err, ftl.ErrBadMetaSlot) {
+				return fmt.Errorf("corrupt meta %q: %w", o.CorruptSlot, err)
+			}
+			damaged = n
+		}
 		if err := st.Remount(); err != nil {
 			return fmt.Errorf("remount: %w", err)
+		}
+		if damaged > 0 {
+			ri := st.Device.LastRecovery()
+			if ri.Mode != ftl.RecoveryScan {
+				return fmt.Errorf("corrupted %d pages of %q yet recovery took the %v path (reason %q)",
+					damaged, o.CorruptSlot, ri.Mode, ri.Reason)
+			}
+			if !o.CorruptErase && ri.CRCFailures == 0 {
+				return fmt.Errorf("silent acceptance: %d pages of %q corrupted in place, zero CRC rejections", damaged, o.CorruptSlot)
+			}
 		}
 		db, err = st.OpenDBWithCache("torture.db", 8)
 		if err != nil {

@@ -26,6 +26,7 @@ import (
 	"slices"
 	"time"
 
+	xftl "repro"
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/metrics"
@@ -50,6 +51,20 @@ type Options struct {
 	PagesPerTx int
 	// AbortEvery aborts every n-th transaction deliberately; 0 = never.
 	AbortEvery int
+	// CorruptSlot, when non-empty, names a persisted metadata structure
+	// ("map" for the mapping-table pages, or a meta slot such as "bbt")
+	// that is corrupted after every power cut, before recovery runs. The
+	// harness then requires recovery to take the full-device OOB scan
+	// path and (for in-place corruption) to detect every damaged page by
+	// CRC — silent acceptance is an invariant violation.
+	CorruptSlot string
+	// CorruptErase erases the targeted pages outright instead of
+	// flipping bytes in place (a torn/lost write rather than bit rot).
+	CorruptErase bool
+	// Fault, when non-nil, overrides the FaultScale-derived fault model
+	// entirely (e.g. an erase-fail-only model to force spare
+	// exhaustion).
+	Fault *nand.FaultModel
 }
 
 // DefaultOptions returns a run that exercises cuts, retirements and ECC
@@ -74,13 +89,21 @@ type Report struct {
 	Revoked      int // rollback-journal commits undone by the DELETE-mode durability window
 	Crashes      int // injected power cuts that tripped
 	Runs         int // sweep combinations executed
+	WornOut      int // runs stopped early because the spare reserve ran out
 
 	Flash metrics.FlashSnapshot
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("txns=%d committed=%d aborted=%d indoubt=%d revoked=%d crashes=%d runs=%d [%s]",
-		r.Transactions, r.Committed, r.Aborted, r.InDoubt, r.Revoked, r.Crashes, r.Runs, r.Flash.String())
+	s := fmt.Sprintf("txns=%d committed=%d aborted=%d indoubt=%d revoked=%d crashes=%d runs=%d",
+		r.Transactions, r.Committed, r.Aborted, r.InDoubt, r.Revoked, r.Crashes, r.Runs)
+	if r.WornOut > 0 {
+		s += fmt.Sprintf(" wornout=%d", r.WornOut)
+	}
+	if r.Flash.ImageRecoveries+r.Flash.ScanRecoveries > 0 {
+		s += fmt.Sprintf(" recovery=image:%d/scan:%d", r.Flash.ImageRecoveries, r.Flash.ScanRecoveries)
+	}
+	return s + " [" + r.Flash.String() + "]"
 }
 
 // add folds one run's counts into an aggregate report.
@@ -92,6 +115,7 @@ func (r *Report) Add(o *Report) {
 	r.Revoked += o.Revoked
 	r.Crashes += o.Crashes
 	r.Runs += o.Runs
+	r.WornOut += o.WornOut
 	r.Flash.PageWrites += o.Flash.PageWrites
 	r.Flash.PageReads += o.Flash.PageReads
 	r.Flash.GCRuns += o.Flash.GCRuns
@@ -102,6 +126,10 @@ func (r *Report) Add(o *Report) {
 	r.Flash.ProgramFails += o.Flash.ProgramFails
 	r.Flash.EraseFails += o.Flash.EraseFails
 	r.Flash.RetiredBlocks += o.Flash.RetiredBlocks
+	r.Flash.MetaCRCFailures += o.Flash.MetaCRCFailures
+	r.Flash.ImageRecoveries += o.Flash.ImageRecoveries
+	r.Flash.ScanRecoveries += o.Flash.ScanRecoveries
+	r.Flash.ScanPages += o.Flash.ScanPages
 }
 
 // deviceProfile is the small geometry the device-level torture runs on:
@@ -158,8 +186,8 @@ type runState struct {
 // RunDevice executes one device-level torture run and returns its
 // report; any invariant violation is an error.
 func RunDevice(o Options) (*Report, error) {
-	var fault *nand.FaultModel
-	if o.FaultScale > 0 {
+	fault := o.Fault
+	if fault == nil && o.FaultScale > 0 {
 		fault = nand.DefaultFaultModel(o.Seed).Scale(o.FaultScale)
 	}
 	prof := deviceProfile()
@@ -193,6 +221,7 @@ func RunDevice(o Options) (*Report, error) {
 	span := dev.LogicalPages() / 2
 
 	s.arm()
+workload:
 	for txn := 1; txn <= o.Transactions; txn++ {
 		s.rep.Transactions++
 		tid := uint64(txn)
@@ -202,6 +231,12 @@ func RunDevice(o Options) (*Report, error) {
 		for _, lpn := range lpns {
 			data := pageContent(o.Seed, lpn, txn, dev.PageSize())
 			if err := s.dev.WriteTx(tid, lpn, data); err != nil {
+				if errors.Is(err, storage.ErrWornOut) {
+					// End of media life: writes are refused but every
+					// committed page must still read back (checked below).
+					s.rep.WornOut++
+					break workload
+				}
 				// Uncommitted: every page of this transaction must
 				// read back its pre-transaction content.
 				if err := s.crashRecoverVerify(err, nil, writes); err != nil {
@@ -217,6 +252,10 @@ func RunDevice(o Options) (*Report, error) {
 		}
 		if o.AbortEvery > 0 && txn%o.AbortEvery == 0 {
 			if err := s.dev.Abort(tid); err != nil {
+				if errors.Is(err, storage.ErrWornOut) {
+					s.rep.WornOut++
+					break workload
+				}
 				if err := s.crashRecoverVerify(err, nil, writes); err != nil {
 					return s.rep, fmt.Errorf("txn %d (abort): %w", txn, err)
 				}
@@ -226,6 +265,10 @@ func RunDevice(o Options) (*Report, error) {
 			continue
 		}
 		if err := s.dev.Commit(tid); err != nil {
+			if errors.Is(err, storage.ErrWornOut) {
+				s.rep.WornOut++
+				break workload
+			}
 			// In-doubt: the durable commit point may or may not have
 			// been reached; the outcome must be atomic.
 			if err := s.crashRecoverVerify(err, writes, nil); err != nil {
@@ -291,8 +334,29 @@ func (s *runState) crashRecoverVerify(cause error, indoubt, mustBeOld map[int64]
 		return fmt.Errorf("non-power fault escaped firmware: %w", cause)
 	}
 	s.rep.Crashes++
+	// Metadata-corruption sweep: damage every persisted copy of the
+	// targeted structure while the power is still off, so recovery has
+	// nothing to mount but the per-page OOB records.
+	damaged := 0
+	if s.o.CorruptSlot != "" {
+		n, err := s.dev.CorruptMeta(s.o.CorruptSlot, s.o.CorruptErase)
+		if err != nil && !errors.Is(err, ftl.ErrBadMetaSlot) {
+			return fmt.Errorf("corrupt meta %q: %w", s.o.CorruptSlot, err)
+		}
+		damaged = n // ErrBadMetaSlot: slot not persisted yet, nothing to damage
+	}
 	if err := s.dev.Restart(); err != nil {
 		return fmt.Errorf("restart: %w", err)
+	}
+	if damaged > 0 {
+		ri := s.dev.LastRecovery()
+		if ri.Mode != ftl.RecoveryScan {
+			return fmt.Errorf("corrupted %d pages of %q yet recovery took the %v path (reason %q)",
+				damaged, s.o.CorruptSlot, ri.Mode, ri.Reason)
+		}
+		if !s.o.CorruptErase && ri.CRCFailures == 0 {
+			return fmt.Errorf("silent acceptance: %d pages of %q corrupted in place, zero CRC rejections", damaged, s.o.CorruptSlot)
+		}
 	}
 	buf := make([]byte, s.dev.PageSize())
 	if indoubt != nil {
@@ -406,6 +470,94 @@ func Sweep(o SweepOptions) (*Report, error) {
 				}
 				if o.Progress != nil {
 					o.Progress("torture: seed=%d cut=%d scale=%g %s", seed, cut, scale, rep)
+				}
+			}
+		}
+	}
+	return agg, nil
+}
+
+// MetaSweepOptions spans the metadata-corruption grid: after every
+// injected power cut, every persisted copy of one metadata structure is
+// corrupted or erased, and recovery must still restore all committed
+// transactions from the per-page OOB records alone.
+type MetaSweepOptions struct {
+	Seeds []int64
+	// Slots are the structures to destroy per combination ("map" = the
+	// mapping-table pages, "bbt" = the bad-block table chain).
+	Slots []string
+	// Erase selects damage styles: false = in-place corruption (must be
+	// caught by CRC), true = outright erasure (torn/lost writes).
+	Erase []bool
+	// SQL additionally runs the full SQLite stack in all three journal
+	// modes per combination.
+	SQL bool
+	// Per-combination workload size (zero: DefaultOptions values).
+	Transactions int
+	PagesPerTx   int
+	// Progress, when non-nil, receives one line per combination.
+	Progress func(format string, args ...any)
+}
+
+// DefaultMetaSweep returns the acceptance grid for self-healing
+// recovery: 3 seeds x {map, bbt} x {corrupt, erase}, each combination
+// run against the raw device command set and (SQL=true) through SQLite
+// in all three journal modes.
+func DefaultMetaSweep() MetaSweepOptions {
+	return MetaSweepOptions{
+		Seeds: []int64{1, 2, 3},
+		Slots: []string{"map", "bbt"},
+		Erase: []bool{false, true},
+		SQL:   true,
+	}
+}
+
+// MetaSweep runs the metadata-corruption grid, failing on the first
+// invariant violation (committed-data loss, silent CRC acceptance, or
+// recovery not taking the scan path after injected damage).
+func MetaSweep(o MetaSweepOptions) (*Report, error) {
+	agg := &Report{}
+	for _, seed := range o.Seeds {
+		for _, slot := range o.Slots {
+			for _, erase := range o.Erase {
+				ro := DefaultOptions(seed)
+				// Ideal flash: isolate metadata destruction from media
+				// faults so every scan fallback is attributable.
+				ro.FaultScale = 0
+				ro.CorruptSlot, ro.CorruptErase = slot, erase
+				if o.Transactions > 0 {
+					ro.Transactions = o.Transactions
+				}
+				if o.PagesPerTx > 0 {
+					ro.PagesPerTx = o.PagesPerTx
+				}
+				rep, err := RunDevice(ro)
+				if rep != nil {
+					agg.Add(rep)
+				}
+				if err != nil {
+					return agg, fmt.Errorf("meta seed=%d slot=%s erase=%v: %w", seed, slot, erase, err)
+				}
+				if o.Progress != nil {
+					o.Progress("meta-torture: seed=%d slot=%s erase=%v %s", seed, slot, erase, rep)
+				}
+				if !o.SQL {
+					continue
+				}
+				for _, mode := range []xftl.Mode{xftl.ModeRollback, xftl.ModeWAL, xftl.ModeXFTL} {
+					so := DefaultSQLOptions(mode, seed)
+					so.FaultScale = 0
+					so.CorruptSlot, so.CorruptErase = slot, erase
+					rep, err := RunSQL(so)
+					if rep != nil {
+						agg.Add(rep)
+					}
+					if err != nil {
+						return agg, fmt.Errorf("meta-sql mode=%v seed=%d slot=%s erase=%v: %w", mode, seed, slot, erase, err)
+					}
+					if o.Progress != nil {
+						o.Progress("meta-torture: mode=%v seed=%d slot=%s erase=%v %s", mode, seed, slot, erase, rep)
+					}
 				}
 			}
 		}

@@ -2,7 +2,11 @@ package torture
 
 import "testing"
 
-import xftl "repro"
+import (
+	xftl "repro"
+
+	"repro/internal/nand"
+)
 
 // TestDeviceSweep is the acceptance sweep: >= 50 (seed, cut-point,
 // fault-rate) combinations at the device command level, with zero
@@ -74,4 +78,59 @@ func TestSQLTortureCutsOnly(t *testing.T) {
 			t.Errorf("seed %d: no crashes injected", seed)
 		}
 	}
+}
+
+// TestMetaCorruptionSweep is the self-healing acceptance sweep: after
+// every injected power cut, every persisted copy of the mapping table
+// (or, separately, the bad-block table) is corrupted or erased, and
+// recovery must restore all committed transactions from per-page OOB
+// records alone — in the raw device harness and through SQLite in all
+// three journal modes.
+func TestMetaCorruptionSweep(t *testing.T) {
+	o := DefaultMetaSweep()
+	if testing.Short() {
+		o.Seeds = o.Seeds[:1]
+		o.Transactions = 120
+	}
+	rep, err := MetaSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 {
+		t.Fatalf("meta sweep injected no crashes: %s", rep)
+	}
+	if rep.Flash.ScanRecoveries == 0 {
+		t.Fatalf("meta sweep never took the scan path: %s", rep)
+	}
+	if rep.Flash.MetaCRCFailures == 0 {
+		t.Fatalf("meta sweep never tripped a CRC rejection: %s", rep)
+	}
+	t.Log(rep.String())
+}
+
+// TestWornOutStopsGracefully drives a device into spare exhaustion
+// with an erase-fail-heavy fault model (every failed erase retires a
+// block against the 3-block spare reserve) and checks the run ends
+// with the typed worn-out signal rather than an invariant violation,
+// with every committed page still readable.
+func TestWornOutStopsGracefully(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		o := DefaultOptions(seed)
+		o.CutEvery = 0
+		o.FaultScale = 0
+		o.Transactions = 4000
+		o.Fault = &nand.FaultModel{Seed: seed, EraseFailProb: 0.05, ECCBits: 8}
+		rep, err := RunDevice(o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.WornOut > 0 {
+			if rep.Flash.RetiredBlocks == 0 {
+				t.Fatalf("seed %d: worn out with no retirements: %s", seed, rep)
+			}
+			t.Logf("seed %d wore out after %d txns: %s", seed, rep.Transactions, rep)
+			return
+		}
+	}
+	t.Fatal("no seed exhausted the spare reserve with EraseFailProb=0.05")
 }
