@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	xftlbench [-quick] [-quiet] [-faults N] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}
+//	xftlbench [-quick] [-quiet] [-faults N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant}
 //	xftlbench [-quick] -torture
 //
 // -quick shrinks workloads for a fast smoke run; the published numbers
@@ -15,6 +15,12 @@
 // sweep of seeds x cut points x fault rates plus full-SQL runs in all
 // three journal modes, each checking committed-durable /
 // uncommitted-discarded after every recovery.
+//
+// mtenant is the beyond-the-paper multi-tenant leg: N concurrent
+// tenants share one device through the NCQ queue across channel counts
+// and queue depths (not part of "all", which reproduces the paper's
+// figures only). -json PATH additionally writes every table that was
+// printed — plus the typed multi-tenant points — as indented JSON.
 package main
 
 import (
@@ -33,8 +39,9 @@ func main() {
 	faults := flag.Float64("faults", 0, "NAND fault-model scale (0 = ideal flash, 1 = realistic MLC rates)")
 	tortureMode := flag.Bool("torture", false, "run the crash/fault torture harness instead of an experiment")
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
+	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate}\n")
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant}\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -torture\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
 		flag.PrintDefaults()
@@ -67,7 +74,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xftlbench -recovery-scan: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(bench.RecoveryScanTable(runs))
+		t := bench.RecoveryScanTable(runs)
+		fmt.Println(t)
+		if *jsonPath != "" {
+			doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, FaultScale: *faults}
+			doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
+				Name: "recovery-scan", Tables: []*bench.Table{t},
+			})
+			if err := bench.WriteJSON(*jsonPath, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "xftlbench -json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	if flag.NArg() != 1 {
@@ -81,13 +99,24 @@ func main() {
 		}
 	}
 	what := flag.Arg(0)
-	if err := run(what, opts); err != nil {
+	doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, FaultScale: *faults}
+	if err := run(what, opts, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "xftlbench %s: %v\n", what, err)
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(what string, opts bench.Options) error {
+// run executes the requested experiment(s), printing each table and
+// appending it to doc for -json output. "all" reproduces the paper's
+// figures in order; mtenant is the beyond-the-paper NCQ sweep and must
+// be requested by name.
+func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 	all := what == "all"
 	did := false
 	do := func(name string, fn func() error) error {
@@ -97,14 +126,20 @@ func run(what string, opts bench.Options) error {
 		did = true
 		return fn()
 	}
+	emit := func(name string, mt *bench.MT, tables ...*bench.Table) {
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
+			Name: name, Tables: tables, MultiTenant: mt,
+		})
+	}
 	if err := do("fig5", func() error {
 		f, err := bench.RunFig5(opts)
 		if err != nil {
 			return err
 		}
-		for _, t := range f.Tables() {
-			fmt.Println(t)
-		}
+		emit("fig5", nil, f.Tables()...)
 		return nil
 	}); err != nil {
 		return err
@@ -114,7 +149,7 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t1.Table())
+		emit("table1", nil, t1.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -124,9 +159,7 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		for _, t := range f.Tables() {
-			fmt.Println(t)
-		}
+		emit("fig6", nil, f.Tables()...)
 		return nil
 	}); err != nil {
 		return err
@@ -138,7 +171,7 @@ func run(what string, opts bench.Options) error {
 			return err
 		}
 		fig7 = f
-		fmt.Println(f.Table())
+		emit("fig7", nil, f.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -146,16 +179,16 @@ func run(what string, opts bench.Options) error {
 	if err := do("table2", func() error {
 		if fig7 == nil && !all {
 			// Census-only view; the measured row needs a fig7 replay.
-			fmt.Println(bench.Table2(nil))
+			emit("table2", nil, bench.Table2(nil))
 			return nil
 		}
-		fmt.Println(bench.Table2(fig7))
+		emit("table2", nil, bench.Table2(fig7))
 		return nil
 	}); err != nil {
 		return err
 	}
 	if err := do("table3", func() error {
-		fmt.Println(bench.Table3())
+		emit("table3", nil, bench.Table3())
 		return nil
 	}); err != nil {
 		return err
@@ -165,8 +198,7 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.Table3())
-		fmt.Println(t4.Table())
+		emit("table4", nil, bench.Table3(), t4.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -176,7 +208,7 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(f.Table())
+		emit("fig8", nil, f.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -186,7 +218,7 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(f.Table())
+		emit("fig9", nil, f.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -196,7 +228,7 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.Table5Table(runs))
+		emit("table5", nil, bench.Table5Table(runs))
 		return nil
 	}); err != nil {
 		return err
@@ -206,10 +238,24 @@ func run(what string, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.AblationTable(runs))
+		emit("ablate", nil, bench.AblationTable(runs))
 		return nil
 	}); err != nil {
 		return err
+	}
+	// mtenant is deliberately excluded from "all": "all" reproduces the
+	// paper's evaluation in paper order, and the NCQ sweep is new work.
+	if !all {
+		if err := do("mtenant", func() error {
+			mt, err := bench.RunMultiTenant(opts)
+			if err != nil {
+				return err
+			}
+			emit("mtenant", mt, mt.Table())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if !did {
 		return fmt.Errorf("unknown experiment %q", what)

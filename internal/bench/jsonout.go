@@ -1,0 +1,36 @@
+// Machine-readable results: xftlbench -json serializes every table it
+// printed plus the typed multi-tenant points, so result trajectories
+// can accumulate across runs without scraping the text tables.
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// JSONDoc is the top-level document written by xftlbench -json.
+type JSONDoc struct {
+	Tool        string           `json:"tool"`
+	Quick       bool             `json:"quick"`
+	FaultScale  float64          `json:"fault_scale,omitempty"`
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// JSONExperiment is one experiment's results: the formatted tables
+// (title, header, rows, notes) and, for the multi-tenant sweep, the
+// typed points with ops, NAND counts and latency percentiles.
+type JSONExperiment struct {
+	Name        string  `json:"name"`
+	Tables      []*Table `json:"tables,omitempty"`
+	MultiTenant *MT      `json:"multi_tenant,omitempty"`
+}
+
+// WriteJSON writes the document, indented, to path.
+func WriteJSON(path string, doc *JSONDoc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

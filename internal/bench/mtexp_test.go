@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestMultiTenantScaling is the acceptance check for the NCQ subsystem:
+// with 8 channels, queue depth 32 must deliver at least 3x the
+// random-write IOPS of depth 1 on the same configuration.
+func TestMultiTenantScaling(t *testing.T) {
+	point := func(depth int) *MTPoint {
+		prof := storage.OpenSSD()
+		prof.Nand.Channels = 8
+		prof.Nand.Ways = 1
+		prof.Channels = 8
+		pt, err := RunMTPoint(MTConfig{
+			Profile: prof, Tenants: 4, Depth: depth, Ops: 1200, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		return pt
+	}
+	d1, d32 := point(1), point(32)
+	if d1.IOPS <= 0 || d32.IOPS <= 0 {
+		t.Fatalf("degenerate IOPS: qd1=%.0f qd32=%.0f", d1.IOPS, d32.IOPS)
+	}
+	ratio := d32.IOPS / d1.IOPS
+	if ratio < 3 {
+		t.Errorf("qd32/qd1 IOPS = %.2fx, want >= 3x (qd1 %.0f, qd32 %.0f)", ratio, d1.IOPS, d32.IOPS)
+	}
+	if d32.WriteLat.Count != int64(d32.Writes) {
+		t.Errorf("latency histogram count %d, want %d", d32.WriteLat.Count, d32.Writes)
+	}
+	if d32.MeanDepth <= d1.MeanDepth {
+		t.Errorf("mean occupancy did not grow with depth: qd1 %.1f, qd32 %.1f", d1.MeanDepth, d32.MeanDepth)
+	}
+	// Depth-1 latency must keep the synchronous cost shape: command
+	// overhead + transfer + program, within a small GC allowance.
+	prof := storage.OpenSSD()
+	syncCost := prof.CmdOverhead + prof.TransferPerPage + prof.Nand.ProgLatency
+	if d1.WriteLat.P50 < syncCost || d1.WriteLat.P50 > 2*syncCost {
+		t.Errorf("depth-1 p50 %v far from synchronous cost %v", d1.WriteLat.P50, syncCost)
+	}
+}

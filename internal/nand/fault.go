@@ -157,7 +157,7 @@ func (c *Chip) ArmPowerCut(n int64) {
 		c.cutAt = 0
 		return
 	}
-	c.cutAt = c.opCount + n
+	c.cutAt = c.opCount.Load() + n
 }
 
 // PowerLost reports whether the chip has lost power (an armed cut
@@ -178,7 +178,7 @@ func (c *Chip) Restore() {
 
 // OpCount reports how many NAND operations (reads, programs, erases)
 // the chip has executed. It is the time base for ArmPowerCut.
-func (c *Chip) OpCount() int64 { return c.opCount }
+func (c *Chip) OpCount() int64 { return c.opCount.Load() }
 
 // opTick advances the operation counter and reports whether this very
 // operation is interrupted by the armed power cut. When power is
@@ -187,8 +187,8 @@ func (c *Chip) opTick() (interrupted bool, err error) {
 	if c.powerLost {
 		return false, ErrPowerLost
 	}
-	c.opCount++
-	if c.cutAt > 0 && c.opCount >= c.cutAt {
+	n := c.opCount.Add(1)
+	if c.cutAt > 0 && n >= c.cutAt {
 		c.powerLost = true
 		c.cutAt = 0
 		return true, nil
@@ -203,11 +203,11 @@ func (c *Chip) opTick() (interrupted bool, err error) {
 // charged the base read latency. quiet reads (recovery scans) do not
 // count expected failures in the UncorrectableReads/ReadRetries escape
 // counters.
-func (c *Chip) readFaults(b *block, pi int, quiet bool) error {
+func (c *Chip) readFaults(p PPN, b *block, pi int, quiet bool) error {
 	if b.torn[pi] {
 		// A torn page never passes ECC no matter how many retries.
 		if c.fault != nil {
-			c.clock.Advance(time.Duration(c.fault.MaxReadRetries) * c.fault.ReadRetryLatency)
+			c.chargeRetry(p, time.Duration(c.fault.MaxReadRetries)*c.fault.ReadRetryLatency)
 		}
 		if c.stats != nil && !quiet {
 			c.stats.UncorrectableReads.Add(1)
@@ -225,7 +225,7 @@ func (c *Chip) readFaults(b *block, pi int, quiet bool) error {
 		return nil
 	}
 	if m.ECCBits > 0 && n > m.ECCBits {
-		c.clock.Advance(time.Duration(m.MaxReadRetries) * m.ReadRetryLatency)
+		c.chargeRetry(p, time.Duration(m.MaxReadRetries)*m.ReadRetryLatency)
 		if c.stats != nil && !quiet {
 			c.stats.ReadRetries.Add(int64(m.MaxReadRetries))
 			c.stats.UncorrectableReads.Add(1)
@@ -236,7 +236,7 @@ func (c *Chip) readFaults(b *block, pi int, quiet bool) error {
 		c.stats.CorrectedBits.Add(int64(n))
 	}
 	if m.RetryBits > 0 && n >= m.RetryBits {
-		c.clock.Advance(m.ReadRetryLatency)
+		c.chargeRetry(p, m.ReadRetryLatency)
 		if c.stats != nil {
 			c.stats.ReadRetries.Add(1)
 		}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -84,12 +85,17 @@ type Config struct {
 	ReadLatency  time.Duration // page read (cell array -> register)
 	ProgLatency  time.Duration // page program
 	EraseLatency time.Duration // block erase
-	// InternalParallelism is the effective channel/plane concurrency
-	// available to firmware-initiated bulk operations (mapping-table
-	// flushes, GC copy-back). Host-issued single-page commands see the
-	// full latency (queue depth 1 on the SATA path); internal streams
-	// pipeline across channels. 0 or 1 disables the speedup.
-	InternalParallelism int
+	// Channels is the number of independent flash channels and Ways the
+	// number of chips (ways) sharing each channel. Physical pages stripe
+	// across the Channels*Ways units (ppn mod units), so sequential PPN
+	// streams — write frontiers, mapping-table flushes, GC copy-back —
+	// pipeline across units while commands to the same unit serialize.
+	// With a Charger installed (the device-level channel scheduler) each
+	// page operation occupies its unit for the full latency; without one,
+	// firmware-internal bulk operations keep the legacy behaviour of
+	// dividing their latency by the unit count. 0 of either means 1.
+	Channels int
+	Ways     int
 }
 
 // DefaultConfig mirrors the OpenSSD flash subsystem at a laptop-friendly
@@ -98,13 +104,14 @@ type Config struct {
 // while keeping tests fast.
 func DefaultConfig() Config {
 	return Config{
-		Blocks:              1024,
-		PagesPerBlock:       128,
-		PageSize:            8192,
-		ReadLatency:         200 * time.Microsecond,
-		ProgLatency:         1300 * time.Microsecond,
-		EraseLatency:        3 * time.Millisecond,
-		InternalParallelism: 4,
+		Blocks:        1024,
+		PagesPerBlock: 128,
+		PageSize:      8192,
+		ReadLatency:   200 * time.Microsecond,
+		ProgLatency:   1300 * time.Microsecond,
+		EraseLatency:  3 * time.Millisecond,
+		Channels:      4,
+		Ways:          1,
 	}
 }
 
@@ -119,6 +126,10 @@ func (c Config) Validate() error {
 		return errors.New("nand: PageSize must be positive")
 	case c.OOBSize < 0:
 		return errors.New("nand: OOBSize must not be negative")
+	case c.Channels < 0:
+		return errors.New("nand: Channels must not be negative")
+	case c.Ways < 0:
+		return errors.New("nand: Ways must not be negative")
 	default:
 		return nil
 	}
@@ -127,13 +138,30 @@ func (c Config) Validate() error {
 // TotalPages reports the raw page capacity of the configuration.
 func (c Config) TotalPages() int64 { return int64(c.Blocks) * int64(c.PagesPerBlock) }
 
-// InternalParallelismDiv is the latency divisor for firmware-internal
-// operations, at least 1.
-func (c Config) InternalParallelismDiv() time.Duration {
-	if c.InternalParallelism > 1 {
-		return time.Duration(c.InternalParallelism)
+// Units reports the number of independently busy channel/way units, at
+// least 1.
+func (c Config) Units() int {
+	ch, w := c.Channels, c.Ways
+	if ch < 1 {
+		ch = 1
 	}
-	return 1
+	if w < 1 {
+		w = 1
+	}
+	return ch * w
+}
+
+// Charger receives NAND latency charges instead of the chip's direct
+// clock advances. The device-level channel scheduler (internal/ncq)
+// installs one so that each page operation occupies its channel/way
+// unit for the full latency and concurrent commands to different units
+// overlap in simulated time.
+type Charger interface {
+	// ChargeUnit occupies one channel/way unit for d.
+	ChargeUnit(unit int, d time.Duration)
+	// ChargeAll occupies every unit for d (block erase over a
+	// striped superblock).
+	ChargeAll(d time.Duration)
 }
 
 // Chip is a simulated NAND flash array. It is not safe for concurrent
@@ -144,12 +172,18 @@ type Chip struct {
 	stats  *metrics.FlashCounters
 	blocks []block
 
+	// charger, when non-nil, receives all latency charges in place of
+	// direct clock advances (see Charger).
+	charger Charger
+
 	// Fault injection (fault.go). fault == nil models ideal flash.
 	fault *FaultModel
 	frng  *rand.Rand
 
-	// Op-indexed power-cut scheduler state (fault.go).
-	opCount   int64
+	// Op-indexed power-cut scheduler state (fault.go). opCount is
+	// atomic only so harness code may sample it while commands are in
+	// flight; mutation happens under the owning device's queue lock.
+	opCount   atomic.Int64
 	cutAt     int64 // op index at which power fails; 0 = disarmed
 	powerLost bool
 }
@@ -198,6 +232,47 @@ func (c *Chip) Config() Config { return c.cfg }
 // Clock returns the simulated clock the chip advances.
 func (c *Chip) Clock() *simclock.Clock { return c.clock }
 
+// SetCharger installs (or, with nil, removes) the latency charger.
+func (c *Chip) SetCharger(ch Charger) { c.charger = ch }
+
+// Unit reports which channel/way unit a physical page lives on.
+func (c *Chip) Unit(p PPN) int { return int(int64(p) % int64(c.cfg.Units())) }
+
+// chargeOp charges one page operation's latency. With a charger
+// installed the cost occupies the page's channel/way unit; otherwise
+// the clock advances directly, and firmware-internal bulk operations
+// keep the legacy behaviour of dividing by the unit count.
+func (c *Chip) chargeOp(p PPN, d time.Duration, internal bool) {
+	if c.charger != nil {
+		c.charger.ChargeUnit(c.Unit(p), d)
+		return
+	}
+	if internal {
+		d /= c.internalDiv()
+	}
+	c.clock.Advance(d)
+}
+
+// chargeRetry charges extra serialized time (ECC read retries) on the
+// page's unit; never divided.
+func (c *Chip) chargeRetry(p PPN, d time.Duration) {
+	if c.charger != nil {
+		c.charger.ChargeUnit(c.Unit(p), d)
+		return
+	}
+	c.clock.Advance(d)
+}
+
+// chargeErase charges a block erase. A block stripes across every
+// channel/way unit (a superblock), so the erase occupies all of them.
+func (c *Chip) chargeErase(d time.Duration) {
+	if c.charger != nil {
+		c.charger.ChargeAll(d)
+		return
+	}
+	c.clock.Advance(d)
+}
+
 // split decomposes a PPN into block and in-block page indexes.
 func (c *Chip) split(p PPN) (int, int, error) {
 	if p < 0 || int64(p) >= c.cfg.TotalPages() {
@@ -222,7 +297,7 @@ func (c *Chip) BlockOf(p PPN) BlockNum {
 // near the ECC threshold; past the threshold it returns
 // ErrUncorrectable and buf is untouched.
 func (c *Chip) ReadPage(p PPN, buf []byte) error {
-	return c.readPage(p, buf, nil, false)
+	return c.readPage(p, buf, nil, false, false)
 }
 
 // ReadPageOOB is ReadPage plus the page's spare area: one read command
@@ -232,14 +307,15 @@ func (c *Chip) ReadPageOOB(p PPN, buf, oobBuf []byte) error {
 	if len(oobBuf) < c.cfg.OOBSize {
 		return ErrShortBuffer
 	}
-	return c.readPage(p, buf, oobBuf, false)
+	return c.readPage(p, buf, oobBuf, false, false)
 }
 
 // readPage implements ReadPage and ReadPageOOB. quiet selects scan
 // semantics: expected failures (torn pages, ECC overflow) do not bump
 // the UncorrectableReads/ReadRetries escape counters — a recovery scan
 // deliberately reads pages that normal firmware would never touch.
-func (c *Chip) readPage(p PPN, buf, oobBuf []byte, quiet bool) error {
+// internal marks firmware-initiated transfers (GC copy-back).
+func (c *Chip) readPage(p PPN, buf, oobBuf []byte, quiet, internal bool) error {
 	bi, pi, err := c.split(p)
 	if err != nil {
 		return err
@@ -257,11 +333,11 @@ func (c *Chip) readPage(p PPN, buf, oobBuf []byte, quiet bool) error {
 		// Power died mid-read: no data transferred, no cell change.
 		return ErrPowerLost
 	}
-	c.clock.Advance(c.cfg.ReadLatency)
+	c.chargeOp(p, c.cfg.ReadLatency, internal)
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
 	}
-	if err := c.readFaults(b, pi, quiet); err != nil {
+	if err := c.readFaults(p, b, pi, quiet); err != nil {
 		return fmt.Errorf("%w: ppn %d", err, p)
 	}
 	copy(buf, b.data[pi])
@@ -295,14 +371,14 @@ func (c *Chip) ScanRead(p PPN, buf, oobBuf []byte) (PageState, error) {
 	} else if cut {
 		return st, ErrPowerLost
 	}
-	c.clock.Advance(c.cfg.ReadLatency / c.internalDiv())
+	c.chargeOp(p, c.cfg.ReadLatency, true)
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
 	}
 	if st == PageFree {
 		return PageFree, nil
 	}
-	if err := c.readFaults(b, pi, true); err != nil {
+	if err := c.readFaults(p, b, pi, true); err != nil {
 		return st, fmt.Errorf("%w: ppn %d", err, p)
 	}
 	copy(buf, b.data[pi])
@@ -313,13 +389,14 @@ func (c *Chip) ScanRead(p PPN, buf, oobBuf []byte) (PageState, error) {
 	return st, nil
 }
 
-// internalDiv returns the latency divisor for firmware-internal ops.
-func (c *Chip) internalDiv() time.Duration { return c.cfg.InternalParallelismDiv() }
+// internalDiv returns the charger-less latency divisor for
+// firmware-internal ops (legacy scalar parallelism model).
+func (c *Chip) internalDiv() time.Duration { return time.Duration(c.cfg.Units()) }
 
 // ReadPageInternal is ReadPage for firmware-initiated transfers (GC
 // copy-back): the latency pipelines across the internal channels.
 func (c *Chip) ReadPageInternal(p PPN, buf []byte) error {
-	return c.readPageInternal(p, buf, nil)
+	return c.readPage(p, buf, nil, false, true)
 }
 
 // ReadPageOOBInternal is ReadPageOOB at firmware-internal latency.
@@ -327,30 +404,18 @@ func (c *Chip) ReadPageOOBInternal(p PPN, buf, oobBuf []byte) error {
 	if len(oobBuf) < c.cfg.OOBSize {
 		return ErrShortBuffer
 	}
-	return c.readPageInternal(p, buf, oobBuf)
-}
-
-func (c *Chip) readPageInternal(p PPN, buf, oobBuf []byte) error {
-	save := c.cfg.ReadLatency
-	c.cfg.ReadLatency = save / c.internalDiv()
-	err := c.readPage(p, buf, oobBuf, false)
-	c.cfg.ReadLatency = save
-	return err
+	return c.readPage(p, buf, oobBuf, false, true)
 }
 
 // ProgramPageInternal is ProgramPage for firmware-initiated writes
 // (mapping-table flushes, GC copy-back).
 func (c *Chip) ProgramPageInternal(p PPN, data []byte) error {
-	return c.ProgramPageOOBInternal(p, data, nil)
+	return c.programPage(p, data, nil, true)
 }
 
 // ProgramPageOOBInternal is ProgramPageOOB at firmware-internal latency.
 func (c *Chip) ProgramPageOOBInternal(p PPN, data, oob []byte) error {
-	save := c.cfg.ProgLatency
-	c.cfg.ProgLatency = save / c.internalDiv()
-	err := c.ProgramPageOOB(p, data, oob)
-	c.cfg.ProgLatency = save
-	return err
+	return c.programPage(p, data, oob, true)
 }
 
 // ProgramPage writes data into an erased page and marks it valid. The
@@ -366,6 +431,10 @@ func (c *Chip) ProgramPage(p PPN, data []byte) error {
 // oob leaves the spare area all-zero; a torn or failed program consumes
 // data and spare alike.
 func (c *Chip) ProgramPageOOB(p PPN, data, oob []byte) error {
+	return c.programPage(p, data, oob, false)
+}
+
+func (c *Chip) programPage(p PPN, data, oob []byte, internal bool) error {
 	bi, pi, err := c.split(p)
 	if err != nil {
 		return err
@@ -405,7 +474,7 @@ func (c *Chip) ProgramPageOOB(p PPN, data, oob []byte) error {
 		if pi == b.freeHint {
 			b.freeHint++
 		}
-		c.clock.Advance(c.cfg.ProgLatency)
+		c.chargeOp(p, c.cfg.ProgLatency, internal)
 		if c.stats != nil {
 			c.stats.ProgramFails.Add(1)
 		}
@@ -426,7 +495,7 @@ func (c *Chip) ProgramPageOOB(p PPN, data, oob []byte) error {
 	if pi == b.freeHint {
 		b.freeHint++
 	}
-	c.clock.Advance(c.cfg.ProgLatency)
+	c.chargeOp(p, c.cfg.ProgLatency, internal)
 	if c.stats != nil {
 		c.stats.PageWrites.Add(1)
 	}
@@ -482,7 +551,7 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 		// The firmware must retire the block.
 		c.wreckBlock(b)
 		b.eraseCount++
-		c.clock.Advance(c.cfg.EraseLatency)
+		c.chargeErase(c.cfg.EraseLatency)
 		if c.stats != nil {
 			c.stats.EraseFails.Add(1)
 		}
@@ -498,7 +567,7 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 	b.validCount = 0
 	b.freeCount = c.cfg.PagesPerBlock
 	b.eraseCount++
-	c.clock.Advance(c.cfg.EraseLatency)
+	c.chargeErase(c.cfg.EraseLatency)
 	if c.stats != nil {
 		c.stats.BlockErases.Add(1)
 	}

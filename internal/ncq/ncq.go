@@ -1,0 +1,301 @@
+package ncq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+// DefaultDepth is the queue depth used when Options leave it zero,
+// matching SATA NCQ's 32 outstanding commands.
+const DefaultDepth = 32
+
+// Op identifies a queued device command.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpTrim
+	OpBarrier
+	OpReadTx
+	OpWriteTx
+	OpCommit
+	OpAbort
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTrim:
+		return "trim"
+	case OpBarrier:
+		return "barrier"
+	case OpReadTx:
+		return "readtx"
+	case OpWriteTx:
+		return "writetx"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// IsBarrier reports whether the op fences the queue: it waits for every
+// outstanding command to complete before starting, and nothing behind
+// it starts until it completes. Commit and abort are barriers per the
+// paper's §4.2 — a transaction's fate must not reorder around the page
+// state changes it implies.
+func (o Op) IsBarrier() bool {
+	return o == OpBarrier || o == OpCommit || o == OpAbort
+}
+
+// targetsLPN reports whether the op addresses one logical page (and so
+// participates in per-LPN ordering).
+func (o Op) targetsLPN() bool {
+	switch o {
+	case OpRead, OpWrite, OpTrim, OpReadTx, OpWriteTx:
+		return true
+	}
+	return false
+}
+
+// Request is one queued command. The submitter fills Op plus the
+// operands the op needs (LPN, TID, Data for writes, Buf for reads); the
+// queue fills Err and the timing fields.
+type Request struct {
+	Op   Op
+	LPN  int64
+	TID  uint64
+	Data []byte // page payload for writes; owned by the queue until return
+	Buf  []byte // destination for reads
+
+	Err       error
+	Submitted time.Duration // virtual time the request entered the queue
+	Started   time.Duration // virtual time its resource use could begin
+	Done      time.Duration // virtual completion time
+}
+
+// Executor runs one command against the device firmware, charging its
+// cost through the scheduler, and returns the command's error. The
+// queue serializes calls.
+type Executor func(*Request) error
+
+// Queue is the NCQ command queue. Submission order is execution order
+// for firmware state (the simulated firmware runs commands back to
+// back), but completion times come from the channel scheduler and may
+// reorder freely: a command's Done is when its last touched resource
+// frees, so commands on idle channels complete out of order past
+// slower predecessors. The virtual clock only advances when the queue
+// is full (the host must wait for a slot), on barriers, and in
+// SubmitWait.
+//
+// Queue is safe for concurrent use by multiple submitters.
+type Queue struct {
+	mu    sync.Mutex
+	clock *simclock.Clock
+	sched *Scheduler
+	exec  Executor
+	depth int
+
+	outstanding []pending // in-flight commands, at most depth
+	byLPN       map[int64]time.Duration // LPN -> completion gate
+
+	// Per-class latency and occupancy histograms.
+	ReadLat    metrics.LatencyHist
+	WriteLat   metrics.LatencyHist
+	BarrierLat metrics.LatencyHist
+	Depths     *metrics.DepthHist
+}
+
+type pending struct {
+	done time.Duration
+}
+
+// New creates a queue of the given depth (0 selects DefaultDepth) over
+// a scheduler and an executor.
+func New(clock *simclock.Clock, sched *Scheduler, depth int, exec Executor) *Queue {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Queue{
+		clock:  clock,
+		sched:  sched,
+		exec:   exec,
+		depth:  depth,
+		byLPN:  make(map[int64]time.Duration),
+		Depths: metrics.NewDepthHist(depth),
+	}
+}
+
+// Depth reports the configured queue depth.
+func (q *Queue) Depth() int { return q.depth }
+
+// InFlight reports how many commands are currently outstanding.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.outstanding)
+}
+
+// Submit queues one command. It returns once the command has been
+// issued (asynchronous completion): the request's Err and Done are
+// filled in, but the virtual clock has only advanced if the queue was
+// full or the op was a barrier. Drain makes all completions visible in
+// virtual time.
+func (q *Queue) Submit(r *Request) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.submitLocked(r)
+}
+
+// SubmitWait queues one command and waits for its completion in
+// virtual time — the depth-1 synchronous path used by the classic
+// Device methods.
+func (q *Queue) SubmitWait(r *Request) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	err := q.submitLocked(r)
+	q.clock.AdvanceTo(r.Done)
+	// The command is no longer outstanding; retire its slot.
+	for i := range q.outstanding {
+		if q.outstanding[i].done == r.Done {
+			q.outstanding[i] = q.outstanding[len(q.outstanding)-1]
+			q.outstanding = q.outstanding[:len(q.outstanding)-1]
+			break
+		}
+	}
+	q.pruneLPNLocked()
+	return err
+}
+
+func (q *Queue) submitLocked(r *Request) error {
+	r.Submitted = q.clock.Now()
+	if r.Op.IsBarrier() {
+		q.drainLocked()
+	} else if len(q.outstanding) >= q.depth {
+		q.retireEarliestLocked()
+	}
+	start := q.clock.Now()
+	if r.Op.targetsLPN() {
+		// Per-LPN ordering: a command on an LPN with an in-flight
+		// predecessor may not begin until that predecessor completes.
+		if gate, ok := q.byLPN[r.LPN]; ok && gate > start {
+			start = gate
+		}
+	}
+	q.sched.Begin(start)
+	r.Err = q.exec(r)
+	r.Started = start
+	r.Done = q.sched.End()
+	if r.Err != nil && errors.Is(r.Err, nand.ErrPowerLost) {
+		// Power died: every in-flight command is lost with it. Leave
+		// the clock where it is; nothing completes.
+		q.outstanding = q.outstanding[:0]
+		clear(q.byLPN)
+		r.Done = q.clock.Now()
+		return r.Err
+	}
+	q.outstanding = append(q.outstanding, pending{done: r.Done})
+	if r.Op.targetsLPN() && r.Done > q.byLPN[r.LPN] {
+		q.byLPN[r.LPN] = r.Done
+	}
+	q.observeLocked(r)
+	if r.Op.IsBarrier() {
+		// A barrier completes synchronously: nothing behind it may
+		// start earlier, so the whole queue (just this command now)
+		// drains to its completion time.
+		q.drainLocked()
+	}
+	return r.Err
+}
+
+// retireEarliestLocked waits (in virtual time) for the earliest
+// completion among outstanding commands, freeing one queue slot.
+func (q *Queue) retireEarliestLocked() {
+	mi := 0
+	for i := range q.outstanding {
+		if q.outstanding[i].done < q.outstanding[mi].done {
+			mi = i
+		}
+	}
+	t := q.outstanding[mi].done
+	q.outstanding[mi] = q.outstanding[len(q.outstanding)-1]
+	q.outstanding = q.outstanding[:len(q.outstanding)-1]
+	q.clock.AdvanceTo(t)
+	q.pruneLPNLocked()
+}
+
+// drainLocked completes every outstanding command in virtual time.
+func (q *Queue) drainLocked() {
+	var maxT time.Duration
+	for i := range q.outstanding {
+		if q.outstanding[i].done > maxT {
+			maxT = q.outstanding[i].done
+		}
+	}
+	q.outstanding = q.outstanding[:0]
+	q.clock.AdvanceTo(maxT)
+	clear(q.byLPN)
+}
+
+// pruneLPNLocked drops per-LPN gates that have passed.
+func (q *Queue) pruneLPNLocked() {
+	now := q.clock.Now()
+	for l, t := range q.byLPN {
+		if t <= now {
+			delete(q.byLPN, l)
+		}
+	}
+}
+
+// Drain completes every outstanding command, advancing virtual time to
+// the last completion. Benches call it before reading the clock.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.drainLocked()
+}
+
+// Exclusive runs fn while holding the queue lock with no command in
+// flight executing — the control-plane path for power cuts, restarts
+// and metadata corruption, which must not interleave with commands.
+// fn must not call back into the queue.
+func (q *Queue) Exclusive(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fn()
+}
+
+// Abandon discards all outstanding commands without completing them
+// (power loss: in-flight work dies with the device).
+func (q *Queue) Abandon() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.outstanding = q.outstanding[:0]
+	clear(q.byLPN)
+}
+
+func (q *Queue) observeLocked(r *Request) {
+	lat := r.Done - r.Submitted
+	switch {
+	case r.Op.IsBarrier():
+		q.BarrierLat.Observe(lat)
+	case r.Op == OpRead || r.Op == OpReadTx:
+		q.ReadLat.Observe(lat)
+	default:
+		q.WriteLat.Observe(lat)
+	}
+	q.Depths.Observe(len(q.outstanding))
+}

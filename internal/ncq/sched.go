@@ -1,0 +1,147 @@
+// Package ncq implements an NCQ-style asynchronous command queue and a
+// multi-channel NAND scheduler for the simulated flash device.
+//
+// The paper's Barefoot controller hides an 8-channel flash array behind
+// a queue-depth-1 SATA link: one host command at a time, but firmware
+// free to stripe its own bulk work (mapping flushes, GC copy-back)
+// across channels. The old model collapsed that into a scalar latency
+// divisor. Here the channel/way units are explicit resources with
+// busy-until timestamps in simclock virtual time, and a command queue
+// (default depth 32) lets multiple host commands be in flight so their
+// NAND work overlaps on different units — host reads/writes, GC
+// copy-backs, meta-ring flushes and X-FTL commit-time work all contend
+// for the same units.
+//
+// Timing decomposes per command as
+//
+//	controller/bus time  — command overhead + data transfer +
+//	                       barrier bookkeeping; one command at a time
+//	                       (the SATA link and firmware CPU serialize)
+//	channel/way time     — page reads/programs occupy the page's unit
+//	                       (ppn mod units) for the full cell latency;
+//	                       block erases occupy every unit (superblock)
+//
+// A command's completion time is the max over the segments it touched.
+// Because physical pages stripe round-robin across units, an evenly
+// striped internal stream of total cell cost T finishes in T/units —
+// exactly the legacy InternalParallelism divisor — while single-page
+// host commands still pay full latency at queue depth 1.
+package ncq
+
+import (
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Scheduler tracks per-unit and controller busy-until timestamps and
+// accumulates the cost of the command currently being charged. It
+// implements nand.Charger. Callers (the Queue) serialize access; a
+// charge arriving with no open command falls back to advancing the
+// clock directly, preserving bare-chip semantics.
+type Scheduler struct {
+	clock *simclock.Clock
+	units []time.Duration // busy-until per channel/way unit
+	ctrl  time.Duration   // busy-until of the controller/bus resource
+
+	active    bool
+	start     time.Duration // earliest instant the command may use any resource
+	nandStart time.Duration // earliest instant its NAND phase may begin
+	end       time.Duration // completion: max end over touched segments
+}
+
+// NewScheduler creates a scheduler over the given number of channel/way
+// units (at least 1).
+func NewScheduler(clock *simclock.Clock, units int) *Scheduler {
+	if units < 1 {
+		units = 1
+	}
+	return &Scheduler{clock: clock, units: make([]time.Duration, units)}
+}
+
+// Units reports the number of channel/way units.
+func (s *Scheduler) Units() int { return len(s.units) }
+
+// Begin opens a command whose resource use may start no earlier than t.
+func (s *Scheduler) Begin(t time.Duration) {
+	s.active = true
+	s.start, s.nandStart, s.end = t, t, t
+}
+
+// End closes the current command and returns its completion time.
+func (s *Scheduler) End() time.Duration {
+	s.active = false
+	return s.end
+}
+
+// Reset clears all busy-until state (power cycle: every channel idle).
+func (s *Scheduler) Reset() {
+	s.active = false
+	s.ctrl = 0
+	for i := range s.units {
+		s.units[i] = 0
+	}
+}
+
+// ChargeController serializes d on the controller/bus resource and
+// pushes the command's NAND phase behind it (the flash operation cannot
+// start before the command and its data have crossed the link).
+func (s *Scheduler) ChargeController(d time.Duration) {
+	if !s.active {
+		s.clock.Advance(d)
+		return
+	}
+	st := max(s.start, s.ctrl)
+	e := st + d
+	s.ctrl = e
+	if e > s.nandStart {
+		s.nandStart = e
+	}
+	if e > s.end {
+		s.end = e
+	}
+}
+
+// ChargeUnit occupies one channel/way unit for d, starting when both
+// the command's NAND phase and the unit are ready. Implements
+// nand.Charger.
+func (s *Scheduler) ChargeUnit(unit int, d time.Duration) {
+	if !s.active {
+		s.clock.Advance(d)
+		return
+	}
+	u := unit % len(s.units)
+	st := max(s.nandStart, s.units[u])
+	e := st + d
+	s.units[u] = e
+	if e > s.end {
+		s.end = e
+	}
+}
+
+// ChargeAll occupies every unit for d starting when the last of them is
+// free (block erase over a striped superblock). Implements nand.Charger.
+func (s *Scheduler) ChargeAll(d time.Duration) {
+	if !s.active {
+		s.clock.Advance(d)
+		return
+	}
+	st := s.nandStart
+	for _, b := range s.units {
+		if b > st {
+			st = b
+		}
+	}
+	e := st + d
+	for i := range s.units {
+		s.units[i] = e
+	}
+	if e > s.end {
+		s.end = e
+	}
+}
+
+// BusyUntil reports a unit's busy-until timestamp (tests and metrics).
+func (s *Scheduler) BusyUntil(unit int) time.Duration {
+	return s.units[unit%len(s.units)]
+}

@@ -10,6 +10,12 @@
 // of a write barrier (which on OpenSSD persists the mapping table,
 // §6.3.4). Two Profiles reproduce the paper's hardware: the OpenSSD
 // Barefoot board and the Samsung S830 used for Figure 9.
+//
+// Commands flow through an NCQ-style queue (internal/ncq): Queue()
+// exposes asynchronous submission at the configured depth, while the
+// classic synchronous methods are depth-1 wrappers that wait for their
+// own completion. The queue also makes the Device safe for concurrent
+// use by multiple submitters.
 package storage
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/ncq"
 	"repro/internal/simclock"
 )
 
@@ -113,7 +120,8 @@ func S830() Profile {
 	n.ReadLatency = 90 * time.Microsecond
 	n.ProgLatency = 600 * time.Microsecond
 	n.EraseLatency = 2 * time.Millisecond
-	n.InternalParallelism = 16
+	n.Channels = 8
+	n.Ways = 2
 	return Profile{
 		Name:            "S830",
 		Nand:            n,
@@ -137,10 +145,16 @@ type Options struct {
 	// Fault installs a NAND fault model (nil: ideal flash). See
 	// nand.DefaultFaultModel for realistic MLC rates.
 	Fault *nand.FaultModel
+	// QueueDepth is the NCQ command-queue depth; 0 selects
+	// ncq.DefaultDepth (32). The synchronous methods behave the same at
+	// any depth; Queue() submitters share the configured slots.
+	QueueDepth int
 }
 
 // Device is a simulated flash storage device exposing the (extended)
-// SATA command set. It is not safe for concurrent use.
+// SATA command set. It is safe for concurrent use: commands serialize
+// on the internal queue lock while their simulated latencies overlap
+// across the flash channels.
 type Device struct {
 	prof  Profile
 	clock *simclock.Clock
@@ -148,10 +162,11 @@ type Device struct {
 	base  *ftl.FTL
 	x     *core.XFTL // nil when running the baseline firmware
 
-	cmds     int64 // host commands processed
-	barriers int64 // barrier-class commands (flush/commit)
+	sched *ncq.Scheduler
+	q     *ncq.Queue
 
-	inflight atomic.Bool // concurrent-use detector (see enter)
+	cmds     atomic.Int64 // host commands processed
+	barriers atomic.Int64 // barrier-class commands (flush/commit)
 }
 
 // New builds a device from a profile. The clock may be shared across
@@ -194,6 +209,9 @@ func New(prof Profile, clock *simclock.Clock, opts Options) (*Device, error) {
 		}
 		d.x = x
 	}
+	d.sched = ncq.NewScheduler(clock, prof.Nand.Units())
+	chip.SetCharger(d.sched)
+	d.q = ncq.New(clock, d.sched, opts.QueueDepth, d.execute)
 	return d, nil
 }
 
@@ -222,18 +240,75 @@ func (d *Device) PageSize() int { return d.base.PageSize() }
 func (d *Device) LogicalPages() int64 { return d.base.LogicalPages() }
 
 // Commands reports how many host commands the device has processed.
-func (d *Device) Commands() int64 { return d.cmds }
+func (d *Device) Commands() int64 { return d.cmds.Load() }
 
-// enter flags the device busy for the duration of one command and
-// panics if another command is already in flight: Device is documented
-// as not safe for concurrent use, and silent interleaving corrupts the
-// simulated clock and the mapping state. The check is one atomic CAS
-// per command — cheap enough to stay on in production use.
-func (d *Device) enter() func() {
-	if !d.inflight.CompareAndSwap(false, true) {
-		panic("storage: Device is not safe for concurrent use; serialize commands externally")
+// Queue returns the device's NCQ command queue for asynchronous
+// submission at the configured depth. Multiple goroutines may submit
+// concurrently; use Queue().Drain() to surface all completions in
+// virtual time before reading the clock.
+func (d *Device) Queue() *ncq.Queue { return d.q }
+
+// execute runs one queued command against the firmware. The queue
+// serializes calls under its lock with a scheduler command open, so
+// the firmware state mutates in submission order while the latency
+// charges land on the contended channel/way resources.
+func (d *Device) execute(r *ncq.Request) error {
+	switch r.Op {
+	case ncq.OpRead:
+		d.chargeCmd(1)
+		if d.x != nil {
+			return d.lost(d.x.Read(ftl.LPN(r.LPN), r.Buf))
+		}
+		return d.lost(d.base.Read(ftl.LPN(r.LPN), r.Buf))
+	case ncq.OpWrite:
+		d.chargeCmd(1)
+		if d.x != nil {
+			return d.lost(d.x.Write(ftl.LPN(r.LPN), r.Data))
+		}
+		return d.lost(d.base.Write(ftl.LPN(r.LPN), r.Data))
+	case ncq.OpTrim:
+		d.chargeCmd(0)
+		if d.x != nil {
+			return d.lost(d.x.Trim(ftl.LPN(r.LPN)))
+		}
+		return d.lost(d.base.Unmap(ftl.LPN(r.LPN)))
+	case ncq.OpBarrier:
+		d.chargeCmd(0)
+		d.barriers.Add(1)
+		d.sched.ChargeController(d.prof.BarrierOverhead)
+		if d.x != nil {
+			return d.lost(d.x.Barrier())
+		}
+		return d.lost(d.base.Barrier())
+	case ncq.OpReadTx:
+		if d.x == nil {
+			return ErrNotTransactional
+		}
+		d.chargeCmd(1)
+		return d.lost(d.x.ReadTx(core.TxID(r.TID), ftl.LPN(r.LPN), r.Buf))
+	case ncq.OpWriteTx:
+		if d.x == nil {
+			return ErrNotTransactional
+		}
+		d.chargeCmd(1)
+		return d.lost(d.x.WriteTx(core.TxID(r.TID), ftl.LPN(r.LPN), r.Data))
+	case ncq.OpCommit:
+		if d.x == nil {
+			return ErrNotTransactional
+		}
+		d.chargeCmd(0)
+		d.barriers.Add(1)
+		d.sched.ChargeController(d.prof.BarrierOverhead)
+		return d.lost(d.x.Commit(core.TxID(r.TID)))
+	case ncq.OpAbort:
+		if d.x == nil {
+			return ErrNotTransactional
+		}
+		d.chargeCmd(0)
+		return d.lost(d.x.Abort(core.TxID(r.TID)))
+	default:
+		return fmt.Errorf("storage: unknown op %v", r.Op)
 	}
-	return func() { d.inflight.Store(false) }
 }
 
 // lost inspects a command error: when an armed power cut tripped
@@ -256,54 +331,33 @@ func (d *Device) powerCutFirmware() {
 }
 
 // chargeCmd accounts controller time for one host command, with
-// optional payload transfer.
+// optional payload transfer. Called from execute with a scheduler
+// command open, so the cost serializes on the controller/bus resource.
 func (d *Device) chargeCmd(pages int) {
-	d.cmds++
-	d.clock.Advance(d.prof.CmdOverhead + time.Duration(pages)*d.prof.TransferPerPage)
+	d.cmds.Add(1)
+	d.sched.ChargeController(d.prof.CmdOverhead + time.Duration(pages)*d.prof.TransferPerPage)
 }
 
 // Read services a plain read command for the last committed version.
 func (d *Device) Read(lpn int64, buf []byte) error {
-	defer d.enter()()
-	d.chargeCmd(1)
-	if d.x != nil {
-		return d.lost(d.x.Read(ftl.LPN(lpn), buf))
-	}
-	return d.lost(d.base.Read(ftl.LPN(lpn), buf))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf})
 }
 
 // Write services a plain (non-transactional) write command.
 func (d *Device) Write(lpn int64, data []byte) error {
-	defer d.enter()()
-	d.chargeCmd(1)
-	if d.x != nil {
-		return d.lost(d.x.Write(ftl.LPN(lpn), data))
-	}
-	return d.lost(d.base.Write(ftl.LPN(lpn), data))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpWrite, LPN: lpn, Data: data})
 }
 
 // Trim discards a logical page.
 func (d *Device) Trim(lpn int64) error {
-	defer d.enter()()
-	d.chargeCmd(0)
-	if d.x != nil {
-		return d.lost(d.x.Trim(ftl.LPN(lpn)))
-	}
-	return d.lost(d.base.Unmap(ftl.LPN(lpn)))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn})
 }
 
 // Barrier services a write-barrier / flush-cache command: the mapping
 // table becomes durable. On OpenSSD this is the expensive operation
-// behind every fsync (§6.3.4).
+// behind every fsync (§6.3.4). In the queue it is a full fence.
 func (d *Device) Barrier() error {
-	defer d.enter()()
-	d.chargeCmd(0)
-	d.barriers++
-	d.clock.Advance(d.prof.BarrierOverhead)
-	if d.x != nil {
-		return d.lost(d.x.Barrier())
-	}
-	return d.lost(d.base.Barrier())
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpBarrier})
 }
 
 // ReadTx services read(t,p): the transaction sees its own uncommitted
@@ -312,9 +366,7 @@ func (d *Device) ReadTx(tid uint64, lpn int64, buf []byte) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
-	defer d.enter()()
-	d.chargeCmd(1)
-	return d.lost(d.x.ReadTx(core.TxID(tid), ftl.LPN(lpn), buf))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpReadTx, TID: tid, LPN: lpn, Buf: buf})
 }
 
 // WriteTx services write(t,p): a copy-on-write page update recorded in
@@ -323,43 +375,38 @@ func (d *Device) WriteTx(tid uint64, lpn int64, data []byte) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
-	defer d.enter()()
-	d.chargeCmd(1)
-	return d.lost(d.x.WriteTx(core.TxID(tid), ftl.LPN(lpn), data))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpWriteTx, TID: tid, LPN: lpn, Data: data})
 }
 
 // Commit services commit(t). It doubles as the write barrier for the
 // transaction's fsync ("X-FTL invokes a commit command once as part of
-// a fsync system call, which plays the same role as a write barrier").
+// a fsync system call, which plays the same role as a write barrier"),
+// and fences the queue per §4.2.
 func (d *Device) Commit(tid uint64) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
-	defer d.enter()()
-	d.chargeCmd(0)
-	d.barriers++
-	d.clock.Advance(d.prof.BarrierOverhead)
-	return d.lost(d.x.Commit(core.TxID(tid)))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpCommit, TID: tid})
 }
 
 // Abort services abort(t): the transaction's new versions are
-// abandoned inside the device.
+// abandoned inside the device. Like commit, it fences the queue.
 func (d *Device) Abort(tid uint64) error {
 	if d.x == nil {
 		return ErrNotTransactional
 	}
-	defer d.enter()()
-	d.chargeCmd(0)
-	return d.lost(d.x.Abort(core.TxID(tid)))
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpAbort, TID: tid})
 }
 
 // PowerCut simulates pulling the plug at a command boundary: volatile
-// controller state is lost and the chip refuses further operations
-// until Restart.
+// controller state is lost, in-flight queued commands die with it, and
+// the chip refuses further operations until Restart.
 func (d *Device) PowerCut() {
-	defer d.enter()()
-	d.base.Chip().PowerOff()
-	d.powerCutFirmware()
+	d.q.Exclusive(func() {
+		d.base.Chip().PowerOff()
+		d.powerCutFirmware()
+	})
+	d.q.Abandon()
 }
 
 // PowerCutAfter schedules a power cut during the n-th NAND operation
@@ -367,11 +414,13 @@ func (d *Device) PowerCut() {
 // next operation. Unlike PowerCut, this lands the cut in the middle of
 // firmware activity — mid-GC, mid-barrier, mid-commit — leaving torn
 // pages or half-erased blocks behind. When the cut trips, the in-flight
-// command returns an error wrapping nand.ErrPowerLost and the device
-// behaves as after PowerCut until Restart.
+// command returns an error wrapping nand.ErrPowerLost, the queue drops
+// everything outstanding, and the device behaves as after PowerCut
+// until Restart.
 func (d *Device) PowerCutAfter(n int64) {
-	defer d.enter()()
-	d.base.Chip().ArmPowerCut(n)
+	d.q.Exclusive(func() {
+		d.base.Chip().ArmPowerCut(n)
+	})
 }
 
 // NANDOps reports how many NAND operations (reads, programs, erases)
@@ -379,14 +428,25 @@ func (d *Device) PowerCutAfter(n int64) {
 func (d *Device) NANDOps() int64 { return d.base.Chip().OpCount() }
 
 // Restart powers the device back on and runs firmware recovery,
-// charging its cost on the simulated clock.
+// charging its cost on the simulated clock. Recovery runs with the
+// channel scheduler detached — the device is offline, so its bulk
+// scans pipeline across idle channels like any firmware-internal
+// stream — and every channel comes back idle.
 func (d *Device) Restart() error {
-	defer d.enter()()
-	d.base.Chip().Restore()
-	if d.x != nil {
-		return d.x.Restart()
-	}
-	return d.base.Restart()
+	var err error
+	d.q.Exclusive(func() {
+		chip := d.base.Chip()
+		chip.Restore()
+		chip.SetCharger(nil)
+		if d.x != nil {
+			err = d.x.Restart()
+		} else {
+			err = d.base.Restart()
+		}
+		chip.SetCharger(d.sched)
+		d.sched.Reset()
+	})
+	return err
 }
 
 // Health reports the device's wear state: how many blocks have been
@@ -418,5 +478,12 @@ func (d *Device) LastRecovery() ftl.RecoveryInfo { return d.base.LastRecovery() 
 // pages damaged. The next Restart must detect the damage and fall back
 // to the OOB scan path.
 func (d *Device) CorruptMeta(target string, erase bool) (int, error) {
-	return d.base.CorruptMeta(target, erase)
+	var (
+		n   int
+		err error
+	)
+	d.q.Exclusive(func() {
+		n, err = d.base.CorruptMeta(target, erase)
+	})
+	return n, err
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -232,28 +233,46 @@ func TestS830IsFasterEndToEnd(t *testing.T) {
 	}
 }
 
-func TestConcurrentUseDetector(t *testing.T) {
+func TestConcurrentSubmitters(t *testing.T) {
+	// The queue makes the device safe for concurrent use: parallel
+	// writers to disjoint LPNs must all land, and the counters must
+	// account every command.
 	d := newDev(t, false)
-	// Sequential commands never trip the detector.
-	if err := d.Write(0, devPage(d, 1)); err != nil {
+	const workers, per = 4, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lpn := int64(w*per + i)
+				if err := d.Write(lpn, devPage(d, byte(w+1))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
 	}
-	// Hold the in-flight flag as an overlapping command would, then
-	// issue a second command: it must panic rather than silently
-	// interleave with the first.
-	release := d.enter()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("overlapping command did not panic")
+	d.Queue().Drain()
+	buf := make([]byte, d.PageSize())
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			if err := d.Read(int64(w*per+i), buf); err != nil {
+				t.Fatal(err)
 			}
-		}()
-		_ = d.Write(1, devPage(d, 2))
-	}()
-	// Releasing the first command re-admits traffic.
-	release()
-	if err := d.Write(1, devPage(d, 2)); err != nil {
-		t.Fatal(err)
+			if buf[0] != byte(w+1) {
+				t.Fatalf("lpn %d = %x, want %x", w*per+i, buf[0], w+1)
+			}
+		}
+	}
+	if got := d.Commands(); got < workers*per {
+		t.Errorf("Commands() = %d, want >= %d", got, workers*per)
 	}
 }
 

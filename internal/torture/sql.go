@@ -57,13 +57,14 @@ func sqlProfile() storage.Profile {
 	return storage.Profile{
 		Name: "torture-sql",
 		Nand: nand.Config{
-			Blocks:              256,
-			PagesPerBlock:       64,
-			PageSize:            2048,
-			ReadLatency:         60 * time.Microsecond,
-			ProgLatency:         400 * time.Microsecond,
-			EraseLatency:        2 * time.Millisecond,
-			InternalParallelism: 4,
+			Blocks:        256,
+			PagesPerBlock: 64,
+			PageSize:      2048,
+			ReadLatency:   60 * time.Microsecond,
+			ProgLatency:   400 * time.Microsecond,
+			EraseLatency:  2 * time.Millisecond,
+			Channels:      4,
+			Ways:          1,
 		},
 		CmdOverhead:     30 * time.Microsecond,
 		TransferPerPage: 8 * time.Microsecond,

@@ -139,13 +139,14 @@ func deviceProfile() storage.Profile {
 	return storage.Profile{
 		Name: "torture-small",
 		Nand: nand.Config{
-			Blocks:              48,
-			PagesPerBlock:       32,
-			PageSize:            1024,
-			ReadLatency:         50 * time.Microsecond,
-			ProgLatency:         300 * time.Microsecond,
-			EraseLatency:        1500 * time.Microsecond,
-			InternalParallelism: 2,
+			Blocks:        48,
+			PagesPerBlock: 32,
+			PageSize:      1024,
+			ReadLatency:   50 * time.Microsecond,
+			ProgLatency:   300 * time.Microsecond,
+			EraseLatency:  1500 * time.Microsecond,
+			Channels:      2,
+			Ways:          1,
 		},
 		CmdOverhead:     20 * time.Microsecond,
 		TransferPerPage: 5 * time.Microsecond,
