@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	xftlbench [-quick] [-quiet] [-faults N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant}
+//	xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}
 //	xftlbench [-quick] -torture
 //
 // -quick shrinks workloads for a fast smoke run; the published numbers
@@ -16,11 +16,15 @@
 // three journal modes, each checking committed-durable /
 // uncommitted-discarded after every recovery.
 //
-// mtenant is the beyond-the-paper multi-tenant leg: N concurrent
-// tenants share one device through the NCQ queue across channel counts
-// and queue depths (not part of "all", which reproduces the paper's
-// figures only). -json PATH additionally writes every table that was
-// printed — plus the typed multi-tenant points — as indented JSON.
+// mtenant and rwconc are the beyond-the-paper legs (not part of "all",
+// which reproduces the paper's figures only): mtenant is the NCQ
+// multi-tenant sweep across channel counts and queue depths; rwconc
+// runs MVCC snapshot readers against a streaming writer and compares
+// reader throughput with the serialized rollback-journal baseline.
+// -seed N overrides every workload generator's RNG seed (0 keeps the
+// published defaults); the seed is recorded in the -json document.
+// -json PATH additionally writes every table that was printed — plus
+// the typed multi-tenant and rwconc points — as indented JSON.
 package main
 
 import (
@@ -38,10 +42,11 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	faults := flag.Float64("faults", 0, "NAND fault-model scale (0 = ideal flash, 1 = realistic MLC rates)")
 	tortureMode := flag.Bool("torture", false, "run the crash/fault torture harness instead of an experiment")
+	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-generator defaults)")
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant}\n")
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -torture\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
 		flag.PrintDefaults()
@@ -63,7 +68,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		opts := bench.Options{Quick: *quick, FaultScale: *faults}
+		opts := bench.Options{Quick: *quick, FaultScale: *faults, Seed: *seed}
 		if !*quiet {
 			opts.Progress = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "[xftlbench] "+format+"\n", args...)
@@ -77,7 +82,7 @@ func main() {
 		t := bench.RecoveryScanTable(runs)
 		fmt.Println(t)
 		if *jsonPath != "" {
-			doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, FaultScale: *faults}
+			doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, Seed: *seed, FaultScale: *faults}
 			doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
 				Name: "recovery-scan", Tables: []*bench.Table{t},
 			})
@@ -92,14 +97,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick, FaultScale: *faults}
+	opts := bench.Options{Quick: *quick, FaultScale: *faults, Seed: *seed}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[xftlbench] "+format+"\n", args...)
 		}
 	}
 	what := flag.Arg(0)
-	doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, FaultScale: *faults}
+	doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, Seed: *seed, FaultScale: *faults}
 	if err := run(what, opts, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "xftlbench %s: %v\n", what, err)
 		os.Exit(1)
@@ -126,12 +131,12 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		did = true
 		return fn()
 	}
-	emit := func(name string, mt *bench.MT, tables ...*bench.Table) {
+	emit := func(name string, mt *bench.MT, rw *bench.RWC, tables ...*bench.Table) {
 		for _, t := range tables {
 			fmt.Println(t)
 		}
 		doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
-			Name: name, Tables: tables, MultiTenant: mt,
+			Name: name, Tables: tables, MultiTenant: mt, RWConc: rw,
 		})
 	}
 	if err := do("fig5", func() error {
@@ -139,7 +144,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("fig5", nil, f.Tables()...)
+		emit("fig5", nil, nil, f.Tables()...)
 		return nil
 	}); err != nil {
 		return err
@@ -149,7 +154,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("table1", nil, t1.Table())
+		emit("table1", nil, nil, t1.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -159,7 +164,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("fig6", nil, f.Tables()...)
+		emit("fig6", nil, nil, f.Tables()...)
 		return nil
 	}); err != nil {
 		return err
@@ -171,7 +176,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 			return err
 		}
 		fig7 = f
-		emit("fig7", nil, f.Table())
+		emit("fig7", nil, nil, f.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -179,16 +184,16 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 	if err := do("table2", func() error {
 		if fig7 == nil && !all {
 			// Census-only view; the measured row needs a fig7 replay.
-			emit("table2", nil, bench.Table2(nil))
+			emit("table2", nil, nil, bench.Table2(nil))
 			return nil
 		}
-		emit("table2", nil, bench.Table2(fig7))
+		emit("table2", nil, nil, bench.Table2(fig7))
 		return nil
 	}); err != nil {
 		return err
 	}
 	if err := do("table3", func() error {
-		emit("table3", nil, bench.Table3())
+		emit("table3", nil, nil, bench.Table3())
 		return nil
 	}); err != nil {
 		return err
@@ -198,7 +203,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("table4", nil, bench.Table3(), t4.Table())
+		emit("table4", nil, nil, bench.Table3(), t4.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -208,7 +213,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("fig8", nil, f.Table())
+		emit("fig8", nil, nil, f.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -218,7 +223,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("fig9", nil, f.Table())
+		emit("fig9", nil, nil, f.Table())
 		return nil
 	}); err != nil {
 		return err
@@ -228,7 +233,7 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("table5", nil, bench.Table5Table(runs))
+		emit("table5", nil, nil, bench.Table5Table(runs))
 		return nil
 	}); err != nil {
 		return err
@@ -238,20 +243,31 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		if err != nil {
 			return err
 		}
-		emit("ablate", nil, bench.AblationTable(runs))
+		emit("ablate", nil, nil, bench.AblationTable(runs))
 		return nil
 	}); err != nil {
 		return err
 	}
-	// mtenant is deliberately excluded from "all": "all" reproduces the
-	// paper's evaluation in paper order, and the NCQ sweep is new work.
+	// mtenant and rwconc are deliberately excluded from "all": "all"
+	// reproduces the paper's evaluation in paper order, and the NCQ
+	// sweep and MVCC session layer are new work.
 	if !all {
 		if err := do("mtenant", func() error {
 			mt, err := bench.RunMultiTenant(opts)
 			if err != nil {
 				return err
 			}
-			emit("mtenant", mt, mt.Table())
+			emit("mtenant", mt, nil, mt.Table())
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := do("rwconc", func() error {
+			rw, err := bench.RunRWConc(opts)
+			if err != nil {
+				return err
+			}
+			emit("rwconc", nil, rw, rw.Table())
 			return nil
 		}); err != nil {
 			return err
@@ -303,6 +319,24 @@ func runTorture(quick bool, faults float64) error {
 		}
 		fmt.Printf("sql %-5s: %s\n", mode, agg)
 	}
+
+	// Concurrent-session torture: snapshot readers racing a writer on
+	// the MVCC session layer with a mid-run power cut; every snapshot
+	// must be uniform and recovery must land on the last committed (or
+	// in-doubt) generation.
+	mvccSeeds := []int64{1, 2, 3, 4, 5, 6}
+	if quick {
+		mvccSeeds = mvccSeeds[:2]
+	}
+	magg := &torture.Report{}
+	for _, seed := range mvccSeeds {
+		r, err := torture.RunMVCC(torture.DefaultMVCCOptions(seed))
+		if err != nil {
+			return fmt.Errorf("mvcc seed %d: %w", seed, err)
+		}
+		magg.Add(r)
+	}
+	fmt.Printf("mvcc sessions: %s\n", magg)
 
 	// Metadata-corruption sweep: destroy every persisted copy of the
 	// mapping table (and, separately, the bad-block table) after each

@@ -45,6 +45,7 @@ func runVariant(name string, mode Mode, txns int, opts Options,
 	}
 	defer db.Close()
 	cfg := synth.DefaultConfig()
+	cfg.Seed = opts.seedOr(cfg.Seed)
 	cfg.Transactions = txns
 	if opts.Quick {
 		cfg.Tuples = 3000

@@ -41,8 +41,22 @@ type Options struct {
 	// so throughput reflects read-retry and retirement overheads. Set
 	// from xftlbench's -faults flag.
 	FaultScale float64
+	// Seed, when non-zero, overrides every workload generator's
+	// default RNG seed so whole runs can be replayed or varied from
+	// xftlbench's -seed flag. Zero keeps each generator's historical
+	// default (the published tables).
+	Seed int64
 	// Out receives progress lines; nil silences them.
 	Progress func(format string, args ...any)
+}
+
+// seedOr resolves the effective seed: the -seed override when set,
+// otherwise the generator's historical default.
+func (o Options) seedOr(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
 }
 
 func (o Options) progress(format string, args ...any) {

@@ -73,6 +73,7 @@ func RunFioPoint(prof storage.Profile, mode FSMode, fsyncEvery, threads int, opt
 		return pt, err
 	}
 	cfg := fio.DefaultConfig()
+	cfg.Seed = opts.seedOr(cfg.Seed)
 	cfg.FsyncEvery = fsyncEvery
 	cfg.Threads = threads
 	if opts.Quick {

@@ -12,7 +12,10 @@ import (
 type JSONDoc struct {
 	Tool        string           `json:"tool"`
 	Quick       bool             `json:"quick"`
-	FaultScale  float64          `json:"fault_scale,omitempty"`
+	// Seed is the -seed override used for the run; 0 means every
+	// generator ran with its historical default seed.
+	Seed       int64   `json:"seed"`
+	FaultScale float64 `json:"fault_scale,omitempty"`
 	Experiments []JSONExperiment `json:"experiments"`
 }
 
@@ -20,9 +23,10 @@ type JSONDoc struct {
 // (title, header, rows, notes) and, for the multi-tenant sweep, the
 // typed points with ops, NAND counts and latency percentiles.
 type JSONExperiment struct {
-	Name        string  `json:"name"`
+	Name        string   `json:"name"`
 	Tables      []*Table `json:"tables,omitempty"`
 	MultiTenant *MT      `json:"multi_tenant,omitempty"`
+	RWConc      *RWC     `json:"rwconc,omitempty"`
 }
 
 // WriteJSON writes the document, indented, to path.

@@ -181,7 +181,7 @@ func RunMultiTenant(opts Options) (*MT, error) {
 			label := fmt.Sprintf("randwrite ch=%d qd=%d", ch, depth)
 			if err := run(label, MTConfig{
 				Profile: prof, Tenants: tenants, Depth: depth,
-				Ops: ops, Seed: 42,
+				Ops: ops, Seed: opts.seedOr(42),
 			}); err != nil {
 				return nil, err
 			}
@@ -195,7 +195,7 @@ func RunMultiTenant(opts Options) (*MT, error) {
 		label := fmt.Sprintf("tx-commit8 ch=8 qd=%d", depth)
 		if err := run(label, MTConfig{
 			Profile: txProf, Tenants: tenants, Depth: depth,
-			Ops: ops, FsyncEvery: 8, Transactional: true, Seed: 42,
+			Ops: ops, FsyncEvery: 8, Transactional: true, Seed: opts.seedOr(42),
 		}); err != nil {
 			return nil, err
 		}

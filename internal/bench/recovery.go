@@ -49,6 +49,7 @@ func RunTable5(opts Options) (map[Mode]RecoveryRun, error) {
 			return nil, err
 		}
 		cfg := synth.DefaultConfig()
+		cfg.Seed = opts.seedOr(cfg.Seed)
 		cfg.Tuples = 20000
 		cfg.UpdatesPerTxn = 5
 		cfg.Transactions = txnsBefore
@@ -139,6 +140,7 @@ func RunRecoveryScan(opts Options) ([]ScanRecoveryRun, error) {
 			return nil, err
 		}
 		cfg := synth.DefaultConfig()
+		cfg.Seed = opts.seedOr(cfg.Seed)
 		cfg.Tuples = 20000
 		cfg.UpdatesPerTxn = 5
 		cfg.Transactions = txnsBefore

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// The rwconc acceptance property: snapshot readers at 8 channels beat
+// the serialized rollback-journal baseline by at least 3x while one
+// writer streams updates. The quick configuration is small but keeps
+// the same shape (8-channel MVCC point + serialized control), so the
+// ratio holds here too — the full run only widens it.
+func TestRWConcQuick(t *testing.T) {
+	res, err := RunRWConc(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("quick sweep: got %d points, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.ReaderTx == 0 || p.ReaderTPS == 0 {
+			t.Fatalf("%s: no reader transactions measured: %+v", p.Label, p)
+		}
+		if p.WriterTx == 0 {
+			t.Fatalf("%s: writer made no progress (reader throughput would be unopposed)", p.Label)
+		}
+	}
+	mvcc8 := res.point("mvcc ch=8")
+	if mvcc8.SnapReads == 0 {
+		t.Fatal("MVCC arm issued no device-level snapshot reads")
+	}
+	if s := res.ReaderSpeedup(8); s < 3 {
+		t.Fatalf("reader speedup at 8 channels: %.2fx, want >= 3x", s)
+	}
+	// Rendering must not panic and should report the speedup note.
+	if tbl := res.Table(); len(tbl.RowData) != 3 || len(tbl.Notes) == 0 {
+		t.Fatalf("table: %d rows, %d notes", len(tbl.RowData), len(tbl.Notes))
+	}
+}

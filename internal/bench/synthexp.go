@@ -31,13 +31,14 @@ func RunSynth(mode Mode, validity float64, updates, txns int, opts Options) (Syn
 		return res, err
 	}
 	cfg := synth.DefaultConfig()
+	cfg.Seed = opts.seedOr(cfg.Seed)
 	cfg.UpdatesPerTxn = updates
 	cfg.Transactions = txns
 	if opts.Quick {
 		cfg.Tuples = 3000
 	}
 	// Fill all non-reserved logical space and churn to GC steady state.
-	if _, err := AgeDevice(st, 1.0, 0.6, 42); err != nil {
+	if _, err := AgeDevice(st, 1.0, 0.6, opts.seedOr(42)); err != nil {
 		return res, fmt.Errorf("aging: %w", err)
 	}
 	db, err := st.OpenDB("synth.db")

@@ -72,7 +72,7 @@ func RunTable4(opts Options) (*Table4, error) {
 		if err != nil {
 			return nil, err
 		}
-		b := tpcc.New(db, scale, 2013)
+		b := tpcc.New(db, scale, opts.seedOr(2013))
 		if err := b.Load(); err != nil {
 			_ = db.Close()
 			return nil, fmt.Errorf("table4 load %s: %w", mode, err)

@@ -61,12 +61,25 @@ const EntrySize = 16
 
 // Errors returned by X-FTL.
 var (
-	ErrTableFull  = errors.New("xftl: X-L2P table is full")
-	ErrConflict   = errors.New("xftl: page has an uncommitted update by another transaction")
-	ErrUnknownTx  = errors.New("xftl: unknown transaction id")
-	ErrPowerCut   = errors.New("xftl: device is powered off; call Restart")
-	ErrNilBaseFTL = errors.New("xftl: nil base FTL")
+	ErrTableFull       = errors.New("xftl: X-L2P table is full")
+	ErrConflict        = errors.New("xftl: page has an uncommitted update by another transaction")
+	ErrUnknownTx       = errors.New("xftl: unknown transaction id")
+	ErrPowerCut        = errors.New("xftl: device is powered off; call Restart")
+	ErrNilBaseFTL      = errors.New("xftl: nil base FTL")
+	ErrUnknownSnapshot = errors.New("xftl: unknown snapshot id")
 )
+
+// SnapID identifies an open device snapshot handle.
+type SnapID uint64
+
+// oldVersion records a superseded committed page version that must stay
+// readable for open snapshots: ppn held the page's content until commit
+// sequence `until` installed a newer version. ppn == InvalidPPN means
+// the page did not exist (was unmapped) before `until`.
+type oldVersion struct {
+	ppn   nand.PPN
+	until uint64
+}
 
 // Config tunes X-FTL.
 type Config struct {
@@ -111,6 +124,9 @@ type Stats struct {
 	Aborts      int64
 	TableImages int64 // X-L2P table images programmed to flash
 	GCReflushes int64 // image rewrites forced by GC relocating a committed page
+	Snapshots   int64 // snapshot handles opened
+	SnapReads   int64 // reads served through a snapshot handle
+	SnapOldHits int64 // snapshot reads that needed a superseded version
 }
 
 // XFTL is a transactional FTL layered over the baseline page-mapping
@@ -128,6 +144,20 @@ type XFTL struct {
 	// base map image catches up) and must be re-applied at recovery.
 	image          []imageEntry
 	imageCommitted map[nand.PPN]int // ppn -> index into image
+
+	// Snapshot (MVCC) state. The paper's §5 observation — "readers are
+	// never blocked" because the old committed version stays reachable —
+	// is generalized here to long-lived read transactions: a snapshot
+	// pins the committed version set as of its open. commitSeq counts
+	// atomic batches of committed mapping changes; snaps maps each open
+	// snapshot to the commitSeq it observed; versions holds superseded
+	// committed versions some snapshot can still read, in ascending
+	// `until` order; pinned indexes their physical pages for the GC hook.
+	commitSeq uint64
+	nextSnap  SnapID
+	snaps     map[SnapID]uint64
+	versions  map[ftl.LPN][]oldVersion
+	pinned    map[nand.PPN]ftl.LPN
 
 	stats     *metrics.FlashCounters
 	xstats    Stats
@@ -151,6 +181,9 @@ func New(base *ftl.FTL, cfg Config, stats *metrics.FlashCounters) (*XFTL, error)
 		byPPN:          make(map[nand.PPN]*entry),
 		byTx:           make(map[TxID][]*entry),
 		imageCommitted: make(map[nand.PPN]int),
+		snaps:          make(map[SnapID]uint64),
+		versions:       make(map[ftl.LPN][]oldVersion),
+		pinned:         make(map[nand.PPN]ftl.LPN),
 		stats:          stats,
 	}
 	base.SetHook(x)
@@ -245,7 +278,18 @@ func (x *XFTL) Write(lpn ftl.LPN, data []byte) error {
 	if e, ok := x.byLPN[lpn]; ok {
 		return fmt.Errorf("%w: lpn %d held by tx %d", ErrConflict, lpn, e.tid)
 	}
-	return x.base.Write(lpn, data)
+	if len(x.snaps) == 0 {
+		return x.base.Write(lpn, data)
+	}
+	// With snapshots open the superseded version must be pinned before
+	// the remap retires it, so split base.Write into its primitives.
+	newPPN, err := x.base.WriteRaw(lpn, data)
+	if err != nil {
+		return err
+	}
+	x.supersede(lpn)
+	x.commitSeq++
+	return x.base.Map(lpn, newPPN)
 }
 
 // Trim discards a logical page (file deletion path). An uncommitted
@@ -260,6 +304,8 @@ func (x *XFTL) Trim(lpn ftl.LPN) error {
 			return err
 		}
 	}
+	x.supersede(lpn)
+	x.commitSeq++
 	return x.base.Unmap(lpn)
 }
 
@@ -312,12 +358,17 @@ func (x *XFTL) Commit(tid TxID) error {
 		return err
 	}
 	for _, e := range entries {
+		// Pin the superseded committed version for open snapshots before
+		// the remap would retire it; the whole batch shares one sequence
+		// boundary so a snapshot sees all of this commit or none of it.
+		x.supersede(e.lpn)
 		if err := x.base.Map(e.lpn, e.newPPN); err != nil {
 			return err
 		}
 		delete(x.byLPN, e.lpn)
 		delete(x.byPPN, e.newPPN)
 	}
+	x.commitSeq++
 	delete(x.byTx, tid)
 	flushed, err := x.base.FlushDirtyGroups()
 	if err != nil {
@@ -364,6 +415,137 @@ func (x *XFTL) Barrier() error {
 		return ErrPowerCut
 	}
 	return x.base.Barrier()
+}
+
+// OpenSnapshot pins the committed state as of now and returns a handle
+// that reads it until closed. Uncommitted transactional versions are
+// invisible to the snapshot (they are reachable only through X-L2P),
+// and later commits leave the snapshot's version set untouched: the
+// superseded physical pages are pinned against garbage collection until
+// every snapshot that can read them closes. Opening a snapshot costs no
+// flash I/O — it records a single sequence number.
+func (x *XFTL) OpenSnapshot() (SnapID, error) {
+	if x.powerOff {
+		return 0, ErrPowerCut
+	}
+	x.xstats.Snapshots++
+	x.nextSnap++
+	x.snaps[x.nextSnap] = x.commitSeq
+	return x.nextSnap, nil
+}
+
+// CloseSnapshot releases a snapshot handle and reclaims any superseded
+// versions no remaining snapshot can read. Closing after a power cut is
+// a no-op: the handle died with the volatile state.
+func (x *XFTL) CloseSnapshot(id SnapID) error {
+	if x.powerOff {
+		return nil
+	}
+	if _, ok := x.snaps[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSnapshot, id)
+	}
+	delete(x.snaps, id)
+	x.prune()
+	return nil
+}
+
+// OpenSnapshots reports how many snapshot handles are currently open.
+func (x *XFTL) OpenSnapshots() int { return len(x.snaps) }
+
+// PinnedPages reports how many superseded physical pages are pinned
+// against garbage collection on behalf of open snapshots.
+func (x *XFTL) PinnedPages() int { return len(x.pinned) }
+
+// SnapshotRead serves a read from the version set pinned by snapshot
+// id: the first superseded version newer than the snapshot's sequence
+// if one exists, otherwise the current committed mapping (which is then
+// unchanged since the snapshot opened).
+func (x *XFTL) SnapshotRead(id SnapID, lpn ftl.LPN, buf []byte) error {
+	if x.powerOff {
+		return ErrPowerCut
+	}
+	seq, ok := x.snaps[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSnapshot, id)
+	}
+	x.xstats.SnapReads++
+	for _, v := range x.versions[lpn] {
+		if v.until > seq {
+			x.xstats.SnapOldHits++
+			if v.ppn == nand.InvalidPPN {
+				// The page did not exist at snapshot time.
+				clear(buf[:min(len(buf), x.base.PageSize())])
+				return nil
+			}
+			return x.base.ReadPPN(v.ppn, buf)
+		}
+	}
+	return x.base.Read(lpn, buf)
+}
+
+// supersede records lpn's current committed mapping as an old version
+// readable by open snapshots, pinning its physical page against GC. It
+// must run before the mapping change lands (the remap path retires the
+// old page unless the hook reports it live); the caller bumps commitSeq
+// once per atomic batch. With no snapshots open it does nothing and
+// superseded pages retire immediately, as before.
+func (x *XFTL) supersede(lpn ftl.LPN) {
+	if len(x.snaps) == 0 {
+		return
+	}
+	// The outgoing mapping has been current since the last recorded
+	// supersession of this lpn (0 = since before tracking started). It
+	// is readable only by a snapshot opened at or after that point; if
+	// none is, skip the record and let the page retire immediately —
+	// otherwise a long-lived snapshot would pin every generation of a
+	// hot page instead of just the one it can read.
+	start := uint64(0)
+	if vs := x.versions[lpn]; len(vs) > 0 {
+		start = vs[len(vs)-1].until
+	}
+	needed := false
+	for _, seq := range x.snaps {
+		if seq >= start {
+			needed = true
+			break
+		}
+	}
+	if !needed {
+		return
+	}
+	old := x.base.Mapping(lpn)
+	x.versions[lpn] = append(x.versions[lpn], oldVersion{ppn: old, until: x.commitSeq + 1})
+	if old != nand.InvalidPPN {
+		x.pinned[old] = lpn
+	}
+}
+
+// prune drops version records no open snapshot can read — those whose
+// `until` is not newer than the oldest open snapshot — and hands their
+// physical pages back to garbage collection.
+func (x *XFTL) prune() {
+	minSeq := ^uint64(0)
+	for _, seq := range x.snaps {
+		if seq < minSeq {
+			minSeq = seq
+		}
+	}
+	for lpn, vs := range x.versions {
+		i := 0
+		for i < len(vs) && vs[i].until <= minSeq {
+			if vs[i].ppn != nand.InvalidPPN {
+				delete(x.pinned, vs[i].ppn)
+				x.base.ReleaseOrphan(vs[i].ppn)
+			}
+			i++
+		}
+		switch {
+		case i == len(vs):
+			delete(x.versions, lpn)
+		case i > 0:
+			x.versions[lpn] = append(vs[:0:0], vs[i:]...)
+		}
+	}
 }
 
 // dropEntry removes an entry from all volatile indexes.
@@ -448,10 +630,14 @@ func (x *XFTL) writeImage(img []imageEntry) error {
 }
 
 // Live implements ftl.Hook: a physical page is protected from garbage
-// collection while it is an active transaction's new version or a
-// committed row of the current flash-resident table image.
+// collection while it is an active transaction's new version, a
+// committed row of the current flash-resident table image, or a
+// superseded version pinned by an open snapshot.
 func (x *XFTL) Live(ppn nand.PPN) bool {
 	if _, ok := x.byPPN[ppn]; ok {
+		return true
+	}
+	if _, ok := x.pinned[ppn]; ok {
 		return true
 	}
 	_, ok := x.imageCommitted[ppn]
@@ -467,6 +653,17 @@ func (x *XFTL) Relocated(old, new nand.PPN) {
 		delete(x.byPPN, old)
 		e.newPPN = new
 		x.byPPN[new] = e
+	}
+	if lpn, ok := x.pinned[old]; ok {
+		delete(x.pinned, old)
+		x.pinned[new] = lpn
+		vs := x.versions[lpn]
+		for i := range vs {
+			if vs[i].ppn == old {
+				vs[i].ppn = new
+				break
+			}
+		}
 	}
 	if idx, ok := x.imageCommitted[old]; ok {
 		delete(x.imageCommitted, old)
@@ -503,6 +700,11 @@ func (x *XFTL) Restart() error {
 	x.byLPN = make(map[ftl.LPN]*entry)
 	x.byPPN = make(map[nand.PPN]*entry)
 	x.byTx = make(map[TxID][]*entry)
+	// Snapshots are volatile session state: every open handle died with
+	// power, and its pinned pages are reclaimed by the orphan sweep.
+	x.snaps = make(map[SnapID]uint64)
+	x.versions = make(map[ftl.LPN][]oldVersion)
+	x.pinned = make(map[nand.PPN]ftl.LPN)
 	if err := x.base.Restart(); err != nil {
 		return err
 	}

@@ -507,6 +507,26 @@ func (f *FTL) InvalidatePPN(ppn nand.PPN) error {
 	return f.chip.Invalidate(ppn)
 }
 
+// ReleaseOrphan invalidates a physical page whose last reference (a
+// snapshot pin) was just dropped. Unlike InvalidatePPN it tolerates
+// every state a released version can legally be in: still reachable
+// through the volatile or persisted L2P, still protected by the hook
+// (an X-L2P image row), already relocated or erased by GC — all of
+// those are silently left for the normal reclamation paths.
+func (f *FTL) ReleaseOrphan(ppn nand.PPN) {
+	if ppn == nand.InvalidPPN || ppn < 0 || int(ppn) >= len(f.rmap) {
+		return
+	}
+	if st, err := f.chip.State(ppn); err != nil || st != nand.PageValid {
+		return
+	}
+	if f.isLive(ppn) {
+		return
+	}
+	f.rmap[ppn] = -1
+	_ = f.chip.Invalidate(ppn)
+}
+
 // allocPage returns the next free physical page at the write frontier,
 // running garbage collection first if the free-block pool is low.
 func (f *FTL) allocPage() (nand.PPN, error) {

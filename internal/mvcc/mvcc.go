@@ -1,0 +1,319 @@
+// Package mvcc layers a multi-version session manager on top of the
+// X-FTL stack. It reproduces the concurrency model the paper argues
+// X-FTL enables (§5): because the FTL keeps the last committed version
+// of every page addressable, a reader can pin the committed X-L2P
+// version set at BEGIN time and keep reading those physical pages while
+// a writer's copy-on-write pages land next to them. Readers therefore
+// never block on the writer and never see a partially committed state.
+//
+// Writers keep SQLite's locking model: at most one write transaction at
+// a time, queued FIFO, with a non-blocking TryBegin returning ErrBusy
+// for SQLITE_BUSY-style abort-on-conflict callers.
+//
+// The same API also runs in a Serialized mode that models the baseline
+// the paper compares against: a single rollback-journal connection
+// where every transaction — read or write — takes the one database
+// lock. That mode is the control arm of the rwconc benchmark.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simfs"
+	"repro/internal/sqlite"
+	"repro/internal/sqlite/pager"
+)
+
+var (
+	// ErrBusy is the SQLITE_BUSY analogue: a non-blocking write-begin
+	// found another write transaction active or queued.
+	ErrBusy = errors.New("mvcc: database is locked")
+	// ErrClosed is returned once the manager has been shut down.
+	ErrClosed = errors.New("mvcc: manager closed")
+	// ErrSessionDone guards against use-after-end of a session.
+	ErrSessionDone = errors.New("mvcc: session already ended")
+)
+
+// Mode selects the concurrency model.
+type Mode int
+
+const (
+	// MVCC runs readers on X-FTL snapshots (journal mode Off) with a
+	// FIFO-queued single writer. Requires a transactional device.
+	MVCC Mode = iota
+	// Serialized models the rollback-journal baseline: one connection,
+	// one lock, every transaction exclusive.
+	Serialized
+)
+
+func (m Mode) String() string {
+	if m == MVCC {
+		return "mvcc"
+	}
+	return "serialized"
+}
+
+// Options configures a Manager.
+type Options struct {
+	Mode Mode
+	// Journal is the writer's journal mode. MVCC requires pager.Off;
+	// Serialized typically uses pager.Rollback.
+	Journal pager.JournalMode
+	// CacheSize is the pager cache per connection (0 = default).
+	CacheSize int
+	// Pipelined routes snapshot page reads through the async NCQ
+	// submission path so concurrent readers overlap in virtual time
+	// across channels. Reads are still synchronous from the caller's
+	// point of view.
+	Pipelined bool
+}
+
+// Stats are cumulative session-layer counters.
+type Stats struct {
+	ReadTx      atomic.Int64 // read sessions ended
+	WriteTx     atomic.Int64 // write sessions ended
+	WriterWaits atomic.Int64 // write-begins that queued behind another writer
+	SnapsOpen   atomic.Int64 // currently open reader snapshots
+	SnapsMax    atomic.Int64 // high-water mark of SnapsOpen
+}
+
+// Manager owns one database file and hands out sessions.
+type Manager struct {
+	fs   *simfs.FS
+	name string
+	opts Options
+	cfg  sqlite.Config
+
+	// db is the single persistent writer connection (and, in
+	// Serialized mode, the only connection).
+	db *sqlite.DB
+
+	// FIFO ticket lock for the writer queue. head/tail are guarded by
+	// mu; a writer holds the lock while head != its ticket.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	head   uint64
+	tail   uint64
+	closed bool
+
+	Stats Stats
+}
+
+// NewManager opens (or creates) the database and runs the journal-mode
+// recovery protocol once on the shared writer connection.
+func NewManager(fsys *simfs.FS, name string, opts Options) (*Manager, error) {
+	if opts.Mode == MVCC && opts.Journal != pager.Off {
+		return nil, fmt.Errorf("mvcc: MVCC mode requires journal mode Off, got %v", opts.Journal)
+	}
+	cfg := sqlite.Config{JournalMode: opts.Journal, CacheSize: opts.CacheSize}
+	db, err := sqlite.Open(fsys, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{fs: fsys, name: name, opts: opts, cfg: cfg, db: db}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// Close shuts the manager down. Outstanding sessions must have ended.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return m.db.Close()
+}
+
+// Mode reports the configured concurrency model.
+func (m *Manager) Mode() Mode { return m.opts.Mode }
+
+// Session is one transaction-scoped handle. Read sessions in MVCC mode
+// own a private snapshot connection; write sessions (and everything in
+// Serialized mode) borrow the shared connection under the lock.
+type Session struct {
+	m        *Manager
+	db       *sqlite.DB
+	snap     *simfs.Snapshot
+	readonly bool
+	done     bool
+}
+
+// Begin starts a session, blocking writers until the queue drains.
+// Readers in MVCC mode never block: they pin a snapshot and return
+// immediately even while a write transaction is in flight.
+func (m *Manager) Begin(readonly bool) (*Session, error) {
+	if m.opts.Mode == MVCC && readonly {
+		return m.beginSnapshotReader()
+	}
+	// Writer path, and every Serialized-mode transaction: take the
+	// exclusive lock in FIFO order.
+	if err := m.lockExclusive(); err != nil {
+		return nil, err
+	}
+	return m.beginLocked(readonly)
+}
+
+// TryBegin is the non-blocking variant: a writer that would queue gets
+// ErrBusy instead, matching SQLite's immediate-BUSY behaviour.
+func (m *Manager) TryBegin(readonly bool) (*Session, error) {
+	if m.opts.Mode == MVCC && readonly {
+		return m.beginSnapshotReader()
+	}
+	if !m.tryLockExclusive() {
+		return nil, ErrBusy
+	}
+	return m.beginLocked(readonly)
+}
+
+func (m *Manager) beginSnapshotReader() (*Session, error) {
+	snap, err := m.fs.OpenSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	snap.SetPipelined(m.opts.Pipelined)
+	db, err := sqlite.OpenSnapshotDB(m.fs, m.name, snap, m.cfg)
+	if err != nil {
+		_ = snap.Close()
+		return nil, err
+	}
+	n := m.Stats.SnapsOpen.Add(1)
+	for {
+		max := m.Stats.SnapsMax.Load()
+		if n <= max || m.Stats.SnapsMax.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	return &Session{m: m, db: db, snap: snap, readonly: true}, nil
+}
+
+// beginLocked finishes Begin after the exclusive lock is held.
+func (m *Manager) beginLocked(readonly bool) (*Session, error) {
+	s := &Session{m: m, db: m.db, readonly: readonly}
+	if !readonly {
+		if err := m.db.Begin(); err != nil {
+			m.unlockExclusive()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (m *Manager) lockExclusive() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	ticket := m.tail
+	m.tail++
+	if ticket != m.head {
+		m.Stats.WriterWaits.Add(1)
+	}
+	for ticket != m.head {
+		m.cond.Wait()
+		if m.closed {
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+func (m *Manager) tryLockExclusive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.tail != m.head {
+		return false
+	}
+	m.tail++
+	return true
+}
+
+func (m *Manager) unlockExclusive() {
+	m.mu.Lock()
+	m.head++
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Query runs a SELECT in the session's view of the database.
+func (s *Session) Query(sql string, args ...any) (*sqlite.Rows, error) {
+	if s.done {
+		return nil, ErrSessionDone
+	}
+	return s.db.Query(sql, args...)
+}
+
+// QueryRow returns the first row of a SELECT.
+func (s *Session) QueryRow(sql string, args ...any) ([]sqlite.Value, bool, error) {
+	if s.done {
+		return nil, false, ErrSessionDone
+	}
+	return s.db.QueryRow(sql, args...)
+}
+
+// Exec runs a write statement. Read sessions fail with
+// pager.ErrReadOnly (MVCC mode) before touching any state.
+func (s *Session) Exec(sql string, args ...any) (int64, error) {
+	if s.done {
+		return 0, ErrSessionDone
+	}
+	if s.readonly && s.snap != nil {
+		return 0, pager.ErrReadOnly
+	}
+	return s.db.Exec(sql, args...)
+}
+
+// Commit ends the session, making a writer's changes durable. For
+// readers it simply releases the snapshot (there is nothing to commit).
+func (s *Session) Commit() error {
+	return s.end(true)
+}
+
+// Rollback ends the session, discarding a writer's changes.
+func (s *Session) Rollback() error {
+	return s.end(false)
+}
+
+func (s *Session) end(commit bool) error {
+	if s.done {
+		return ErrSessionDone
+	}
+	s.done = true
+	if s.snap != nil {
+		// Snapshot reader: tear down the private connection, then
+		// release the pinned versions so GC can reclaim them.
+		err := s.db.Close()
+		if cerr := s.snap.Close(); err == nil {
+			err = cerr
+		}
+		s.m.Stats.SnapsOpen.Add(-1)
+		s.m.Stats.ReadTx.Add(1)
+		return err
+	}
+	var err error
+	if !s.readonly {
+		if commit {
+			err = s.db.Commit()
+			if err != nil {
+				// A failed commit (power cut, full device) leaves the
+				// pager transaction open; roll it back so the shared
+				// connection is reusable by the next queued writer.
+				_ = s.db.Rollback()
+			}
+		} else {
+			err = s.db.Rollback()
+		}
+		s.m.Stats.WriteTx.Add(1)
+	} else {
+		s.m.Stats.ReadTx.Add(1)
+	}
+	s.m.unlockExclusive()
+	return err
+}

@@ -27,6 +27,13 @@ const (
 	OpWriteTx
 	OpCommit
 	OpAbort
+	// OpSnapRead reads a logical page through an open snapshot handle
+	// (TID carries the snapshot id). It deliberately does not take part
+	// in per-LPN ordering: it targets the version pinned at snapshot
+	// open, so an in-flight write to the same LPN — which lands in a
+	// different physical page — imposes no ordering on it. That is the
+	// device-level form of "readers never block on the writer".
+	OpSnapRead
 )
 
 func (o Op) String() string {
@@ -47,6 +54,8 @@ func (o Op) String() string {
 		return "commit"
 	case OpAbort:
 		return "abort"
+	case OpSnapRead:
+		return "snapread"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -292,7 +301,7 @@ func (q *Queue) observeLocked(r *Request) {
 	switch {
 	case r.Op.IsBarrier():
 		q.BarrierLat.Observe(lat)
-	case r.Op == OpRead || r.Op == OpReadTx:
+	case r.Op == OpRead || r.Op == OpReadTx || r.Op == OpSnapRead:
 		q.ReadLat.Observe(lat)
 	default:
 		q.WriteLat.Observe(lat)

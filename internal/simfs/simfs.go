@@ -21,8 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/ncq"
 	"repro/internal/storage"
 )
 
@@ -67,13 +70,14 @@ const (
 
 // Errors returned by the file system.
 var (
-	ErrExists      = errors.New("simfs: file already exists")
-	ErrNotExist    = errors.New("simfs: file does not exist")
-	ErrClosed      = errors.New("simfs: file is closed")
-	ErrNoSpace     = errors.New("simfs: no space left on device")
-	ErrNeedsXFTL   = errors.New("simfs: OffXFTL mode requires a transactional device")
-	ErrOutOfBounds = errors.New("simfs: page index out of file bounds")
-	ErrNotMounted  = errors.New("simfs: file system not mounted (power cut); call Remount")
+	ErrExists       = errors.New("simfs: file already exists")
+	ErrNotExist     = errors.New("simfs: file does not exist")
+	ErrClosed       = errors.New("simfs: file is closed")
+	ErrNoSpace      = errors.New("simfs: no space left on device")
+	ErrNeedsXFTL    = errors.New("simfs: OffXFTL mode requires a transactional device")
+	ErrOutOfBounds  = errors.New("simfs: page index out of file bounds")
+	ErrNotMounted   = errors.New("simfs: file system not mounted (power cut); call Remount")
+	ErrSnapshotMode = errors.New("simfs: snapshots require OffXFTL mode")
 )
 
 // Layout constants (in device pages).
@@ -106,11 +110,22 @@ type inodeImage struct {
 }
 
 // FS is a simulated journaling file system over one storage device.
-// It is not safe for concurrent use.
+// File handles follow the single-writer discipline (one mutating
+// session at a time, as SQLite's locking guarantees); concurrent
+// snapshot readers are supported through OpenSnapshot, whose handles
+// read device-pinned page versions without touching mutable FS state.
 type FS struct {
 	dev  *storage.Device
 	cfg  Config
 	host *metrics.HostCounters
+
+	// mu makes the commit point (device commit + persisted-image update)
+	// atomic with respect to OpenSnapshot, which pairs a device snapshot
+	// with a copy of the persisted namespace. It is deliberately not held
+	// across the write-back I/O that precedes a commit: staged
+	// transactional writes do not change committed state, so snapshot
+	// opens may interleave with them freely.
+	mu sync.Mutex
 
 	files map[string]*inode
 	// persisted is what a remount after power loss recovers: the
@@ -657,6 +672,11 @@ func (f *File) Fsync() error {
 			// suffices for durability.
 			return f.fs.dev.Barrier()
 		}
+		// The device commit and the persisted-image update form the
+		// commit point; fs.mu keeps a concurrent OpenSnapshot from
+		// pairing the new device state with the old namespace image.
+		f.fs.mu.Lock()
+		defer f.fs.mu.Unlock()
 		if err := f.fs.dev.Commit(tid); err != nil {
 			return err
 		}
@@ -765,4 +785,98 @@ func (f *File) FlushAll() error {
 		return err
 	}
 	return f.writeBackSome(len(f.dirty))
+}
+
+// Snapshot is a point-in-time read-only view of the file system: the
+// namespace and file extents as of the last commit point, with page
+// content served from the device versions pinned at open. A Snapshot
+// never blocks on — and is never changed by — the concurrent writer;
+// its methods are safe to call from any goroutine, as reads touch only
+// the handle's own copied inode images and the device queue.
+type Snapshot struct {
+	fs        *FS
+	id        core.SnapID
+	inodes    map[string]inodeImage
+	pipelined bool
+	closed    bool
+}
+
+// OpenSnapshot pins the current committed state — device page versions
+// plus the persisted namespace image — and returns a read-only view of
+// it. Requires OffXFTL mode (the transactional device holds the
+// versions). Costs no flash I/O.
+func (fs *FS) OpenSnapshot() (*Snapshot, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	if fs.cfg.Mode != OffXFTL {
+		return nil, ErrSnapshotMode
+	}
+	id, err := fs.dev.SnapshotOpen()
+	if err != nil {
+		return nil, err
+	}
+	// Copy the persisted (committed) namespace, not the live one: the
+	// live inodes may carry uncommitted growth or truncation from the
+	// writer's open transaction, which the pinned device versions do not
+	// reflect.
+	img := make(map[string]inodeImage, len(fs.persisted))
+	for name, im := range fs.persisted {
+		pages := make([]int64, len(im.pages))
+		copy(pages, im.pages)
+		img[name] = inodeImage{role: im.role, pages: pages}
+	}
+	return &Snapshot{fs: fs, id: id, inodes: img}, nil
+}
+
+// SetPipelined selects asynchronous page reads: ReadPage submits
+// through the NCQ queue without waiting for virtual completion, so
+// concurrent readers keep the multi-channel scheduler busy. Page
+// content is valid on return either way; only the simulated completion
+// time differs.
+func (s *Snapshot) SetPipelined(on bool) { s.pipelined = on }
+
+// Exists reports whether the file existed at the snapshot's commit
+// point.
+func (s *Snapshot) Exists(name string) bool {
+	_, ok := s.inodes[name]
+	return ok
+}
+
+// Pages reports the file's committed length in pages (0 if absent).
+func (s *Snapshot) Pages(name string) int64 {
+	return int64(len(s.inodes[name].pages))
+}
+
+// ReadPage reads one file page as of the snapshot. Unwritten holes read
+// as zeros.
+func (s *Snapshot) ReadPage(name string, idx int64, buf []byte) error {
+	img, ok := s.inodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if idx < 0 || idx >= int64(len(img.pages)) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfBounds, idx, len(img.pages))
+	}
+	lpn := img.pages[idx]
+	if lpn < 0 {
+		clear(buf[:min(len(buf), s.fs.PageSize())])
+		return nil
+	}
+	s.fs.host.Reads.Add(1)
+	if s.pipelined {
+		return s.fs.dev.Queue().Submit(&ncq.Request{Op: ncq.OpSnapRead, TID: uint64(s.id), LPN: lpn, Buf: buf})
+	}
+	return s.fs.dev.SnapshotRead(s.id, lpn, buf)
+}
+
+// Close releases the snapshot's device pins. Closing twice is a no-op.
+func (s *Snapshot) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.fs.dev.SnapshotClose(s.id)
 }

@@ -56,6 +56,28 @@ func Open(fsys *simfs.FS, name string, cfg Config) (*DB, error) {
 	return &DB{fs: fsys, pg: p, cat: cat, name: name, rngState: 0x9E3779B97F4A7C15}, nil
 }
 
+// OpenSnapshotDB opens a read-only connection backed by a file-system
+// snapshot: every page read resolves through the X-FTL version set
+// pinned at snapshot-open time, so the connection sees one committed
+// state of the database no matter what a concurrent writer commits
+// afterwards. The snapshot handle stays owned by the caller (close it
+// after closing the DB). Any write statement fails with
+// pager.ErrReadOnly.
+func OpenSnapshotDB(fsys *simfs.FS, name string, snap *simfs.Snapshot, cfg Config) (*DB, error) {
+	p, err := pager.OpenSnapshot(fsys, name, snap, pager.Config{
+		CacheSize: cfg.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := newCatalog(p)
+	if err != nil {
+		_ = p.Close()
+		return nil, err
+	}
+	return &DB{fs: fsys, pg: p, cat: cat, name: name, rngState: 0x9E3779B97F4A7C15}, nil
+}
+
 // Close releases the connection, rolling back any open transaction.
 func (db *DB) Close() error {
 	return db.pg.Close()

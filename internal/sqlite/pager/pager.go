@@ -59,6 +59,7 @@ var (
 	ErrNotDirty   = errors.New("pager: page was not made writable")
 	ErrCorrupt    = errors.New("pager: file is corrupt")
 	ErrClosedPage = errors.New("pager: page used after release")
+	ErrReadOnly   = errors.New("pager: read-only snapshot session")
 )
 
 // Config tunes the pager.
@@ -107,8 +108,14 @@ func (pg *Page) Data() []byte { return pg.data }
 type Pager struct {
 	fs   *simfs.FS
 	name string
-	file *simfs.File
+	file *simfs.File // nil in snapshot mode
 	cfg  Config
+
+	// snap, when set, serves every stable-storage read from a pinned
+	// file-system snapshot; the pager is then read-only (Write, Allocate
+	// and Free fail with ErrReadOnly) and file is nil.
+	snap     *simfs.Snapshot
+	readOnly bool
 
 	cache map[Pgno]*Page
 	clock []Pgno // second-chance eviction order
@@ -189,6 +196,33 @@ func Open(fsys *simfs.FS, name string, cfg Config) (*Pager, error) {
 	return p, nil
 }
 
+// OpenSnapshot opens a read-only pager whose every stable-storage read
+// is served from a file-system snapshot: the database exactly as of the
+// snapshot's commit point, unaffected by any concurrent writer. The
+// journal mode is forced to Off (snapshots exist only over an X-FTL
+// device) and no recovery runs — a snapshot is committed state by
+// construction. The snapshot's lifetime is owned by the caller; Close
+// does not release it.
+func OpenSnapshot(fsys *simfs.FS, name string, snap *simfs.Snapshot, cfg Config) (*Pager, error) {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 2000
+	}
+	cfg.Mode = Off
+	p := &Pager{
+		fs:       fsys,
+		name:     name,
+		cfg:      cfg,
+		cache:    make(map[Pgno]*Page),
+		dirty:    make(map[Pgno]bool),
+		snap:     snap,
+		readOnly: true,
+	}
+	if err := p.loadHeader(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // Name returns the database file name.
 func (p *Pager) Name() string { return p.name }
 
@@ -223,7 +257,12 @@ func (p *Pager) walName() string { return p.name + "-wal" }
 // loadHeader reads page 1, initializing a fresh database if the file is
 // empty.
 func (p *Pager) loadHeader() error {
-	if p.file.Pages() == 0 {
+	if p.snap != nil {
+		if p.snap.Pages(p.name) == 0 {
+			p.nPages = 1
+			return nil
+		}
+	} else if p.file.Pages() == 0 {
 		p.nPages = 1
 		return nil
 	}
@@ -289,6 +328,13 @@ func (p *Pager) readDBPage(pgno Pgno, buf []byte) error {
 		if idx, ok := p.walIndex[pgno]; ok {
 			return p.walFile.ReadPage(idx, buf)
 		}
+	}
+	if p.snap != nil {
+		if int64(pgno-1) >= p.snap.Pages(p.name) {
+			clear(buf)
+			return nil
+		}
+		return p.snap.ReadPage(p.name, int64(pgno-1), buf)
 	}
 	if int64(pgno-1) >= p.file.Pages() {
 		clear(buf)
@@ -428,6 +474,9 @@ func (p *Pager) Write(pg *Page) error {
 	if !p.inTx {
 		return ErrNoTx
 	}
+	if p.readOnly {
+		return ErrReadOnly
+	}
 	p.mutated = true
 	if p.cfg.Mode == Rollback {
 		if _, ok := p.journaled[pg.pgno]; !ok {
@@ -459,6 +508,9 @@ func (p *Pager) Write(pg *Page) error {
 func (p *Pager) Allocate() (*Page, error) {
 	if !p.inTx {
 		return nil, ErrNoTx
+	}
+	if p.readOnly {
+		return nil, ErrReadOnly
 	}
 	p.mutated = true
 	var pgno Pgno
@@ -502,6 +554,9 @@ func (p *Pager) Free(pgno Pgno) error {
 	}
 	if pgno <= 1 || pgno > p.nPages {
 		return fmt.Errorf("%w: free %d", ErrBadPgno, pgno)
+	}
+	if p.readOnly {
+		return ErrReadOnly
 	}
 	p.mutated = true
 	if len(p.freelist) < maxFreelist {
@@ -902,9 +957,12 @@ func (p *Pager) Rollback() error {
 			p.dropCached(pgno)
 		}
 	case Off:
-		// ioctl(abort): stolen pages roll back inside the device.
-		if err := p.file.Abort(); err != nil {
-			return err
+		// ioctl(abort): stolen pages roll back inside the device. A
+		// read-only snapshot session never staged anything to abort.
+		if p.snap == nil {
+			if err := p.file.Abort(); err != nil {
+				return err
+			}
 		}
 		for pgno := range p.dirty {
 			p.dropCached(pgno)
@@ -996,6 +1054,9 @@ func (p *Pager) Close() error {
 	}
 	if p.walFile != nil {
 		_ = p.walFile.Close()
+	}
+	if p.file == nil {
+		return nil // snapshot session: the snapshot's owner closes it
 	}
 	return p.file.Close()
 }

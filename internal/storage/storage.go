@@ -306,6 +306,12 @@ func (d *Device) execute(r *ncq.Request) error {
 		}
 		d.chargeCmd(0)
 		return d.lost(d.x.Abort(core.TxID(r.TID)))
+	case ncq.OpSnapRead:
+		if d.x == nil {
+			return ErrNotTransactional
+		}
+		d.chargeCmd(1)
+		return d.lost(d.x.SnapshotRead(core.SnapID(r.TID), ftl.LPN(r.LPN), r.Buf))
 	default:
 		return fmt.Errorf("storage: unknown op %v", r.Op)
 	}
@@ -396,6 +402,48 @@ func (d *Device) Abort(tid uint64) error {
 		return ErrNotTransactional
 	}
 	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpAbort, TID: tid})
+}
+
+// SnapshotOpen pins the committed state as of now and returns a
+// snapshot handle id. It is a control-plane command (DRAM-only in the
+// firmware: one sequence number is recorded), so it carries no
+// simulated latency; it serializes with in-flight command execution on
+// the queue lock, observing exactly the commits that have executed.
+func (d *Device) SnapshotOpen() (core.SnapID, error) {
+	if d.x == nil {
+		return 0, ErrNotTransactional
+	}
+	var (
+		id  core.SnapID
+		err error
+	)
+	d.q.Exclusive(func() {
+		id, err = d.x.OpenSnapshot()
+	})
+	return id, err
+}
+
+// SnapshotClose releases a snapshot handle, letting the device reclaim
+// superseded page versions no other snapshot still pins.
+func (d *Device) SnapshotClose(id core.SnapID) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	var err error
+	d.q.Exclusive(func() {
+		err = d.x.CloseSnapshot(id)
+	})
+	return err
+}
+
+// SnapshotRead reads a logical page as of the snapshot's open,
+// synchronously. Concurrent readers that want queue-depth overlap
+// submit ncq.OpSnapRead through Queue() instead.
+func (d *Device) SnapshotRead(id core.SnapID, lpn int64, buf []byte) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpSnapRead, TID: uint64(id), LPN: lpn, Buf: buf})
 }
 
 // PowerCut simulates pulling the plug at a command boundary: volatile

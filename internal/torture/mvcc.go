@@ -1,0 +1,278 @@
+// Concurrent-session torture: N snapshot readers race one writer on an
+// X-FTL stack while a power cut is armed mid-run. The writer advances
+// every row of the table to generation g in one transaction, so ANY
+// consistent snapshot must read one uniform generation — a reader that
+// ever observes two generations at once has caught a torn snapshot.
+// After the cut, the stack is remounted and the recovered database must
+// equal the last committed generation (or, when the commit command
+// itself was interrupted, the in-doubt one) — uniformly either way.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mvcc"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+	"repro/internal/simfs"
+	"repro/internal/sqlite/pager"
+	"repro/internal/storage"
+)
+
+// MVCCOptions parameterizes one concurrent-session torture run.
+type MVCCOptions struct {
+	Seed    int64
+	Readers int // concurrent snapshot-reader goroutines
+	Rows    int // table cardinality (all rows updated per writer txn)
+	// WriterTx is how many generations the writer tries to commit; the
+	// run usually dies to the power cut partway through.
+	WriterTx int
+	// CutAfter arms one power cut 1..CutAfter NAND operations ahead;
+	// 0 disables the cut (pure concurrency shakeout).
+	CutAfter int64
+}
+
+// DefaultMVCCOptions sizes a run so the cut usually lands mid-stream
+// with several generations committed and readers in flight.
+func DefaultMVCCOptions(seed int64) MVCCOptions {
+	return MVCCOptions{
+		Seed:     seed,
+		Readers:  4,
+		Rows:     32,
+		WriterTx: 60,
+		CutAfter: 2500,
+	}
+}
+
+// powerLost reports whether err is the injected power cut surfacing
+// through any layer of the stack.
+func powerLost(err error) bool {
+	return errors.Is(err, nand.ErrPowerLost) || errors.Is(err, core.ErrPowerCut)
+}
+
+// mvccStack builds a fresh OffXFTL stack on the torture geometry.
+func mvccStack() (*simfs.FS, *storage.Device, error) {
+	prof := sqlProfile()
+	dev, err := storage.New(prof, simclock.New(), storage.Options{Transactional: true, QueueDepth: 16})
+	if err != nil {
+		return nil, nil, err
+	}
+	fsys, err := simfs.New(dev, simfs.Config{Mode: simfs.OffXFTL}, &metrics.HostCounters{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fsys, dev, nil
+}
+
+// readGenerations opens one snapshot session and returns the table's
+// generations; a healthy snapshot yields exactly one distinct value.
+func readGenerations(s *mvcc.Session, rows int) ([]int64, error) {
+	res, err := s.Query("SELECT v FROM kv ORDER BY k")
+	if err != nil {
+		return nil, err
+	}
+	if res.Len() != rows {
+		return nil, fmt.Errorf("snapshot saw %d rows, want %d", res.Len(), rows)
+	}
+	out := make([]int64, 0, rows)
+	for _, r := range res.Data {
+		out = append(out, r[0].Int())
+	}
+	return out, nil
+}
+
+// uniform returns the single generation of vs, or an error naming the
+// tear when two generations coexist.
+func uniform(vs []int64) (int64, error) {
+	for _, v := range vs {
+		if v != vs[0] {
+			return 0, fmt.Errorf("torn snapshot: generations %v", vs)
+		}
+	}
+	return vs[0], nil
+}
+
+// RunMVCC executes one concurrent-session torture run and verifies both
+// the live invariant (every snapshot uniform and no older than the
+// commit floor captured before it opened) and the post-crash invariant
+// (recovered state = last committed or in-doubt generation, uniformly).
+func RunMVCC(o MVCCOptions) (*Report, error) {
+	fsys, dev, err := mvccStack()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Runs: 1}
+	mgr, err := mvcc.NewManager(fsys, "mvcc.db", mvcc.Options{
+		Mode: mvcc.MVCC, Journal: pager.Off, CacheSize: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Seed generation 0.
+	w, err := mgr.Begin(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		return nil, err
+	}
+	for k := 0; k < o.Rows; k++ {
+		if _, err := w.Exec("INSERT INTO kv (k, v) VALUES (?, 0)", int64(k)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed * 6271))
+	if o.CutAfter > 0 {
+		dev.PowerCutAfter(1 + rng.Int63n(o.CutAfter))
+	}
+
+	var (
+		wg            sync.WaitGroup
+		lastCommitted atomic.Int64 // newest generation whose commit returned
+		inDoubt       atomic.Int64 // generation whose commit the cut interrupted, 0 = none
+		writerDone    atomic.Bool
+		cut           atomic.Bool
+		violation     atomic.Value // first invariant violation (error)
+	)
+	violate := func(err error) { violation.CompareAndSwap(nil, err) }
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for g := int64(1); g <= int64(o.WriterTx); g++ {
+			s, err := mgr.Begin(false)
+			if err != nil {
+				if !powerLost(err) {
+					violate(fmt.Errorf("writer begin g=%d: %w", g, err))
+				}
+				cut.Store(true)
+				return
+			}
+			if _, err := s.Exec("UPDATE kv SET v = ?", g); err != nil {
+				_ = s.Rollback()
+				if !powerLost(err) {
+					violate(fmt.Errorf("writer update g=%d: %w", g, err))
+				}
+				cut.Store(true)
+				return
+			}
+			if err := s.Commit(); err != nil {
+				if !powerLost(err) {
+					violate(fmt.Errorf("writer commit g=%d: %w", g, err))
+				} else {
+					// The commit command was in flight when power died:
+					// recovery may legally land on either generation.
+					inDoubt.Store(g)
+					rep.InDoubt++
+				}
+				cut.Store(true)
+				return
+			}
+			lastCommitted.Store(g)
+			rep.Committed++
+			rep.Transactions++
+		}
+	}()
+	for i := 0; i < o.Readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !writerDone.Load() && !cut.Load() {
+				// Commit floor: the snapshot about to open can never be
+				// older than a commit that already returned.
+				floor := lastCommitted.Load()
+				s, err := mgr.Begin(true)
+				if err != nil {
+					if !powerLost(err) {
+						violate(fmt.Errorf("reader %d begin: %w", i, err))
+					}
+					return
+				}
+				vs, err := readGenerations(s, o.Rows)
+				if err != nil {
+					_ = s.Rollback()
+					if !powerLost(err) {
+						violate(fmt.Errorf("reader %d: %w", i, err))
+					}
+					return
+				}
+				g, err := uniform(vs)
+				if err != nil {
+					_ = s.Rollback()
+					violate(fmt.Errorf("reader %d: %w", i, err))
+					return
+				}
+				// Ceiling: at most one generation past what is known
+				// committed now (a commit may land on the device just
+				// before the writer records it).
+				if ceil := lastCommitted.Load() + 1; g < floor || g > ceil {
+					_ = s.Rollback()
+					violate(fmt.Errorf("reader %d: snapshot generation %d outside [%d, %d]", i, g, floor, ceil))
+					return
+				}
+				if err := s.Commit(); err != nil && !powerLost(err) {
+					violate(fmt.Errorf("reader %d end: %w", i, err))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	_ = mgr.Close()
+	if err, _ := violation.Load().(error); err != nil {
+		return rep, err
+	}
+
+	// Post-crash (or clean-finish) verification through a fresh stack.
+	if cut.Load() {
+		rep.Crashes++
+		fsys.PowerCut()
+		if err := fsys.Remount(); err != nil {
+			return rep, fmt.Errorf("remount: %w", err)
+		}
+	} else {
+		dev.PowerCutAfter(0)
+	}
+	mgr2, err := mvcc.NewManager(fsys, "mvcc.db", mvcc.Options{
+		Mode: mvcc.MVCC, Journal: pager.Off, CacheSize: 32,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("reopen: %w", err)
+	}
+	defer mgr2.Close()
+	s, err := mgr2.Begin(true)
+	if err != nil {
+		return rep, fmt.Errorf("post-recovery begin: %w", err)
+	}
+	defer s.Commit()
+	vs, err := readGenerations(s, o.Rows)
+	if err != nil {
+		return rep, fmt.Errorf("post-recovery read: %w", err)
+	}
+	g, err := uniform(vs)
+	if err != nil {
+		return rep, fmt.Errorf("post-recovery: %w", err)
+	}
+	rep.Flash = dev.FlashStats().Snapshot()
+	want := []int64{lastCommitted.Load()}
+	if d := inDoubt.Load(); d != 0 {
+		want = append(want, d)
+	}
+	for _, ok := range want {
+		if g == ok {
+			return rep, nil
+		}
+	}
+	return rep, fmt.Errorf("recovered generation %d, want one of %v", g, want)
+}
