@@ -25,6 +25,10 @@
 // published defaults); the seed is recorded in the -json document.
 // -json PATH additionally writes every table that was printed — plus
 // the typed multi-tenant and rwconc points — as indented JSON.
+// -trace PATH records cross-layer events during the experiments that
+// support it (rwconc) and writes a Chrome trace-event JSON file that
+// loads directly into Perfetto (ui.perfetto.dev) or chrome://tracing;
+// a per-layer flame summary is printed to stderr.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	xftl "repro"
 	"repro/internal/bench"
 	"repro/internal/torture"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -45,8 +50,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-generator defaults)")
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
+	tracePath := flag.String("trace", "", "record cross-layer events and write Chrome trace-event JSON (Perfetto-loadable) to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}\n")
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] [-trace PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -torture\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
 		flag.PrintDefaults()
@@ -103,6 +109,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[xftlbench] "+format+"\n", args...)
 		}
 	}
+	if *tracePath != "" {
+		opts.Trace = trace.New()
+	}
 	what := flag.Arg(0)
 	doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, Seed: *seed, FaultScale: *faults}
 	if err := run(what, opts, doc); err != nil {
@@ -115,6 +124,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, opts.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the recorded events as Chrome trace-event JSON and
+// prints the flame summary. A run that recorded nothing (an experiment
+// without trace support) still produces a valid, empty trace file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	if tr.Len() == 0 {
+		fmt.Fprintf(os.Stderr, "[xftlbench] warning: no trace events recorded (only rwconc emits traces today)\n")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[xftlbench] wrote %d trace events to %s (load in ui.perfetto.dev)\n", tr.Len(), path)
+	fmt.Fprint(os.Stderr, tr.FlameSummary())
+	return nil
 }
 
 // run executes the requested experiment(s), printing each table and

@@ -15,6 +15,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/simfs"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Mode aliases the facade's mode type for brevity.
@@ -46,6 +47,10 @@ type Options struct {
 	// xftlbench's -seed flag. Zero keeps each generator's historical
 	// default (the published tables).
 	Seed int64
+	// Trace, when set, records cross-layer events for the experiments
+	// that support it (rwconc); each measured point attaches as its own
+	// tracer generation. Set from xftlbench's -trace flag.
+	Trace *trace.Tracer
 	// Out receives progress lines; nil silences them.
 	Progress func(format string, args ...any)
 }

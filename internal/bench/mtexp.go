@@ -44,7 +44,12 @@ type MTPoint struct {
 	Elapsed    time.Duration           `json:"elapsed_ns"`
 	IOPS       float64                 `json:"iops"`
 	WriteLat   metrics.LatencySnapshot `json:"write_latency"`
+	ReadLat    metrics.LatencySnapshot `json:"read_latency"`
+	BarrierLat metrics.LatencySnapshot `json:"barrier_latency"`
 	MeanDepth  float64                 `json:"mean_queue_depth"`
+	// DepthHist is the full queue-occupancy histogram: DepthHist[d-1]
+	// counts submissions that found d commands in flight.
+	DepthHist []int64 `json:"depth_hist"`
 	PageWrites int64                   `json:"nand_page_writes"`
 	PageReads  int64                   `json:"nand_page_reads"`
 	GCRuns     int64                   `json:"nand_gc_runs"`
@@ -133,7 +138,10 @@ func RunMTPoint(cfg MTConfig) (*MTPoint, error) {
 		Writes:     writes,
 		Elapsed:    elapsed,
 		WriteLat:   q.WriteLat.Snapshot(),
+		ReadLat:    q.ReadLat.Snapshot(),
+		BarrierLat: q.BarrierLat.Snapshot(),
 		MeanDepth:  q.Depths.Mean(),
+		DepthHist:  q.Depths.Snapshot(),
 		PageWrites: fs.PageWrites,
 		PageReads:  fs.PageReads,
 		GCRuns:     fs.GCRuns,

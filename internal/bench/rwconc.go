@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/metrics"
 	"repro/internal/mvcc"
 	"repro/internal/sqlite/pager"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // RWConfig parameterizes one reader/writer concurrency point.
@@ -37,6 +39,12 @@ type RWConfig struct {
 
 	CacheSize int
 	Seed      int64
+
+	// Label names the point (and its tracer generation when tracing).
+	Label string
+	// Trace, when set, is attached to the point's stack after seeding so
+	// the measurement window is recorded as one tracer generation.
+	Trace *trace.Tracer
 }
 
 // RWPoint is one measured reader/writer result.
@@ -55,6 +63,17 @@ type RWPoint struct {
 	SnapReads   int64 `json:"snap_reads"`
 	SnapOldHits int64 `json:"snap_old_hits"`
 	WriterWaits int64 `json:"writer_waits"`
+
+	// Per-role host I/O attribution over the measurement window: what
+	// the reader sessions cost versus what the writer sessions cost.
+	ReaderIO metrics.HostSnapshot `json:"reader_io"`
+	WriterIO metrics.HostSnapshot `json:"writer_io"`
+	// ReaderLat is device-read latency merged across all readers;
+	// ReaderLats is the same broken out per reader client.
+	ReaderLat  metrics.LatencySnapshot   `json:"reader_read_latency"`
+	ReaderLats []metrics.LatencySnapshot `json:"per_reader_read_latency,omitempty"`
+	// Gauges samples the stack's health gauges after the run drains.
+	Gauges []trace.Stat `json:"gauges,omitempty"`
 }
 
 // RunRWPoint measures one configuration. Readers run to completion
@@ -108,6 +127,21 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		return nil, err
 	}
 
+	// Attach the tracer only now: seeding I/O stays out of the trace,
+	// and the measurement window becomes its own tracer generation.
+	if cfg.Trace != nil {
+		cfg.Trace.Attach(st.Clock, cfg.Label)
+		st.SetTracer(cfg.Trace)
+	}
+	// Role aggregates accumulated the seeding writes; measure deltas.
+	readerIO0 := mgr.ReaderIO.Host.Snapshot()
+	writerIO0 := mgr.WriterIO.Host.Snapshot()
+	writerStats := &metrics.IOStats{}
+	readerStats := make([]*metrics.IOStats, cfg.Readers)
+	for r := range readerStats {
+		readerStats[r] = &metrics.IOStats{}
+	}
+
 	start := st.Clock.Now()
 	var (
 		wg       sync.WaitGroup
@@ -126,7 +160,7 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 		for g := int64(1); g <= int64(cfg.WriterTx) && !stop.Load(); g++ {
-			s, err := mgr.Begin(false)
+			s, err := mgr.BeginWith(false, writerStats)
 			if err != nil {
 				fail(err)
 				return
@@ -152,7 +186,7 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
 			for t := 0; t < cfg.ReaderTx && !stop.Load(); t++ {
-				s, err := mgr.Begin(true)
+				s, err := mgr.BeginWith(true, readerStats[r])
 				if err != nil {
 					fail(err)
 					return
@@ -197,6 +231,16 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		pt.ReaderTPS = float64(pt.ReaderTx) / elapsed.Seconds()
 		pt.WriterTPS = float64(pt.WriterTx) / elapsed.Seconds()
 	}
+	pt.Label = cfg.Label
+	pt.ReaderIO = mgr.ReaderIO.Host.Snapshot().Sub(readerIO0)
+	pt.WriterIO = mgr.WriterIO.Host.Snapshot().Sub(writerIO0)
+	merged := &metrics.LatencyHist{}
+	for _, sc := range readerStats {
+		merged.Merge(&sc.ReadLat)
+		pt.ReaderLats = append(pt.ReaderLats, sc.ReadLat.Snapshot())
+	}
+	pt.ReaderLat = merged.Snapshot()
+	pt.Gauges = st.Gauges.Snapshot()
 	return pt, nil
 }
 
@@ -219,11 +263,12 @@ func RunRWConc(opts Options) (*RWC, error) {
 	out := &RWC{Quick: opts.Quick}
 	run := func(label string, cfg RWConfig) error {
 		opts.progress("rwconc: %s", label)
+		cfg.Label = label
+		cfg.Trace = opts.Trace
 		pt, err := RunRWPoint(cfg)
 		if err != nil {
 			return fmt.Errorf("rwconc %s: %w", label, err)
 		}
-		pt.Label = label
 		out.Points = append(out.Points, pt)
 		return nil
 	}
@@ -301,6 +346,15 @@ func (r *RWC) Table() *Table {
 			t.Notes = append(t.Notes,
 				fmt.Sprintf("MVCC readers at %d channels run %.1fx the serialized rollback-journal baseline.", ch, s))
 		}
+	}
+	for _, p := range r.Points {
+		if p.ReaderLat.Count == 0 {
+			continue
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: reader I/O %d reads (p50=%v p95=%v p99=%v); writer I/O %d writes, %d reads, %d fsyncs.",
+			p.Label, p.ReaderIO.Reads, p.ReaderLat.P50, p.ReaderLat.P95, p.ReaderLat.P99,
+			p.WriterIO.TotalWrites(), p.WriterIO.Reads, p.WriterIO.Fsyncs))
 	}
 	t.Notes = append(t.Notes,
 		"Readers pin the committed X-L2P version set at BEGIN and read superseded pages in place (paper §5); the baseline takes SQLite's database lock for every transaction.")

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/trace"
 )
 
 // TxID identifies a transaction as assigned by the file system (§5.2:
@@ -159,10 +160,12 @@ type XFTL struct {
 	versions  map[ftl.LPN][]oldVersion
 	pinned    map[nand.PPN]ftl.LPN
 
-	stats     *metrics.FlashCounters
-	xstats    Stats
-	powerOff  bool
-	hookArmed bool
+	stats      *metrics.FlashCounters
+	xstats     Stats
+	tracer     *trace.Tracer
+	peakPinned int // high-water mark of len(pinned) (version-list bound gauge)
+	powerOff   bool
+	hookArmed  bool
 }
 
 // New layers X-FTL over a baseline FTL and installs itself as the
@@ -190,6 +193,9 @@ func New(base *ftl.FTL, cfg Config, stats *metrics.FlashCounters) (*XFTL, error)
 	x.hookArmed = true
 	return x, nil
 }
+
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (x *XFTL) SetTracer(t *trace.Tracer) { x.tracer = t }
 
 // Base returns the underlying baseline FTL.
 func (x *XFTL) Base() *ftl.FTL { return x.base }
@@ -332,6 +338,22 @@ func (x *XFTL) Commit(tid TxID) error {
 	}
 	x.xstats.Commits++
 	entries := x.byTx[tid]
+	if x.tracer != nil {
+		// The commit phases (image CoW flush, commit-log append, remap +
+		// map-group flushes, housekeeping pad) all run under this span
+		// with commit origin, so their NAND work attributes correctly.
+		start := x.tracer.Now()
+		prev := x.tracer.SetFirmOrigin(trace.OCommit)
+		defer func() {
+			x.tracer.SetFirmOrigin(prev)
+			x.tracer.Record(trace.Event{
+				Layer: trace.LXFTL, Kind: trace.KXCommit,
+				Start: start, Dur: x.tracer.Now() - start,
+				TID: uint64(tid), Aux: int64(len(entries)),
+				Sess: x.tracer.FirmSession(), Origin: trace.OCommit,
+			})
+		}()
+	}
 	if len(entries) == 0 {
 		return x.base.Barrier()
 	}
@@ -396,6 +418,19 @@ func (x *XFTL) Abort(tid TxID) error {
 	}
 	x.xstats.Aborts++
 	entries := x.byTx[tid]
+	if x.tracer != nil {
+		start := x.tracer.Now()
+		prev := x.tracer.SetFirmOrigin(trace.OCommit)
+		defer func() {
+			x.tracer.SetFirmOrigin(prev)
+			x.tracer.Record(trace.Event{
+				Layer: trace.LXFTL, Kind: trace.KXAbort,
+				Start: start, Dur: x.tracer.Now() - start,
+				TID: uint64(tid), Aux: int64(len(entries)),
+				Sess: x.tracer.FirmSession(), Origin: trace.OCommit,
+			})
+		}()
+	}
 	for _, e := range entries {
 		e.status = StatusAborted
 		delete(x.byLPN, e.lpn)
@@ -455,6 +490,13 @@ func (x *XFTL) OpenSnapshots() int { return len(x.snaps) }
 // PinnedPages reports how many superseded physical pages are pinned
 // against garbage collection on behalf of open snapshots.
 func (x *XFTL) PinnedPages() int { return len(x.pinned) }
+
+// PeakPinnedPages reports the high-water mark of PinnedPages over the
+// device's lifetime — the observable half of the version-list bound:
+// with the skip-unreadable-generations rule in supersede, the peak is
+// bounded by (distinct LPNs written under open snapshots) × (snapshot
+// open/close episodes), not by total write traffic.
+func (x *XFTL) PeakPinnedPages() int { return x.peakPinned }
 
 // SnapshotRead serves a read from the version set pinned by snapshot
 // id: the first superseded version newer than the snapshot's sequence
@@ -517,6 +559,9 @@ func (x *XFTL) supersede(lpn ftl.LPN) {
 	x.versions[lpn] = append(x.versions[lpn], oldVersion{ppn: old, until: x.commitSeq + 1})
 	if old != nand.InvalidPPN {
 		x.pinned[old] = lpn
+		if len(x.pinned) > x.peakPinned {
+			x.peakPinned = len(x.pinned)
+		}
 	}
 }
 

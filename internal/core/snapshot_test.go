@@ -193,6 +193,13 @@ func TestSnapshotPinsSupersededPageAcrossGC(t *testing.T) {
 	if got := snapReadByte(t, x, snap, 0); got != 0xA5 {
 		t.Fatalf("final snapshot read: got %#x, want 0xA5", got)
 	}
+	// Version-list bound: the one open snapshot can read at most one
+	// superseded version per LPN it predates (LPNs 0..8 here), so the
+	// pin set's high-water mark must stay within that — not grow with
+	// the 3000-write churn. See XFTL.PeakPinnedPages.
+	if peak := x.PeakPinnedPages(); peak == 0 || peak > 9 {
+		t.Errorf("peak pinned pages = %d, want within (0, 9]", peak)
+	}
 	if err := x.CloseSnapshot(snap); err != nil {
 		t.Fatal(err)
 	}

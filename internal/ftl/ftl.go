@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/trace"
 )
 
 // LPN is a logical page number as seen by the host.
@@ -146,9 +147,10 @@ type FTL struct {
 	metaSet     map[nand.BlockNum]bool
 	retireDepth int // guards cascading retirements
 
-	hook  Hook
-	stats *metrics.FlashCounters
-	inGC  bool // guards against re-entrant collection from relocate
+	hook   Hook
+	stats  *metrics.FlashCounters
+	tracer *trace.Tracer
+	inGC   bool // guards against re-entrant collection from relocate
 
 	// GC observability.
 	gcValidCopied int64 // valid pages copied out by GC
@@ -222,6 +224,11 @@ func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error
 	}
 	return f, nil
 }
+
+// SetTracer installs (or, with nil, removes) the event tracer. GC
+// episodes record as spans; meta-ring programs retag the firmware
+// origin so NAND events attribute to metadata instead of host I/O.
+func (f *FTL) SetTracer(t *trace.Tracer) { f.tracer = t }
 
 // SetHook installs the transactional-layer GC hook. Pass nil to remove.
 func (f *FTL) SetHook(h Hook) { f.hook = h }
@@ -596,6 +603,23 @@ func (f *FTL) collectOnce() error {
 	f.gcVictims++
 	f.inGC = true
 	defer func() { f.inGC = false }()
+	if f.tracer != nil {
+		// Span the whole episode and retag everything it does — copies,
+		// map flushes, the erase — as GC work, whatever command (or
+		// idle-path allocation) triggered it.
+		gcStart := f.tracer.Now()
+		copiedBefore := f.gcValidCopied
+		prevOrigin := f.tracer.SetFirmOrigin(trace.OGC)
+		defer func() {
+			f.tracer.SetFirmOrigin(prevOrigin)
+			f.tracer.Record(trace.Event{
+				Layer: trace.LFTL, Kind: trace.KGC,
+				Start: gcStart, Dur: f.tracer.Now() - gcStart,
+				Addr: int64(victim), Aux: f.gcValidCopied - copiedBefore,
+				Sess: f.tracer.FirmSession(), Origin: trace.OGC,
+			})
+		}()
+	}
 
 	ppb := f.chip.Config().PagesPerBlock
 	// Pass 1: resolve deferred invalidations touching this victim. A
@@ -981,6 +1005,13 @@ func (f *FTL) MetaRingBlocks() []nand.BlockNum {
 // in the metadata ring and returns its address, advancing to the next
 // ring block as the frontier fills.
 func (f *FTL) metaProgram(payload []byte, tag metaTag) (nand.PPN, error) {
+	if f.tracer != nil && f.tracer.FirmOrigin() == trace.OHost {
+		// Host-triggered metadata maintenance (map-group flushes on a
+		// barrier, BBT persists) attributes as meta work; inside a GC,
+		// commit or recovery episode the outer origin already explains
+		// the write, so keep it.
+		defer f.tracer.SetFirmOrigin(f.tracer.SetFirmOrigin(trace.OMeta))
+	}
 	page := make([]byte, f.PageSize())
 	copy(page, payload)
 	oob := f.metaOOB(tag, crc32.ChecksumIEEE(page))

@@ -51,6 +51,24 @@ func (h *LatencyHist) Reset() {
 	h.mu.Unlock()
 }
 
+// Merge folds o's samples into h (per-reader histograms into a role
+// aggregate). o must not be h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	o.mu.Lock()
+	buckets, count, sum, omax := o.buckets, o.count, o.sum, o.max
+	o.mu.Unlock()
+	h.mu.Lock()
+	for i, n := range buckets {
+		h.buckets[i] += n
+	}
+	h.count += count
+	h.sum += sum
+	if omax > h.max {
+		h.max = omax
+	}
+	h.mu.Unlock()
+}
+
 // Snapshot returns the count, mean, max and the standard reporting
 // percentiles. Percentiles are estimated by linear interpolation
 // within the matching log2 bucket (at most 2x resolution error).
@@ -114,6 +132,21 @@ func (s LatencySnapshot) String() string {
 	}
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
 		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// IOStats bundles the per-context host I/O attribution a session (or a
+// role aggregate) accumulates: the counter split plus a read-latency
+// histogram of the device commands issued on its behalf. simfs
+// observes into every IOStats attached to the current I/O context, so
+// one read can credit both its session and its role.
+type IOStats struct {
+	// ID is a stable identity for the accumulating context (assigned by
+	// mvcc.Manager on first use); it doubles as the trace session id.
+	ID   uint64
+	Host HostCounters
+	// ReadLat is the device-command latency (submit to virtual
+	// completion) of reads issued by this context.
+	ReadLat LatencyHist
 }
 
 // DepthHist counts how many commands were in flight (including the new

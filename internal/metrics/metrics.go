@@ -46,6 +46,16 @@ func (h *HostCounters) Snapshot() HostSnapshot {
 	}
 }
 
+// Add accumulates a snapshot's values into the counters — the way a
+// per-session window is folded into a role-level aggregate.
+func (h *HostCounters) Add(s HostSnapshot) {
+	h.DBWrites.Add(s.DBWrites)
+	h.JournalWrites.Add(s.JournalWrites)
+	h.FSMetaWrites.Add(s.FSMetaWrites)
+	h.Reads.Add(s.Reads)
+	h.Fsyncs.Add(s.Fsyncs)
+}
+
 // HostSnapshot is an immutable copy of HostCounters.
 type HostSnapshot struct {
 	DBWrites      int64

@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/simfs"
 	"repro/internal/sqlite"
 	"repro/internal/sqlite/pager"
+	"repro/internal/trace"
 )
 
 var (
@@ -100,6 +103,17 @@ type Manager struct {
 	closed bool
 
 	Stats Stats
+
+	// nextSess hands out session (and IOStats) identities; id 0 means
+	// "unattributed" in traces, so the counter starts at 1.
+	nextSess atomic.Uint64
+
+	// Role-level I/O aggregates. Every session's host I/O is credited
+	// both to its own IOStats (when the caller passed one to BeginWith)
+	// and to the matching role aggregate here, so a benchmark can report
+	// the writer-vs-reader split without tracking individual sessions.
+	ReaderIO metrics.IOStats
+	WriterIO metrics.IOStats
 }
 
 // NewManager opens (or creates) the database and runs the journal-mode
@@ -143,46 +157,84 @@ type Session struct {
 	snap     *simfs.Snapshot
 	readonly bool
 	done     bool
+
+	id      uint64        // trace/attribution identity (stable per IOStats)
+	trStart time.Duration // virtual time of Begin, for the KSession span
+}
+
+// ID reports the session's attribution identity — the id its trace
+// events and per-session counters are tagged with.
+func (s *Session) ID() uint64 { return s.id }
+
+// sessionID resolves the identity for a new session: a caller-supplied
+// IOStats keeps one stable id across all its sessions (assigned on
+// first use); an anonymous session gets a fresh id.
+func (m *Manager) sessionID(sc *metrics.IOStats) uint64 {
+	if sc != nil {
+		if sc.ID == 0 {
+			sc.ID = m.nextSess.Add(1)
+		}
+		return sc.ID
+	}
+	return m.nextSess.Add(1)
 }
 
 // Begin starts a session, blocking writers until the queue drains.
 // Readers in MVCC mode never block: they pin a snapshot and return
 // immediately even while a write transaction is in flight.
 func (m *Manager) Begin(readonly bool) (*Session, error) {
+	return m.BeginWith(readonly, nil)
+}
+
+// BeginWith is Begin with per-session I/O attribution: every host read
+// and write the session issues is credited to sc (counter split plus
+// read-latency histogram) in addition to the manager's role aggregate.
+// Reusing one sc across many sessions accumulates a per-client view —
+// sc keeps a stable identity, so the sessions share one trace lane.
+// sc may be nil.
+func (m *Manager) BeginWith(readonly bool, sc *metrics.IOStats) (*Session, error) {
 	if m.opts.Mode == MVCC && readonly {
-		return m.beginSnapshotReader()
+		return m.beginSnapshotReader(sc)
 	}
 	// Writer path, and every Serialized-mode transaction: take the
 	// exclusive lock in FIFO order.
 	if err := m.lockExclusive(); err != nil {
 		return nil, err
 	}
-	return m.beginLocked(readonly)
+	return m.beginLocked(readonly, sc)
 }
 
 // TryBegin is the non-blocking variant: a writer that would queue gets
 // ErrBusy instead, matching SQLite's immediate-BUSY behaviour.
 func (m *Manager) TryBegin(readonly bool) (*Session, error) {
 	if m.opts.Mode == MVCC && readonly {
-		return m.beginSnapshotReader()
+		return m.beginSnapshotReader(nil)
 	}
 	if !m.tryLockExclusive() {
 		return nil, ErrBusy
 	}
-	return m.beginLocked(readonly)
+	return m.beginLocked(readonly, nil)
 }
 
-func (m *Manager) beginSnapshotReader() (*Session, error) {
+func (m *Manager) beginSnapshotReader(sc *metrics.IOStats) (*Session, error) {
 	snap, err := m.fs.OpenSnapshot()
 	if err != nil {
 		return nil, err
 	}
 	snap.SetPipelined(m.opts.Pipelined)
+	s := &Session{m: m, snap: snap, readonly: true,
+		id: m.sessionID(sc), trStart: m.fs.Tracer().Now()}
+	if sc != nil {
+		snap.SetIOContext(s.id, &m.ReaderIO, sc)
+	} else {
+		snap.SetIOContext(s.id, &m.ReaderIO)
+	}
 	db, err := sqlite.OpenSnapshotDB(m.fs, m.name, snap, m.cfg)
 	if err != nil {
 		_ = snap.Close()
 		return nil, err
 	}
+	s.db = db
 	n := m.Stats.SnapsOpen.Add(1)
 	for {
 		max := m.Stats.SnapsMax.Load()
@@ -190,14 +242,27 @@ func (m *Manager) beginSnapshotReader() (*Session, error) {
 			break
 		}
 	}
-	return &Session{m: m, db: db, snap: snap, readonly: true}, nil
+	return s, nil
 }
 
-// beginLocked finishes Begin after the exclusive lock is held.
-func (m *Manager) beginLocked(readonly bool) (*Session, error) {
-	s := &Session{m: m, db: m.db, readonly: readonly}
+// beginLocked finishes Begin after the exclusive lock is held. Holding
+// the exclusive lock is what makes setting the shared FS's I/O context
+// safe: exactly one session touches the shared connection at a time.
+func (m *Manager) beginLocked(readonly bool, sc *metrics.IOStats) (*Session, error) {
+	s := &Session{m: m, db: m.db, readonly: readonly,
+		id: m.sessionID(sc), trStart: m.fs.Tracer().Now()}
+	role := &m.WriterIO
+	if readonly {
+		role = &m.ReaderIO
+	}
+	if sc != nil {
+		m.fs.SetIOContext(s.id, role, sc)
+	} else {
+		m.fs.SetIOContext(s.id, role)
+	}
 	if !readonly {
 		if err := m.db.Begin(); err != nil {
+			m.fs.ClearIOContext()
 			m.unlockExclusive()
 			return nil, err
 		}
@@ -295,6 +360,7 @@ func (s *Session) end(commit bool) error {
 		}
 		s.m.Stats.SnapsOpen.Add(-1)
 		s.m.Stats.ReadTx.Add(1)
+		s.noteSession(0)
 		return err
 	}
 	var err error
@@ -311,9 +377,24 @@ func (s *Session) end(commit bool) error {
 			err = s.db.Rollback()
 		}
 		s.m.Stats.WriteTx.Add(1)
+		s.noteSession(1)
 	} else {
 		s.m.Stats.ReadTx.Add(1)
+		s.noteSession(0)
 	}
+	s.m.fs.ClearIOContext()
 	s.m.unlockExclusive()
 	return err
+}
+
+// noteSession records the session's lifetime span. aux is 1 for a
+// write session, 0 for a read session.
+func (s *Session) noteSession(aux int64) {
+	tr := s.m.fs.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Record(trace.Event{Layer: trace.LSession, Kind: trace.KSession,
+		Start: s.trStart, Dur: tr.Now() - s.trStart,
+		Aux: aux, Sess: s.id})
 }

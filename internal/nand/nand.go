@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // PPN is a physical page number across the whole chip array.
@@ -157,11 +158,13 @@ func (c Config) Units() int {
 // unit for the full latency and concurrent commands to different units
 // overlap in simulated time.
 type Charger interface {
-	// ChargeUnit occupies one channel/way unit for d.
-	ChargeUnit(unit int, d time.Duration)
+	// ChargeUnit occupies one channel/way unit for d and returns the
+	// interval [start, end) the unit was actually busy — the exact
+	// virtual-time placement of the operation, for tracing.
+	ChargeUnit(unit int, d time.Duration) (start, end time.Duration)
 	// ChargeAll occupies every unit for d (block erase over a
-	// striped superblock).
-	ChargeAll(d time.Duration)
+	// striped superblock) and returns the occupied interval.
+	ChargeAll(d time.Duration) (start, end time.Duration)
 }
 
 // Chip is a simulated NAND flash array. It is not safe for concurrent
@@ -175,6 +178,11 @@ type Chip struct {
 	// charger, when non-nil, receives all latency charges in place of
 	// direct clock advances (see Charger).
 	charger Charger
+
+	// tracer, when non-nil, receives one event per counted page read,
+	// program and block erase, placed at the exact interval the charge
+	// occupied (see internal/trace).
+	tracer *trace.Tracer
 
 	// Fault injection (fault.go). fault == nil models ideal flash.
 	fault *FaultModel
@@ -235,6 +243,24 @@ func (c *Chip) Clock() *simclock.Clock { return c.clock }
 // SetCharger installs (or, with nil, removes) the latency charger.
 func (c *Chip) SetCharger(ch Charger) { c.charger = ch }
 
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (c *Chip) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// note records one flash-operation event over the charged interval,
+// attributed to the firmware context (session + origin) current when
+// the operation ran. unit is -1 for erases, which occupy all units.
+func (c *Chip) note(k trace.Kind, addr int64, unit int, st, en time.Duration) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Record(trace.Event{
+		Layer: trace.LNAND, Kind: k,
+		Start: st, Dur: en - st,
+		Addr: addr, Unit: int32(unit),
+		Sess: c.tracer.FirmSession(), Origin: c.tracer.FirmOrigin(),
+	})
+}
+
 // Unit reports which channel/way unit a physical page lives on.
 func (c *Chip) Unit(p PPN) int { return int(int64(p) % int64(c.cfg.Units())) }
 
@@ -242,15 +268,15 @@ func (c *Chip) Unit(p PPN) int { return int(int64(p) % int64(c.cfg.Units())) }
 // installed the cost occupies the page's channel/way unit; otherwise
 // the clock advances directly, and firmware-internal bulk operations
 // keep the legacy behaviour of dividing by the unit count.
-func (c *Chip) chargeOp(p PPN, d time.Duration, internal bool) {
+func (c *Chip) chargeOp(p PPN, d time.Duration, internal bool) (start, end time.Duration) {
 	if c.charger != nil {
-		c.charger.ChargeUnit(c.Unit(p), d)
-		return
+		return c.charger.ChargeUnit(c.Unit(p), d)
 	}
 	if internal {
 		d /= c.internalDiv()
 	}
-	c.clock.Advance(d)
+	end = c.clock.Advance(d)
+	return end - d, end
 }
 
 // chargeRetry charges extra serialized time (ECC read retries) on the
@@ -265,12 +291,12 @@ func (c *Chip) chargeRetry(p PPN, d time.Duration) {
 
 // chargeErase charges a block erase. A block stripes across every
 // channel/way unit (a superblock), so the erase occupies all of them.
-func (c *Chip) chargeErase(d time.Duration) {
+func (c *Chip) chargeErase(d time.Duration) (start, end time.Duration) {
 	if c.charger != nil {
-		c.charger.ChargeAll(d)
-		return
+		return c.charger.ChargeAll(d)
 	}
-	c.clock.Advance(d)
+	end = c.clock.Advance(d)
+	return end - d, end
 }
 
 // split decomposes a PPN into block and in-block page indexes.
@@ -333,10 +359,11 @@ func (c *Chip) readPage(p PPN, buf, oobBuf []byte, quiet, internal bool) error {
 		// Power died mid-read: no data transferred, no cell change.
 		return ErrPowerLost
 	}
-	c.chargeOp(p, c.cfg.ReadLatency, internal)
+	st, en := c.chargeOp(p, c.cfg.ReadLatency, internal)
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
 	}
+	c.note(trace.KNandRead, int64(p), c.Unit(p), st, en)
 	if err := c.readFaults(p, b, pi, quiet); err != nil {
 		return fmt.Errorf("%w: ppn %d", err, p)
 	}
@@ -371,10 +398,11 @@ func (c *Chip) ScanRead(p PPN, buf, oobBuf []byte) (PageState, error) {
 	} else if cut {
 		return st, ErrPowerLost
 	}
-	c.chargeOp(p, c.cfg.ReadLatency, true)
+	cs, ce := c.chargeOp(p, c.cfg.ReadLatency, true)
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
 	}
+	c.note(trace.KNandRead, int64(p), c.Unit(p), cs, ce)
 	if st == PageFree {
 		return PageFree, nil
 	}
@@ -495,10 +523,11 @@ func (c *Chip) programPage(p PPN, data, oob []byte, internal bool) error {
 	if pi == b.freeHint {
 		b.freeHint++
 	}
-	c.chargeOp(p, c.cfg.ProgLatency, internal)
+	st, en := c.chargeOp(p, c.cfg.ProgLatency, internal)
 	if c.stats != nil {
 		c.stats.PageWrites.Add(1)
 	}
+	c.note(trace.KNandProg, int64(p), c.Unit(p), st, en)
 	return nil
 }
 
@@ -567,10 +596,11 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 	b.validCount = 0
 	b.freeCount = c.cfg.PagesPerBlock
 	b.eraseCount++
-	c.chargeErase(c.cfg.EraseLatency)
+	st, en := c.chargeErase(c.cfg.EraseLatency)
 	if c.stats != nil {
 		c.stats.BlockErases.Add(1)
 	}
+	c.note(trace.KNandErase, int64(blk), -1, st, en)
 	return nil
 }
 
@@ -651,6 +681,25 @@ func (c *Chip) NextFreePage(blk BlockNum) (int, error) {
 		}
 	}
 	return -1, nil
+}
+
+// WearSpread reports max minus min per-block erase count — the
+// wear-leveling quality gauge published into the stat registry.
+func (c *Chip) WearSpread() int64 {
+	if len(c.blocks) == 0 {
+		return 0
+	}
+	lo, hi := c.blocks[0].eraseCount, c.blocks[0].eraseCount
+	for i := range c.blocks {
+		ec := c.blocks[i].eraseCount
+		if ec < lo {
+			lo = ec
+		}
+		if ec > hi {
+			hi = ec
+		}
+	}
+	return hi - lo
 }
 
 // TotalWear sums erase counts over all blocks.

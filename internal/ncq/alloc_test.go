@@ -1,0 +1,67 @@
+package ncq
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The tracing hook must stay out of the submit hot path when disabled:
+// one nil pointer compare, zero allocations. This is the guard the
+// tracer's documentation promises.
+func TestSubmitNoAllocsWhenTracingDisabled(t *testing.T) {
+	_, q := newQueue(4, 8)
+	r := &Request{Op: OpWrite, LPN: 3}
+	// Warm up internal slices/maps so steady state is measured.
+	for i := 0; i < 32; i++ {
+		if err := q.SubmitWait(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := q.SubmitWait(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SubmitWait allocates %.1f objects/op with tracing disabled, want 0", allocs)
+	}
+}
+
+// With a tracer attached, every submitted command must produce exactly
+// one KCmd event carrying the request's attribution.
+func TestSubmitRecordsCmdEvents(t *testing.T) {
+	clk, q := newQueue(4, 8)
+	tr := trace.New()
+	tr.Attach(clk, "ncq-test")
+	q.SetTracer(tr)
+	const n = 10
+	for i := 0; i < n; i++ {
+		r := &Request{Op: OpWrite, LPN: int64(i), Sess: 7, Origin: trace.OHost}
+		if err := q.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Drain()
+	evs := tr.Events()
+	if len(evs) != n {
+		t.Fatalf("recorded %d events, want %d", len(evs), n)
+	}
+	for _, ev := range evs {
+		if ev.Layer != trace.LNCQ || ev.Kind != trace.KCmd {
+			t.Errorf("event %+v: want NCQ/KCmd", ev)
+		}
+		if ev.Sess != 7 {
+			t.Errorf("event sess %d, want 7", ev.Sess)
+		}
+		if ev.Origin != trace.OHost {
+			t.Errorf("event origin %v, want host", ev.Origin)
+		}
+		if ev.Dur <= 0 {
+			t.Errorf("event duration %v, want > 0", ev.Dur)
+		}
+		if ev.Disp < ev.Start || ev.Disp > ev.Start+ev.Dur {
+			t.Errorf("dispatch %v outside [%v, %v]", ev.Disp, ev.Start, ev.Start+ev.Dur)
+		}
+	}
+}

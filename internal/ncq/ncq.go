@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nand"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // DefaultDepth is the queue depth used when Options leave it zero,
@@ -90,6 +91,12 @@ type Request struct {
 	Data []byte // page payload for writes; owned by the queue until return
 	Buf  []byte // destination for reads
 
+	// Sess and Origin attribute the command for tracing: the host
+	// session (mvcc.Session or raw I/O context) that issued it and why.
+	// Both are zero-valued (no session, host origin) when untraced.
+	Sess   uint64
+	Origin trace.Origin
+
 	Err       error
 	Submitted time.Duration // virtual time the request entered the queue
 	Started   time.Duration // virtual time its resource use could begin
@@ -121,6 +128,11 @@ type Queue struct {
 	outstanding []pending // in-flight commands, at most depth
 	byLPN       map[int64]time.Duration // LPN -> completion gate
 
+	// tracer, when non-nil, receives one KCmd event per submitted
+	// command. A nil tracer costs one pointer compare on the submit
+	// path and zero allocations (guarded by TestSubmitNoAllocs...).
+	tracer *trace.Tracer
+
 	// Per-class latency and occupancy histograms.
 	ReadLat    metrics.LatencyHist
 	WriteLat   metrics.LatencyHist
@@ -150,6 +162,13 @@ func New(clock *simclock.Clock, sched *Scheduler, depth int, exec Executor) *Que
 
 // Depth reports the configured queue depth.
 func (q *Queue) Depth() int { return q.depth }
+
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (q *Queue) SetTracer(t *trace.Tracer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tracer = t
+}
 
 // InFlight reports how many commands are currently outstanding.
 func (q *Queue) InFlight() int {
@@ -205,7 +224,15 @@ func (q *Queue) submitLocked(r *Request) error {
 		}
 	}
 	q.sched.Begin(start)
+	if q.tracer != nil {
+		// Firmware about to run on this session's behalf: NAND events
+		// it emits inherit the command's attribution.
+		q.tracer.SetFirmSession(r.Sess)
+	}
 	r.Err = q.exec(r)
+	if q.tracer != nil {
+		q.tracer.SetFirmSession(0)
+	}
 	r.Started = start
 	r.Done = q.sched.End()
 	if r.Err != nil && errors.Is(r.Err, nand.ErrPowerLost) {
@@ -221,6 +248,18 @@ func (q *Queue) submitLocked(r *Request) error {
 		q.byLPN[r.LPN] = r.Done
 	}
 	q.observeLocked(r)
+	if q.tracer != nil {
+		origin := r.Origin
+		if origin == trace.OHost && r.Op.IsBarrier() {
+			origin = trace.OCommit
+		}
+		q.tracer.Record(trace.Event{
+			Layer: trace.LNCQ, Kind: trace.KCmd,
+			Start: r.Submitted, Dur: r.Done - r.Submitted, Disp: r.Started,
+			Sess: r.Sess, TID: r.TID, Addr: r.LPN,
+			Depth: int32(len(q.outstanding)), Origin: origin, Op: uint8(r.Op),
+		})
+	}
 	if r.Op.IsBarrier() {
 		// A barrier completes synchronously: nothing behind it may
 		// start earlier, so the whole queue (just this command now)

@@ -103,12 +103,12 @@ func (s *Scheduler) ChargeController(d time.Duration) {
 }
 
 // ChargeUnit occupies one channel/way unit for d, starting when both
-// the command's NAND phase and the unit are ready. Implements
-// nand.Charger.
-func (s *Scheduler) ChargeUnit(unit int, d time.Duration) {
+// the command's NAND phase and the unit are ready, and returns the
+// occupied interval. Implements nand.Charger.
+func (s *Scheduler) ChargeUnit(unit int, d time.Duration) (time.Duration, time.Duration) {
 	if !s.active {
-		s.clock.Advance(d)
-		return
+		e := s.clock.Advance(d)
+		return e - d, e
 	}
 	u := unit % len(s.units)
 	st := max(s.nandStart, s.units[u])
@@ -117,14 +117,16 @@ func (s *Scheduler) ChargeUnit(unit int, d time.Duration) {
 	if e > s.end {
 		s.end = e
 	}
+	return st, e
 }
 
 // ChargeAll occupies every unit for d starting when the last of them is
-// free (block erase over a striped superblock). Implements nand.Charger.
-func (s *Scheduler) ChargeAll(d time.Duration) {
+// free (block erase over a striped superblock), and returns the
+// occupied interval. Implements nand.Charger.
+func (s *Scheduler) ChargeAll(d time.Duration) (time.Duration, time.Duration) {
 	if !s.active {
-		s.clock.Advance(d)
-		return
+		e := s.clock.Advance(d)
+		return e - d, e
 	}
 	st := s.nandStart
 	for _, b := range s.units {
@@ -139,6 +141,7 @@ func (s *Scheduler) ChargeAll(d time.Duration) {
 	if e > s.end {
 		s.end = e
 	}
+	return st, e
 }
 
 // BusyUntil reports a unit's busy-until timestamp (tests and metrics).

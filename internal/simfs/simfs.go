@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ncq"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // JournalMode selects how the file system achieves consistency.
@@ -145,6 +146,15 @@ type FS struct {
 
 	nextTid uint64
 	mounted bool
+
+	// Writer-path I/O attribution. The single-writer discipline (one
+	// mutating session at a time, serialized by mvcc.Manager or the
+	// caller) makes these plain fields safe: they are set and read only
+	// by the goroutine currently holding the write turn. Snapshot
+	// readers carry their own context on the Snapshot handle.
+	tracer *trace.Tracer
+	ioSess uint64
+	ioObs  []*metrics.IOStats
 }
 
 // New formats and mounts a file system on the device. The host counter
@@ -189,6 +199,91 @@ func (fs *FS) PageSize() int { return fs.dev.PageSize() }
 
 // Host returns the host-side I/O counters.
 func (fs *FS) Host() *metrics.HostCounters { return fs.host }
+
+// SetTracer installs (or, with nil, removes) the event tracer for
+// file-system-level events (page reads/writes by class, fsync spans).
+func (fs *FS) SetTracer(t *trace.Tracer) { fs.tracer = t }
+
+// Tracer returns the installed tracer (nil when disabled); the pager
+// reaches through this to emit its own events.
+func (fs *FS) Tracer() *trace.Tracer { return fs.tracer }
+
+// SetIOContext attributes subsequent writer-path I/O to the given
+// session id and credits it into each of the supplied stat sets (a
+// session's own IOStats plus its role aggregate, typically). Call from
+// the goroutine holding the write turn; ClearIOContext when done.
+func (fs *FS) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
+	fs.ioSess = sess
+	fs.ioObs = obs
+}
+
+// ClearIOContext detaches the writer-path I/O attribution.
+func (fs *FS) ClearIOContext() {
+	fs.ioSess = 0
+	fs.ioObs = nil
+}
+
+// IOSession reports the session id of the current writer context.
+func (fs *FS) IOSession() uint64 { return fs.ioSess }
+
+// noteRead counts one host page read — globally, into every attached
+// stat context (with the command's device latency), and as a trace
+// event carrying the submit-to-completion window.
+func (fs *FS) noteRead(r *ncq.Request, obs []*metrics.IOStats) {
+	fs.host.Reads.Add(1)
+	lat := r.Done - r.Submitted
+	for _, o := range obs {
+		o.Host.Reads.Add(1)
+		o.ReadLat.Observe(lat)
+	}
+	if fs.tracer != nil {
+		fs.tracer.Record(trace.Event{
+			Layer: trace.LFS, Kind: trace.KFSRead,
+			Start: r.Submitted, Dur: lat,
+			Addr: r.LPN, Sess: r.Sess, TID: r.TID, Origin: r.Origin,
+		})
+	}
+}
+
+// noteWrite counts one host page write of the given class (trace.WDB /
+// WJournal / WFSMeta) — globally, into every attached stat context,
+// and as a trace event. Writer path only.
+func (fs *FS) noteWrite(class int64, lpn int64, tid uint64) {
+	switch class {
+	case trace.WJournal:
+		fs.host.JournalWrites.Add(1)
+	case trace.WFSMeta:
+		fs.host.FSMetaWrites.Add(1)
+	default:
+		fs.host.DBWrites.Add(1)
+	}
+	for _, o := range fs.ioObs {
+		switch class {
+		case trace.WJournal:
+			o.Host.JournalWrites.Add(1)
+		case trace.WFSMeta:
+			o.Host.FSMetaWrites.Add(1)
+		default:
+			o.Host.DBWrites.Add(1)
+		}
+	}
+	if fs.tracer != nil {
+		origin := trace.OHost
+		if class == trace.WFSMeta {
+			origin = trace.OMeta
+		}
+		fs.tracer.Record(trace.Event{
+			Layer: trace.LFS, Kind: trace.KFSWrite,
+			Start: fs.tracer.Now(),
+			Addr: lpn, Aux: class, Sess: fs.ioSess, TID: tid, Origin: origin,
+		})
+	}
+}
+
+// barrier issues a session-attributed write barrier.
+func (fs *FS) barrier() error {
+	return fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpBarrier, Sess: fs.ioSess})
+}
 
 // FreePages reports how many data pages remain unallocated.
 func (fs *FS) FreePages() int64 {
@@ -289,7 +384,7 @@ func (fs *FS) Remove(name string) error {
 		if lpn < 0 {
 			continue
 		}
-		if err := fs.dev.Trim(lpn); err != nil {
+		if err := fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn, Sess: fs.ioSess}); err != nil {
 			return err
 		}
 		// The page becomes reusable only after the deletion is durable
@@ -342,8 +437,11 @@ func (fs *FS) journalCommit(dataPages [][]byte) error {
 	writeJournalPage := func(payload []byte) error {
 		lpn := metaRegionPages + fs.journalHead
 		fs.journalHead = (fs.journalHead + 1) % journalRegionPages
-		fs.host.FSMetaWrites.Add(1)
-		return fs.dev.Write(lpn, payload)
+		fs.noteWrite(trace.WFSMeta, lpn, 0)
+		return fs.dev.Queue().SubmitWait(&ncq.Request{
+			Op: ncq.OpWrite, LPN: lpn, Data: payload,
+			Sess: fs.ioSess, Origin: trace.OMeta,
+		})
 	}
 	blank := make([]byte, fs.PageSize())
 	if err := writeJournalPage(blank); err != nil { // descriptor
@@ -362,7 +460,7 @@ func (fs *FS) journalCommit(dataPages [][]byte) error {
 	if err := writeJournalPage(blank); err != nil { // commit record
 		return err
 	}
-	if err := fs.dev.Barrier(); err != nil {
+	if err := fs.barrier(); err != nil {
 		return err
 	}
 	fs.commitPoint()
@@ -513,23 +611,21 @@ func (f *File) ReadPage(idx int64, buf []byte) error {
 		clear(buf[:min(len(buf), f.fs.PageSize())])
 		return nil
 	}
-	f.fs.host.Reads.Add(1)
+	r := ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf, Sess: f.fs.ioSess}
 	if f.fs.cfg.Mode == OffXFTL && f.tid != 0 {
-		return f.fs.dev.ReadTx(f.tid, lpn, buf)
+		r.Op, r.TID = ncq.OpReadTx, f.tid
 	}
-	return f.fs.dev.Read(lpn, buf)
+	err := f.fs.dev.Queue().SubmitWait(&r)
+	f.fs.noteRead(&r, f.fs.ioObs)
+	return err
 }
 
-// countWrite attributes one host-side data-page write by file role.
-func (f *File) countWrite() {
-	switch f.ino.role {
-	case RoleData:
-		f.fs.host.DBWrites.Add(1)
-	case RoleJournal:
-		f.fs.host.JournalWrites.Add(1)
-	default:
-		f.fs.host.DBWrites.Add(1)
+// writeClass maps the file's role to a trace/counter write class.
+func (f *File) writeClass() int64 {
+	if f.ino.role == RoleJournal {
+		return trace.WJournal
 	}
+	return trace.WDB
 }
 
 // ensureLPN allocates the home device page for a file page on first
@@ -555,11 +651,12 @@ func (f *File) writeData(idx int64, data []byte) error {
 	if err != nil {
 		return err
 	}
-	f.countWrite()
+	r := ncq.Request{Op: ncq.OpWrite, LPN: lpn, Data: data, Sess: f.fs.ioSess}
 	if f.fs.cfg.Mode == OffXFTL {
-		return f.fs.dev.WriteTx(f.tidFor(), lpn, data)
+		r.Op, r.TID = ncq.OpWriteTx, f.tidFor()
 	}
-	return f.fs.dev.Write(lpn, data)
+	f.fs.noteWrite(f.writeClass(), lpn, r.TID)
+	return f.fs.dev.Queue().SubmitWait(&r)
 }
 
 // writeBackSome evicts the oldest n dirty pages (cache pressure). In
@@ -628,12 +725,29 @@ func (f *File) Fsync() error {
 		return err
 	}
 	f.fs.host.Fsyncs.Add(1)
+	for _, o := range f.fs.ioObs {
+		o.Host.Fsyncs.Add(1)
+	}
+	if tr := f.fs.tracer; tr != nil {
+		start := tr.Now()
+		defer func() {
+			tr.Record(trace.Event{
+				Layer: trace.LFS, Kind: trace.KFSync,
+				Start: start, Dur: tr.Now() - start,
+				Aux: int64(f.fs.cfg.Mode), Sess: f.fs.ioSess,
+			})
+		}()
+	}
+	return f.fsync()
+}
+
+func (f *File) fsync() error {
 	switch f.fs.cfg.Mode {
 	case Ordered:
 		if _, err := f.flushDirty(); err != nil {
 			return err
 		}
-		if err := f.fs.dev.Barrier(); err != nil {
+		if err := f.fs.barrier(); err != nil {
 			return err
 		}
 		if err := f.fs.journalCommit(nil); err != nil {
@@ -660,8 +774,11 @@ func (f *File) Fsync() error {
 			tid := f.tidFor()
 			blank := make([]byte, f.fs.PageSize())
 			for lpn := range f.fs.dirtyMeta {
-				f.fs.host.FSMetaWrites.Add(1)
-				if err := f.fs.dev.WriteTx(tid, lpn, blank); err != nil {
+				f.fs.noteWrite(trace.WFSMeta, lpn, tid)
+				if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
+					Op: ncq.OpWriteTx, TID: tid, LPN: lpn, Data: blank,
+					Sess: f.fs.ioSess, Origin: trace.OMeta,
+				}); err != nil {
 					return err
 				}
 			}
@@ -670,14 +787,16 @@ func (f *File) Fsync() error {
 		if tid == 0 {
 			// Nothing transactional was written; a pure barrier
 			// suffices for durability.
-			return f.fs.dev.Barrier()
+			return f.fs.barrier()
 		}
 		// The device commit and the persisted-image update form the
 		// commit point; fs.mu keeps a concurrent OpenSnapshot from
 		// pairing the new device state with the old namespace image.
 		f.fs.mu.Lock()
 		defer f.fs.mu.Unlock()
-		if err := f.fs.dev.Commit(tid); err != nil {
+		if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
+			Op: ncq.OpCommit, TID: tid, Sess: f.fs.ioSess,
+		}); err != nil {
 			return err
 		}
 		f.tid = 0
@@ -699,7 +818,9 @@ func (f *File) Abort() error {
 	f.dirty = make(map[int64][]byte)
 	f.order = f.order[:0]
 	if f.fs.cfg.Mode == OffXFTL && f.tid != 0 {
-		if err := f.fs.dev.Abort(f.tid); err != nil {
+		if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
+			Op: ncq.OpAbort, TID: f.tid, Sess: f.fs.ioSess,
+		}); err != nil {
 			return err
 		}
 		f.tid = 0
@@ -744,7 +865,7 @@ func (f *File) Truncate(n int64) error {
 	for int64(len(f.ino.pages)) > n {
 		idx := int64(len(f.ino.pages)) - 1
 		if lpn := f.ino.pages[idx]; lpn >= 0 {
-			if err := f.fs.dev.Trim(lpn); err != nil {
+			if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn, Sess: f.fs.ioSess}); err != nil {
 				return err
 			}
 			f.fs.pendingFree = append(f.fs.pendingFree, lpn)
@@ -799,6 +920,12 @@ type Snapshot struct {
 	inodes    map[string]inodeImage
 	pipelined bool
 	closed    bool
+
+	// Reader-side I/O attribution, set by the owning session before
+	// first use (SetIOContext). Only this snapshot's goroutine reads
+	// them, so plain fields suffice.
+	sess uint64
+	obs  []*metrics.IOStats
 }
 
 // OpenSnapshot pins the current committed state — device page versions
@@ -838,6 +965,16 @@ func (fs *FS) OpenSnapshot() (*Snapshot, error) {
 // time differs.
 func (s *Snapshot) SetPipelined(on bool) { s.pipelined = on }
 
+// SetIOContext attributes this snapshot's reads to a session id and
+// credits them into the supplied stat sets. Call before issuing reads.
+func (s *Snapshot) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
+	s.sess = sess
+	s.obs = obs
+}
+
+// Session reports the session id the snapshot's reads attribute to.
+func (s *Snapshot) Session() uint64 { return s.sess }
+
 // Exists reports whether the file existed at the snapshot's commit
 // point.
 func (s *Snapshot) Exists(name string) bool {
@@ -865,11 +1002,18 @@ func (s *Snapshot) ReadPage(name string, idx int64, buf []byte) error {
 		clear(buf[:min(len(buf), s.fs.PageSize())])
 		return nil
 	}
-	s.fs.host.Reads.Add(1)
+	r := ncq.Request{Op: ncq.OpSnapRead, TID: uint64(s.id), LPN: lpn, Buf: buf, Sess: s.sess}
+	var err error
 	if s.pipelined {
-		return s.fs.dev.Queue().Submit(&ncq.Request{Op: ncq.OpSnapRead, TID: uint64(s.id), LPN: lpn, Buf: buf})
+		// Asynchronous submit: Done is still filled in (virtual
+		// completion is computed at submission), so the latency
+		// observation below sees the same window either way.
+		err = s.fs.dev.Queue().Submit(&r)
+	} else {
+		err = s.fs.dev.Queue().SubmitWait(&r)
 	}
-	return s.fs.dev.SnapshotRead(s.id, lpn, buf)
+	s.fs.noteRead(&r, s.obs)
+	return err
 }
 
 // Close releases the snapshot's device pins. Closing twice is a no-op.

@@ -20,8 +20,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/simfs"
+	"repro/internal/trace"
 )
 
 // Pgno is a 1-based database page number, page 1 being the header.
@@ -149,6 +151,21 @@ type Pager struct {
 	Commits     int64
 	Rollbacks   int64
 	Checkpoints int64
+
+	txStart time.Duration // virtual time of Begin, for the KTxn span
+}
+
+// tracer returns the stack's tracer (nil-safe: a nil tracer no-ops).
+func (p *Pager) tracer() *trace.Tracer { return p.fs.Tracer() }
+
+// sess reports the session id this pager's I/O is attributed to: the
+// file system's current context for a writer, the snapshot's for a
+// snapshot reader.
+func (p *Pager) sess() uint64 {
+	if p.snap != nil {
+		return p.snap.Session()
+	}
+	return p.fs.IOSession()
 }
 
 // Open creates or opens a database file and runs crash recovery for the
@@ -356,8 +373,15 @@ func (p *Pager) Get(pgno Pgno) (*Page, error) {
 		return nil, err
 	}
 	buf := make([]byte, p.PageSize())
+	tr := p.tracer()
+	rdStart := tr.Now()
 	if err := p.readDBPage(pgno, buf); err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Record(trace.Event{Layer: trace.LPager, Kind: trace.KPageRead,
+			Start: rdStart, Dur: tr.Now() - rdStart,
+			Addr: int64(pgno), Sess: p.sess()})
 	}
 	if pgno == 1 && binary.BigEndian.Uint32(buf[0:]) != headerMagic {
 		// Fresh database: no stable header exists yet; synthesize the
@@ -449,6 +473,7 @@ func (p *Pager) Begin() error {
 	}
 	p.inTx = true
 	p.mutated = false
+	p.txStart = p.tracer().Now()
 	p.txNPages = p.nPages
 	p.txFreelist = append([]Pgno(nil), p.freelist...)
 	p.txSchema = p.schema
@@ -498,6 +523,11 @@ func (p *Pager) Write(pg *Page) error {
 				hdr.Release()
 			}
 		}
+	}
+	if tr := p.tracer(); tr != nil && !p.dirty[pg.pgno] {
+		// First dirty touch this transaction: one point event per page.
+		tr.Record(trace.Event{Layer: trace.LPager, Kind: trace.KPageWrite,
+			Start: tr.Now(), Addr: int64(pg.pgno), Sess: p.sess()})
 	}
 	pg.dirty = true
 	p.dirty[pg.pgno] = true
@@ -729,6 +759,7 @@ func (p *Pager) Commit() error {
 		p.journaled = nil
 		p.stolen = nil
 		p.txFrames = nil
+		p.noteTxn(trace.KTxn, 1)
 		return nil
 	}
 	switch p.cfg.Mode {
@@ -749,7 +780,20 @@ func (p *Pager) Commit() error {
 	p.journaled = nil
 	p.stolen = nil
 	p.Commits++
+	p.noteTxn(trace.KTxn, 1)
 	return nil
+}
+
+// noteTxn records the transaction span that started at Begin. aux is 1
+// for a commit, 0 for a rollback.
+func (p *Pager) noteTxn(k trace.Kind, aux int64) {
+	tr := p.tracer()
+	if tr == nil {
+		return
+	}
+	tr.Record(trace.Event{Layer: trace.LSQL, Kind: k,
+		Start: p.txStart, Dur: tr.Now() - p.txStart,
+		Aux: aux, Sess: p.sess()})
 }
 
 func (p *Pager) commitRollback() error {
@@ -979,6 +1023,7 @@ func (p *Pager) Rollback() error {
 	p.journaled = nil
 	p.stolen = nil
 	p.Rollbacks++
+	p.noteTxn(trace.KTxn, 0)
 	return nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/ncq"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // ErrNotTransactional is returned when a transactional command is sent
@@ -165,6 +166,8 @@ type Device struct {
 	sched *ncq.Scheduler
 	q     *ncq.Queue
 
+	tracer *trace.Tracer
+
 	cmds     atomic.Int64 // host commands processed
 	barriers atomic.Int64 // barrier-class commands (flush/commit)
 }
@@ -241,6 +244,38 @@ func (d *Device) LogicalPages() int64 { return d.base.LogicalPages() }
 
 // Commands reports how many host commands the device has processed.
 func (d *Device) Commands() int64 { return d.cmds.Load() }
+
+// SetTracer installs (or, with nil, removes) the event tracer on every
+// device layer: the command queue (KCmd events), the firmware (GC and
+// commit/abort/recovery spans) and the NAND chip (per-operation
+// events). Install before submitting traced traffic.
+func (d *Device) SetTracer(t *trace.Tracer) {
+	d.tracer = t
+	d.q.SetTracer(t)
+	d.base.SetTracer(t)
+	d.base.Chip().SetTracer(t)
+	if d.x != nil {
+		d.x.SetTracer(t)
+	}
+}
+
+// RegisterGauges publishes the device's live stat gauges into a
+// registry: free blocks, pinned snapshot pages (with peak), queue
+// depth, and wear spread. The providers read firmware state without
+// taking the queue lock; sample the registry while the device is
+// quiescent (after Queue().Drain()).
+func (d *Device) RegisterGauges(reg *trace.Registry) {
+	reg.Register("ftl.free_blocks", func() int64 { return int64(d.base.FreeBlockCount()) })
+	reg.Register("ncq.in_flight", func() int64 { return int64(d.q.InFlight()) })
+	reg.Register("nand.wear_spread", func() int64 { return d.base.Chip().WearSpread() })
+	reg.Register("nand.retired_blocks", func() int64 { return int64(d.base.BadBlockCount()) })
+	if d.x != nil {
+		reg.Register("xftl.pinned_pages", func() int64 { return int64(d.x.PinnedPages()) })
+		reg.Register("xftl.peak_pinned_pages", func() int64 { return int64(d.x.PeakPinnedPages()) })
+		reg.Register("xftl.active_entries", func() int64 { return int64(d.x.ActiveEntries()) })
+		reg.Register("xftl.open_snapshots", func() int64 { return int64(d.x.OpenSnapshots()) })
+	}
+}
 
 // Queue returns the device's NCQ command queue for asynchronous
 // submission at the configured depth. Multiple goroutines may submit
@@ -483,6 +518,8 @@ func (d *Device) NANDOps() int64 { return d.base.Chip().OpCount() }
 func (d *Device) Restart() error {
 	var err error
 	d.q.Exclusive(func() {
+		start := d.tracer.Now()
+		prevOrigin := d.tracer.SetFirmOrigin(trace.ORecovery)
 		chip := d.base.Chip()
 		chip.Restore()
 		chip.SetCharger(nil)
@@ -493,6 +530,15 @@ func (d *Device) Restart() error {
 		}
 		chip.SetCharger(d.sched)
 		d.sched.Reset()
+		d.tracer.SetFirmOrigin(prevOrigin)
+		if d.tracer != nil && err == nil {
+			info := d.base.LastRecovery()
+			d.tracer.Record(trace.Event{
+				Layer: trace.LXFTL, Kind: trace.KXRecover,
+				Start: start, Dur: d.tracer.Now() - start,
+				Aux: info.ScanPages, Origin: trace.ORecovery,
+			})
+		}
 	})
 	return err
 }

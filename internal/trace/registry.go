@@ -1,0 +1,57 @@
+package trace
+
+import "sync"
+
+// Stat is one sampled gauge value.
+type Stat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Registry holds named stat gauges that layers publish into: free
+// blocks, pinned snapshot pages, queue depth, wear spread. Gauges are
+// provider closures sampled on demand, so registering costs nothing on
+// the hot path and a snapshot always reflects live state.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order
+	fns   map[string]func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fns: make(map[string]func() int64)}
+}
+
+// Register adds (or replaces) a named gauge provider. Nil-safe.
+func (r *Registry) Register(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.fns[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.fns[name] = fn
+}
+
+// Snapshot samples every gauge in registration order.
+func (r *Registry) Snapshot() []Stat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	fns := make([]func() int64, len(names))
+	for i, n := range names {
+		fns[i] = r.fns[n]
+	}
+	r.mu.Unlock()
+	out := make([]Stat, len(names))
+	for i, n := range names {
+		out[i] = Stat{Name: n, Value: fns[i]()}
+	}
+	return out
+}

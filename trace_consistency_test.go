@@ -1,0 +1,159 @@
+package xftl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/mvcc"
+	"repro/internal/sqlite/pager"
+	"repro/internal/trace"
+)
+
+// The trace must be a complete account of the run: for every counter
+// the stack maintains there is an event kind, and over the same window
+// the event count must equal the counter delta exactly. A missed
+// instrumentation site (counter bumped, no event) or a double-recorded
+// event breaks this equality.
+func TestTraceMatchesCounters(t *testing.T) {
+	cases := []struct {
+		name    string
+		mode    xftl.Mode
+		mvcc    mvcc.Mode
+		journal pager.JournalMode
+	}{
+		{"xftl-mvcc", xftl.ModeXFTL, mvcc.MVCC, pager.Off},
+		{"rollback-serialized", xftl.ModeRollback, mvcc.Serialized, pager.Rollback},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := xftl.NewStack(xftl.OpenSSD(), tc.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := mvcc.NewManager(st.FS, "c.db", mvcc.Options{
+				Mode: tc.mvcc, Journal: tc.journal,
+				Pipelined: tc.mvcc == mvcc.MVCC,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgr.Close()
+
+			// Attach after construction: mount-time I/O (meta page
+			// programs, recovery reads) predates the tracer, so both the
+			// events and the counter window start here.
+			tr := trace.New()
+			tr.Attach(st.Clock, tc.name)
+			st.SetTracer(tr)
+			host0 := st.Host.Snapshot()
+			flash0 := st.FlashStats().Snapshot()
+			cmds0 := st.Device.Commands()
+
+			w, err := mgr.Begin(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			var rdr *metrics.IOStats
+			for i := 0; i < 4; i++ {
+				w, err := mgr.Begin(false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < 8; j++ {
+					if _, err := w.Exec("INSERT INTO t (k, v) VALUES (?, ?)",
+						int64(i*8+j), fmt.Sprintf("value-%d-%d", i, j)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := w.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				// A reader session between writer transactions: snapshot
+				// reads in MVCC mode, lock-serialized reads in the control.
+				rdr = &metrics.IOStats{}
+				r, err := mgr.BeginWith(true, rdr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := r.QueryRow("SELECT v FROM t WHERE k = ?", int64(i)); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.Device.Queue().Drain()
+
+			host := st.Host.Snapshot().Sub(host0)
+			flash := st.FlashStats().Snapshot().Sub(flash0)
+			cmds := st.Device.Commands() - cmds0
+
+			counts := map[trace.Kind]int64{}
+			writeClass := map[int64]int64{}
+			for _, ev := range tr.Events() {
+				counts[ev.Kind]++
+				if ev.Kind == trace.KFSWrite {
+					writeClass[ev.Aux]++
+				}
+			}
+			check := func(what string, events, counter int64) {
+				t.Helper()
+				if events != counter {
+					t.Errorf("%s: %d trace events vs counter delta %d", what, events, counter)
+				}
+			}
+			check("host reads / KFSRead", counts[trace.KFSRead], host.Reads)
+			check("db writes / KFSWrite(db)", writeClass[trace.WDB], host.DBWrites)
+			check("journal writes / KFSWrite(journal)", writeClass[trace.WJournal], host.JournalWrites)
+			check("fsmeta writes / KFSWrite(fsmeta)", writeClass[trace.WFSMeta], host.FSMetaWrites)
+			check("fsyncs / KFSync", counts[trace.KFSync], host.Fsyncs)
+			check("page programs / KNandProg", counts[trace.KNandProg], flash.PageWrites)
+			check("page reads / KNandRead", counts[trace.KNandRead], flash.PageReads)
+			check("block erases / KNandErase", counts[trace.KNandErase], flash.BlockErases)
+			check("gc runs / KGC", counts[trace.KGC], flash.GCRuns)
+			check("device commands / KCmd", counts[trace.KCmd], cmds)
+
+			// The workload must actually have exercised the paths.
+			for _, k := range []trace.Kind{trace.KCmd, trace.KFSync, trace.KNandProg, trace.KSession, trace.KTxn} {
+				if counts[k] == 0 {
+					t.Errorf("no %v events recorded", k)
+				}
+			}
+			// Per-session attribution reached the reader's IOStats. Only
+			// the snapshot arm is guaranteed device reads: the serialized
+			// control shares the writer's page cache, so its SELECT may
+			// be served without touching storage.
+			if tc.mvcc == mvcc.MVCC && rdr.Host.Reads.Load() == 0 {
+				t.Error("reader session recorded no attributed reads")
+			}
+			if rdr.ID == 0 {
+				t.Error("reader IOStats was not assigned a session id")
+			}
+			// Every NCQ command carries a complete lifecycle: dispatch
+			// inside the submit..complete span.
+			var withSess int
+			for _, ev := range tr.Events() {
+				if ev.Kind != trace.KCmd {
+					continue
+				}
+				if ev.Disp < ev.Start || ev.Disp > ev.Start+ev.Dur {
+					t.Errorf("cmd op=%d dispatch %v outside [%v, %v]", ev.Op, ev.Disp, ev.Start, ev.Start+ev.Dur)
+				}
+				if ev.Sess != 0 {
+					withSess++
+				}
+			}
+			if withSess == 0 {
+				t.Error("no NCQ command carries a session id")
+			}
+		})
+	}
+}

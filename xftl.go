@@ -11,6 +11,7 @@ import (
 	"repro/internal/sqlite"
 	"repro/internal/sqlite/pager"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // FaultModel re-exports the NAND fault model for stack construction.
@@ -87,7 +88,20 @@ type Stack struct {
 	FS     *simfs.FS
 	Host   *metrics.HostCounters
 
+	// Gauges samples named point-in-time health gauges across the stack
+	// (free blocks, queue depth, pinned snapshot pages, wear spread).
+	// Sample while the device is quiescent.
+	Gauges *trace.Registry
+
 	dbConfig sqlite.Config
+}
+
+// SetTracer installs (or removes, with nil) a cross-layer event tracer
+// on every layer of the stack. Call Attach on the tracer first so
+// events carry the stack's clock and a generation label.
+func (s *Stack) SetTracer(t *trace.Tracer) {
+	s.Device.SetTracer(t)
+	s.FS.SetTracer(t)
 }
 
 // StackOptions tunes stack construction.
@@ -153,12 +167,15 @@ func NewStackDevice(prof Profile, mode Mode, devOpts storage.Options, opts Stack
 	case ModeXFTL:
 		jm = pager.Off
 	}
+	gauges := trace.NewRegistry()
+	dev.RegisterGauges(gauges)
 	return &Stack{
 		Mode:   mode,
 		Clock:  clock,
 		Device: dev,
 		FS:     fsys,
 		Host:   host,
+		Gauges: gauges,
 		dbConfig: sqlite.Config{
 			JournalMode:     jm,
 			CacheSize:       opts.CacheSize,
