@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	xftl "repro"
 	"repro/internal/bench"
@@ -47,24 +48,38 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	faults := flag.Float64("faults", 0, "NAND fault-model scale (0 = ideal flash, 1 = realistic MLC rates)")
 	tortureMode := flag.Bool("torture", false, "run the crash/fault torture harness instead of an experiment")
+	chaosMode := flag.Bool("chaos", false, "run the degraded-mode error-storm sweep: transient faults, die hangs, command deadlines, quarantine and mid-storm power cuts")
 	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-generator defaults)")
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
 	tracePath := flag.String("trace", "", "record cross-layer events and write Chrome trace-event JSON (Perfetto-loadable) to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] [-trace PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}\n")
-		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -torture\n")
+		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] [-seed N] -torture\n")
+		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] [-seed N] -chaos\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	wallStart := time.Now()
 	if *tortureMode {
 		if flag.NArg() != 0 {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := runTorture(*quick, *faults); err != nil {
+		if err := runTorture(*quick, *faults, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -torture: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosMode {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runChaos(*quick, *quiet, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -chaos: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -92,6 +107,7 @@ func main() {
 			doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
 				Name: "recovery-scan", Tables: []*bench.Table{t},
 			})
+			doc.WallSeconds = time.Since(wallStart).Seconds()
 			if err := bench.WriteJSON(*jsonPath, doc); err != nil {
 				fmt.Fprintf(os.Stderr, "xftlbench -json: %v\n", err)
 				os.Exit(1)
@@ -119,6 +135,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
+		doc.WallSeconds = time.Since(wallStart).Seconds()
 		if err := bench.WriteJSON(*jsonPath, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -json: %v\n", err)
 			os.Exit(1)
@@ -320,14 +337,19 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 // runTorture runs the device-level acceptance sweep (seeds x cut
 // cadences x fault scales), then the full-stack SQL torture in every
 // journal mode. A non-zero faults value replaces the sweep's fault
-// column and the SQL runs' default scale.
-func runTorture(quick bool, faults float64) error {
+// column and the SQL runs' default scale; a non-zero seed replaces
+// every seed grid with that one seed (reproducing a failing summary
+// line), and every run summary records the seeds it used.
+func runTorture(quick bool, faults float64, seed int64) error {
 	sw := torture.DefaultSweep()
 	sw.Progress = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "[torture] "+format+"\n", args...)
 	}
 	if quick {
 		sw.Seeds = sw.Seeds[:2]
+	}
+	if seed != 0 {
+		sw.Seeds = []int64{seed}
 	}
 	if faults > 0 {
 		sw.FaultScale = []float64{0, faults}
@@ -341,6 +363,9 @@ func runTorture(quick bool, faults float64) error {
 	seeds := []int64{1, 2, 3, 4, 5, 6}
 	if quick {
 		seeds = seeds[:2]
+	}
+	if seed != 0 {
+		seeds = []int64{seed}
 	}
 	for _, mode := range []xftl.Mode{xftl.ModeRollback, xftl.ModeWAL, xftl.ModeXFTL} {
 		agg := &torture.Report{}
@@ -366,6 +391,9 @@ func runTorture(quick bool, faults float64) error {
 	if quick {
 		mvccSeeds = mvccSeeds[:2]
 	}
+	if seed != 0 {
+		mvccSeeds = []int64{seed}
+	}
 	magg := &torture.Report{}
 	for _, seed := range mvccSeeds {
 		r, err := torture.RunMVCC(torture.DefaultMVCCOptions(seed))
@@ -386,10 +414,39 @@ func runTorture(quick bool, faults float64) error {
 	if quick {
 		ms.Seeds = ms.Seeds[:1]
 	}
+	if seed != 0 {
+		ms.Seeds = []int64{seed}
+	}
 	mrep, err := torture.MetaSweep(ms)
 	if err != nil {
 		return fmt.Errorf("meta sweep: %w", err)
 	}
 	fmt.Printf("meta sweep:   %s\n", mrep)
+	return nil
+}
+
+// runChaos runs the degraded-mode error-storm acceptance sweep: the
+// crash-torture workload under transient interface faults, die hangs,
+// command deadlines with bounded retry, channel quarantine and
+// mid-storm power cuts. A non-zero seed replaces the default seed grid.
+func runChaos(quick, quiet bool, seed int64) error {
+	o := torture.DefaultChaos()
+	if quick {
+		o.Seeds = o.Seeds[:1]
+		o.Transactions = 120
+	}
+	if seed != 0 {
+		o.Seeds = []int64{seed}
+	}
+	if !quiet {
+		o.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[chaos] "+format+"\n", args...)
+		}
+	}
+	rep, err := torture.ChaosSweep(o)
+	if err != nil {
+		return fmt.Errorf("%w (report %s)", err, rep)
+	}
+	fmt.Printf("chaos sweep: %s\n", rep)
 	return nil
 }

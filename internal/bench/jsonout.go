@@ -16,6 +16,10 @@ type JSONDoc struct {
 	// generator ran with its historical default seed.
 	Seed       int64   `json:"seed"`
 	FaultScale float64 `json:"fault_scale,omitempty"`
+	// WallSeconds is the real (host) time the whole invocation took —
+	// the simulator's cost, not the simulated device's. Tracked across
+	// runs as the wall-clock trajectory in BENCH_*.json.
+	WallSeconds float64          `json:"wall_seconds,omitempty"`
 	Experiments []JSONExperiment `json:"experiments"`
 }
 

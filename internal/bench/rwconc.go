@@ -40,6 +40,14 @@ type RWConfig struct {
 	CacheSize int
 	Seed      int64
 
+	// Degraded runs the point on a sick array: command deadlines and
+	// bounded retries at the queue, one channel/way unit force-
+	// quarantined before the measurement window, and deterministic die
+	// stalls injected while the writer streams. The point measures what
+	// the robustness plane costs — reader tail latency must stay bounded
+	// by the deadline x retry budget instead of the raw stall length.
+	Degraded bool
+
 	// Label names the point (and its tracer generation when tracing).
 	Label string
 	// Trace, when set, is attached to the point's stack after seeding so
@@ -64,6 +72,11 @@ type RWPoint struct {
 	SnapOldHits int64 `json:"snap_old_hits"`
 	WriterWaits int64 `json:"writer_waits"`
 
+	// Degraded-mode counters (Degraded points only).
+	Retries          int64 `json:"retries,omitempty"`
+	Timeouts         int64 `json:"timeouts,omitempty"`
+	QuarantinedUnits int64 `json:"quarantined_units,omitempty"`
+
 	// Per-role host I/O attribution over the measurement window: what
 	// the reader sessions cost versus what the writer sessions cost.
 	ReaderIO metrics.HostSnapshot `json:"reader_io"`
@@ -75,6 +88,22 @@ type RWPoint struct {
 	// Gauges samples the stack's health gauges after the run drains.
 	Gauges []trace.Stat `json:"gauges,omitempty"`
 }
+
+// Degraded-point sizing: the deadline is measured submit-to-complete,
+// so it must clear healthy per-unit queueing — an MLC program alone is
+// ~1.3ms, and a couple of writes queued on one die stack past 2ms — or
+// healthy units trip spurious timeouts and the quarantine storm spreads
+// to the cap. 10ms clears honest queueing at full load while the 30ms
+// stall is still
+// several deadlines long, so hung attempts time out and reissue instead
+// of waiting the stall out; the retry budget then bounds the worst tail
+// at roughly deadline x retries + backoff, independent of stall length.
+const (
+	rwDegradedDeadline  = 10 * time.Millisecond
+	rwDegradedRetries   = 10
+	rwDegradedStall     = 30 * time.Millisecond
+	rwDegradedHangEvery = 8 // writer transactions between injected stalls
+)
 
 // RunRWPoint measures one configuration. Readers run to completion
 // (Readers × ReaderTx transactions) while the writer concurrently
@@ -88,8 +117,12 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 	if cfg.Mode == mvcc.MVCC {
 		mode, journal = XFTL, pager.Off
 	}
-	st, err := xftl.NewStackDevice(cfg.Profile, mode,
-		storage.Options{QueueDepth: cfg.Depth},
+	devOpts := storage.Options{QueueDepth: cfg.Depth}
+	if cfg.Degraded {
+		devOpts.CmdDeadline = rwDegradedDeadline
+		devOpts.CmdRetries = rwDegradedRetries
+	}
+	st, err := xftl.NewStackDevice(cfg.Profile, mode, devOpts,
 		xftl.StackOptions{CacheSize: cfg.CacheSize})
 	if err != nil {
 		return nil, err
@@ -127,6 +160,16 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		return nil, err
 	}
 
+	// Degraded array: fence one unit before the window opens (live pages
+	// drain, allocation steers away) so the whole measurement runs on a
+	// reduced array with probe traffic trickling to the sick die.
+	units := cfg.Profile.Nand.Units()
+	if cfg.Degraded {
+		if err := st.Device.QuarantineUnit(0); err != nil {
+			return nil, err
+		}
+	}
+
 	// Attach the tracer only now: seeding I/O stays out of the trace,
 	// and the measurement window becomes its own tracer generation.
 	if cfg.Trace != nil {
@@ -160,6 +203,14 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 		for g := int64(1); g <= int64(cfg.WriterTx) && !stop.Load(); g++ {
+			if cfg.Degraded && g%rwDegradedHangEvery == 0 && units > 1 {
+				// Deterministic error storm: one sick die (unit 1) stalls
+				// repeatedly mid-stream. Its timeouts trip quarantine too,
+				// so the point exercises the full plane: the forced fence
+				// on unit 0, a storm-tripped fence on unit 1, and the
+				// deadline/retry path riding out every stall.
+				st.Device.HangUnit(1, rwDegradedStall)
+			}
 			s, err := mgr.BeginWith(false, writerStats)
 			if err != nil {
 				fail(err)
@@ -227,6 +278,11 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		pt.SnapReads = xs.SnapReads
 		pt.SnapOldHits = xs.SnapOldHits
 	}
+	if cfg.Degraded {
+		pt.Retries = st.Device.Queue().Retries()
+		pt.Timeouts = st.Device.Queue().Timeouts()
+		pt.QuarantinedUnits = st.Device.FTL().QuarantinedUnits()
+	}
 	if elapsed > 0 {
 		pt.ReaderTPS = float64(pt.ReaderTx) / elapsed.Seconds()
 		pt.WriterTPS = float64(pt.WriterTx) / elapsed.Seconds()
@@ -293,6 +349,23 @@ func RunRWConc(opts Options) (*RWC, error) {
 			return nil, err
 		}
 	}
+	// Degraded leg: the top MVCC configuration on a sick array — one
+	// unit force-quarantined, another storming, command deadlines/
+	// retries absorbing both. Quantifies what degraded mode costs and
+	// shows the reader tail stays bounded by the retry budget.
+	{
+		prof := storage.OpenSSD()
+		prof.Nand.Channels = 8
+		prof.Nand.Ways = 1
+		prof.Channels = 8
+		cfg := base
+		cfg.Profile = prof
+		cfg.Mode = mvcc.MVCC
+		cfg.Degraded = true
+		if err := run("mvcc ch=8 degraded", cfg); err != nil {
+			return nil, err
+		}
+	}
 	// Control arm: same hardware as the top MVCC point, but SQLite's
 	// rollback journal with the one database lock.
 	prof := storage.OpenSSD()
@@ -355,6 +428,13 @@ func (r *RWC) Table() *Table {
 			"%s: reader I/O %d reads (p50=%v p95=%v p99=%v); writer I/O %d writes, %d reads, %d fsyncs.",
 			p.Label, p.ReaderIO.Reads, p.ReaderLat.P50, p.ReaderLat.P95, p.ReaderLat.P99,
 			p.WriterIO.TotalWrites(), p.WriterIO.Reads, p.WriterIO.Fsyncs))
+	}
+	for _, p := range r.Points {
+		if p.Retries+p.Timeouts > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s ran with %d unit(s) quarantined and repeated die stalls: %d command timeouts, %d retries; reader p99 %v stays bounded by the deadline x retry budget.",
+				p.Label, p.QuarantinedUnits, p.Timeouts, p.Retries, p.ReaderLat.P99))
+		}
 	}
 	t.Notes = append(t.Notes,
 		"Readers pin the committed X-L2P version set at BEGIN and read superseded pages in place (paper §5); the baseline takes SQLite's database lock for every transaction.")

@@ -5,15 +5,15 @@ import "testing"
 // The rwconc acceptance property: snapshot readers at 8 channels beat
 // the serialized rollback-journal baseline by at least 3x while one
 // writer streams updates. The quick configuration is small but keeps
-// the same shape (8-channel MVCC point + serialized control), so the
-// ratio holds here too — the full run only widens it.
+// the same shape (8-channel MVCC point + degraded leg + serialized
+// control), so the ratio holds here too — the full run only widens it.
 func TestRWConcQuick(t *testing.T) {
 	res, err := RunRWConc(Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Points) != 3 {
-		t.Fatalf("quick sweep: got %d points, want 3", len(res.Points))
+	if len(res.Points) != 4 {
+		t.Fatalf("quick sweep: got %d points, want 4", len(res.Points))
 	}
 	for _, p := range res.Points {
 		if p.ReaderTx == 0 || p.ReaderTPS == 0 {
@@ -31,7 +31,38 @@ func TestRWConcQuick(t *testing.T) {
 		t.Fatalf("reader speedup at 8 channels: %.2fx, want >= 3x", s)
 	}
 	// Rendering must not panic and should report the speedup note.
-	if tbl := res.Table(); len(tbl.RowData) != 3 || len(tbl.Notes) == 0 {
+	if tbl := res.Table(); len(tbl.RowData) != 4 || len(tbl.Notes) == 0 {
 		t.Fatalf("table: %d rows, %d notes", len(tbl.RowData), len(tbl.Notes))
+	}
+}
+
+// The degraded leg must run on a visibly sick array (a quarantined
+// unit, injected stalls tripping deadlines) and still keep the reader
+// tail bounded by the deadline x retry budget rather than the raw
+// stall length: functional isolation, graceful performance cost.
+func TestRWConcDegradedBoundedTail(t *testing.T) {
+	res, err := RunRWConc(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.point("mvcc ch=8 degraded")
+	if p == nil {
+		t.Fatal("no degraded point in the sweep")
+	}
+	if p.QuarantinedUnits == 0 {
+		t.Error("degraded point ran with no unit quarantined")
+	}
+	if p.Timeouts == 0 || p.Retries == 0 {
+		t.Errorf("injected stalls tripped no deadlines (timeouts=%d retries=%d)", p.Timeouts, p.Retries)
+	}
+	if p.ReaderTx == 0 || p.WriterTx == 0 {
+		t.Fatalf("degraded point starved a side: readerTx=%d writerTx=%d", p.ReaderTx, p.WriterTx)
+	}
+	// Worst case per command: every attempt burns a deadline plus the
+	// doubling backoff before the budget exhausts. The observed p99 must
+	// sit well inside that, and far under any multi-stall pile-up.
+	bound := rwDegradedDeadline * rwDegradedRetries * 4
+	if p.ReaderLat.Count > 0 && p.ReaderLat.P99 > bound {
+		t.Errorf("degraded reader p99 %v exceeds the retry-budget bound %v", p.ReaderLat.P99, bound)
 	}
 }

@@ -152,6 +152,19 @@ type FTL struct {
 	tracer *trace.Tracer
 	inGC   bool // guards against re-entrant collection from relocate
 
+	// Channel health / quarantine state (health.go). skipped counts, per
+	// data block, the frontier pages allocation steered past because
+	// their unit was quarantined; those pages stay free forever (until
+	// the block is erased), so GC victim eligibility must treat a block
+	// whose only free pages are skipped ones as fully written.
+	health       []unitHealth
+	healthCfg    HealthConfig
+	quarCount    int
+	quarTrips    int64
+	quarReadmits int64
+	degraded     time.Duration // closed quarantine episodes
+	skipped      map[nand.BlockNum]int
+
 	// GC observability.
 	gcValidCopied int64 // valid pages copied out by GC
 	gcVictims     int64 // victim blocks processed
@@ -204,8 +217,11 @@ func New(chip *nand.Chip, cfg Config, stats *metrics.FlashCounters) (*FTL, error
 		metaData:   make(map[string][]byte),
 		slotIDs:    make(map[string]uint16),
 		slotNames:  make(map[uint16]string),
+		skipped:    make(map[nand.BlockNum]int),
 		stats:      stats,
 	}
+	f.healthCfg = HealthConfig{}.withDefaults()
+	f.health = make([]unitHealth, chipCfg.Units())
 	for i := range f.l2p {
 		f.l2p[i] = nand.InvalidPPN
 		f.persisted[i] = nand.InvalidPPN
@@ -342,8 +358,12 @@ const maxRetireDepth = 3
 // spare-area record into it. On a program status fail it retires the
 // failing block to the bad-block table and retries on a fresh page,
 // exactly the remap-and-retire firmware response to NAND program
-// failures. internal selects the GC datapath (no host-transfer charge).
+// failures. A transient interface fault instead retries the SAME page
+// in place (the cell was never touched, so the frontier unwinds one
+// step and reissues) — transients must not burn blocks or leak free
+// pages. internal selects the GC datapath (no host-transfer charge).
 func (f *FTL) programData(data, oob []byte, internal bool) (nand.PPN, error) {
+	trans := 0
 	for attempt := 0; ; attempt++ {
 		ppn, err := f.allocPage()
 		if err != nil {
@@ -356,6 +376,15 @@ func (f *FTL) programData(data, oob []byte, internal bool) (nand.PPN, error) {
 		}
 		if err == nil {
 			return ppn, nil
+		}
+		if errors.Is(err, nand.ErrTransient) {
+			trans++
+			if trans > maxTransientRetries {
+				return nand.InvalidPPN, err
+			}
+			f.unwindFrontier(ppn)
+			attempt--
+			continue
 		}
 		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramRetries {
 			return nand.InvalidPPN, err
@@ -381,6 +410,7 @@ func (f *FTL) retireDataBlock(blk nand.BlockNum) error {
 	f.retireDepth++
 	defer func() { f.retireDepth-- }()
 	f.bad[blk] = true
+	delete(f.skipped, blk)
 	if f.haveCur && f.cur == blk {
 		f.haveCur = false // abandon the frontier; its free pages are lost
 	}
@@ -535,37 +565,78 @@ func (f *FTL) ReleaseOrphan(ppn nand.PPN) {
 }
 
 // allocPage returns the next free physical page at the write frontier,
-// running garbage collection first if the free-block pool is low.
+// running garbage collection first if the free-block pool is low. While
+// units are quarantined, allocation steers away from them: frontier
+// pages striped onto a sick unit are skipped (left free, accounted in
+// f.skipped so victim selection still converges). The quarantine cap
+// (at least one healthy unit) guarantees every block yields pages, so
+// the steering loop terminates.
 func (f *FTL) allocPage() (nand.PPN, error) {
-	if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
-		// While GC itself is copying pages it must not recurse into
-		// another collection: the low-water reserve of free blocks
-		// absorbs one victim's worth of live pages.
-		if !f.inGC {
-			if err := f.ensureFreeBlocks(); err != nil {
-				return nand.InvalidPPN, err
+	for {
+		if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
+			// While GC itself is copying pages it must not recurse into
+			// another collection: the low-water reserve of free blocks
+			// absorbs one victim's worth of live pages.
+			if !f.inGC {
+				if err := f.ensureFreeBlocks(); err != nil {
+					return nand.InvalidPPN, err
+				}
+			}
+			// GC relocations may have installed (and partially filled) a
+			// fresh frontier while collecting; replacing it now would
+			// abandon a nearly empty block. Take a new one only if the
+			// frontier is still exhausted.
+			if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
+				if len(f.freeBlocks) == 0 {
+					if len(f.bad) > f.cfg.SpareBlocks {
+						return nand.InvalidPPN, f.markWornOut()
+					}
+					return nand.InvalidPPN, ErrDeviceFull
+				}
+				f.cur = f.freeBlocks[0]
+				f.freeBlocks = f.freeBlocks[1:]
+				f.curPage = 0
+				f.haveCur = true
 			}
 		}
-		// GC relocations may have installed (and partially filled) a
-		// fresh frontier while collecting; replacing it now would
-		// abandon a nearly empty block. Take a new one only if the
-		// frontier is still exhausted.
-		if !f.haveCur || f.curPage >= f.chip.Config().PagesPerBlock {
-			if len(f.freeBlocks) == 0 {
-				if len(f.bad) > f.cfg.SpareBlocks {
-					return nand.InvalidPPN, f.markWornOut()
-				}
-				return nand.InvalidPPN, ErrDeviceFull
-			}
-			f.cur = f.freeBlocks[0]
-			f.freeBlocks = f.freeBlocks[1:]
-			f.curPage = 0
-			f.haveCur = true
+		ppn := f.chip.PPNOf(f.cur, f.curPage)
+		f.curPage++
+		if f.quarCount > 0 && f.UnitQuarantined(f.chip.Unit(ppn)) {
+			f.skipped[f.cur]++
+			continue
+		}
+		return ppn, nil
+	}
+}
+
+// unwindFrontier returns the page just handed out by allocPage to the
+// frontier, used when its program failed with a transient interface
+// fault and will be retried in place. Without the unwind, every
+// transient retry would leak one permanently free page behind the
+// frontier and (under an error storm) wedge GC victim selection.
+func (f *FTL) unwindFrontier(ppn nand.PPN) {
+	if f.haveCur && f.curPage > 0 && f.chip.PPNOf(f.cur, f.curPage-1) == ppn {
+		f.curPage--
+	}
+}
+
+// maxTransientRetries bounds in-place retries of a firmware-internal
+// NAND operation that keeps failing with nand.ErrTransient. It must
+// exceed any FaultModel.MaxTransientFails used in testing so a transient
+// burst always clears before the budget does.
+const maxTransientRetries = 12
+
+// eraseBlock erases a block, retrying transient interface faults in
+// place; real failures (ErrEraseFail, power loss) pass through.
+func (f *FTL) eraseBlock(blk nand.BlockNum) error {
+	var err error
+	for attempt := 0; attempt <= maxTransientRetries; attempt++ {
+		err = f.chip.EraseBlock(blk)
+		if err == nil || !errors.Is(err, nand.ErrTransient) {
+			return err
 		}
 	}
-	ppn := f.chip.PPNOf(f.cur, f.curPage)
-	f.curPage++
-	return ppn, nil
+	return err
 }
 
 // ensureFreeBlocks runs GC until the pool is above the low-water mark.
@@ -669,12 +740,13 @@ func (f *FTL) collectOnce() error {
 			return err
 		}
 	}
-	if err := f.chip.EraseBlock(victim); err != nil {
+	if err := f.eraseBlock(victim); err != nil {
 		if errors.Is(err, nand.ErrEraseFail) {
 			// The victim would not erase: retire it to the bad-block
 			// table instead of returning it to the free pool. Its pages
 			// are all invalid by now, so nothing needs evacuation.
 			f.bad[victim] = true
+			delete(f.skipped, victim)
 			if f.stats != nil {
 				f.stats.RetiredBlocks.Add(1)
 			}
@@ -682,6 +754,7 @@ func (f *FTL) collectOnce() error {
 		}
 		return err
 	}
+	delete(f.skipped, victim)
 	f.freeBlocks = append(f.freeBlocks, victim)
 	return nil
 }
@@ -715,7 +788,7 @@ func (f *FTL) pickVictim() nand.BlockNum {
 			continue // retired, or drafted into the metadata ring
 		}
 		freePages, _ := f.chip.FreePages(blk)
-		if freePages > 0 {
+		if freePages > 0 && freePages != f.skipped[blk] {
 			continue // erased or only partially written blocks are not victims
 		}
 		valid, _ := f.chip.ValidPages(blk)
@@ -759,7 +832,17 @@ func (f *FTL) isLive(ppn nand.PPN) bool {
 // a power cut never references an erased page.
 func (f *FTL) relocate(old nand.PPN, buf []byte) error {
 	oob := make([]byte, f.chip.Config().OOBSize)
-	if err := f.chip.ReadPageOOBInternal(old, buf, oob); err != nil {
+	// GC copy-back reads retry transient interface faults in place; the
+	// queue's retry plane only covers host commands, not firmware-
+	// internal reads.
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = f.chip.ReadPageOOBInternal(old, buf, oob)
+		if err == nil || !errors.Is(err, nand.ErrTransient) || attempt >= maxTransientRetries {
+			break
+		}
+	}
+	if err != nil {
 		return err
 	}
 	dst, err := f.programData(buf, oob, true)
@@ -1015,6 +1098,7 @@ func (f *FTL) metaProgram(payload []byte, tag metaTag) (nand.PPN, error) {
 	page := make([]byte, f.PageSize())
 	copy(page, payload)
 	oob := f.metaOOB(tag, crc32.ChecksumIEEE(page))
+	trans := 0
 	for attempt := 0; ; attempt++ {
 		// Loop, not if: re-homing during an advance can fill the fresh
 		// frontier completely, requiring another advance.
@@ -1030,6 +1114,19 @@ func (f *FTL) metaProgram(payload []byte, tag metaTag) (nand.PPN, error) {
 		if err == nil {
 			f.metaTags[ppn] = tag
 			return ppn, nil
+		}
+		if errors.Is(err, nand.ErrTransient) {
+			// Transient interface fault: the cell was never touched, so
+			// the ring frontier retries the same page in place. Skipping
+			// forward instead would break the ring's sequential-program
+			// invariant.
+			trans++
+			if trans > maxTransientRetries {
+				return nand.InvalidPPN, err
+			}
+			f.metaPage--
+			attempt--
+			continue
 		}
 		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramRetries {
 			return nand.InvalidPPN, err
@@ -1058,7 +1155,7 @@ func (f *FTL) advanceMetaFrontier() error {
 				_ = f.chip.Invalidate(ppn)
 			}
 		}
-		switch err := f.chip.EraseBlock(blk); {
+		switch err := f.eraseBlock(blk); {
 		case err == nil:
 			f.metaCur = next
 			f.metaPage = 0

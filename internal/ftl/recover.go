@@ -89,6 +89,7 @@ func (f *FTL) Restart() error {
 		return nil
 	}
 	f.powerFailed = false
+	f.resetHealth()
 	start := f.chip.Clock().Now()
 	info := RecoveryInfo{Mode: RecoveryImage}
 	if err := f.mountImage(&info); err != nil {

@@ -103,6 +103,8 @@ type FlashCounters struct {
 	ProgramFails       atomic.Int64 // page programs that reported status fail
 	EraseFails         atomic.Int64 // block erases that reported status fail
 	RetiredBlocks      atomic.Int64 // blocks retired to the bad-block table
+	TransientFaults    atomic.Int64 // transient interface faults injected (each failed attempt)
+	UnitHangs          atomic.Int64 // channel/way hang episodes injected
 
 	// Recovery counters (zero while the metadata fast path holds).
 	MetaCRCFailures atomic.Int64 // meta pages rejected by header/payload CRC or identity check
@@ -123,6 +125,8 @@ func (f *FlashCounters) Reset() {
 	f.ProgramFails.Store(0)
 	f.EraseFails.Store(0)
 	f.RetiredBlocks.Store(0)
+	f.TransientFaults.Store(0)
+	f.UnitHangs.Store(0)
 	f.MetaCRCFailures.Store(0)
 	f.ImageRecoveries.Store(0)
 	f.ScanRecoveries.Store(0)
@@ -142,6 +146,8 @@ func (f *FlashCounters) Snapshot() FlashSnapshot {
 		ProgramFails:       f.ProgramFails.Load(),
 		EraseFails:         f.EraseFails.Load(),
 		RetiredBlocks:      f.RetiredBlocks.Load(),
+		TransientFaults:    f.TransientFaults.Load(),
+		UnitHangs:          f.UnitHangs.Load(),
 		MetaCRCFailures:    f.MetaCRCFailures.Load(),
 		ImageRecoveries:    f.ImageRecoveries.Load(),
 		ScanRecoveries:     f.ScanRecoveries.Load(),
@@ -162,6 +168,8 @@ type FlashSnapshot struct {
 	ProgramFails       int64
 	EraseFails         int64
 	RetiredBlocks      int64
+	TransientFaults    int64
+	UnitHangs          int64
 
 	MetaCRCFailures int64
 	ImageRecoveries int64
@@ -182,6 +190,8 @@ func (s FlashSnapshot) Sub(o FlashSnapshot) FlashSnapshot {
 		ProgramFails:       s.ProgramFails - o.ProgramFails,
 		EraseFails:         s.EraseFails - o.EraseFails,
 		RetiredBlocks:      s.RetiredBlocks - o.RetiredBlocks,
+		TransientFaults:    s.TransientFaults - o.TransientFaults,
+		UnitHangs:          s.UnitHangs - o.UnitHangs,
 		MetaCRCFailures:    s.MetaCRCFailures - o.MetaCRCFailures,
 		ImageRecoveries:    s.ImageRecoveries - o.ImageRecoveries,
 		ScanRecoveries:     s.ScanRecoveries - o.ScanRecoveries,
@@ -195,6 +205,9 @@ func (s FlashSnapshot) String() string {
 	if s.CorrectedBits|s.ReadRetries|s.UncorrectableReads|s.ProgramFails|s.EraseFails|s.RetiredBlocks != 0 {
 		base += fmt.Sprintf(" eccbits=%d retries=%d uncorrectable=%d progfail=%d erasefail=%d retired=%d",
 			s.CorrectedBits, s.ReadRetries, s.UncorrectableReads, s.ProgramFails, s.EraseFails, s.RetiredBlocks)
+	}
+	if s.TransientFaults|s.UnitHangs != 0 {
+		base += fmt.Sprintf(" transient=%d hangs=%d", s.TransientFaults, s.UnitHangs)
 	}
 	if s.MetaCRCFailures|s.ImageRecoveries|s.ScanRecoveries|s.ScanPages != 0 {
 		base += fmt.Sprintf(" metacrc=%d imgrec=%d scanrec=%d scanpages=%d",

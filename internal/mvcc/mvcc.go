@@ -76,11 +76,13 @@ type Options struct {
 
 // Stats are cumulative session-layer counters.
 type Stats struct {
-	ReadTx      atomic.Int64 // read sessions ended
-	WriteTx     atomic.Int64 // write sessions ended
-	WriterWaits atomic.Int64 // write-begins that queued behind another writer
-	SnapsOpen   atomic.Int64 // currently open reader snapshots
-	SnapsMax    atomic.Int64 // high-water mark of SnapsOpen
+	ReadTx       atomic.Int64 // read sessions ended
+	WriteTx      atomic.Int64 // write sessions ended
+	WriterWaits  atomic.Int64 // write-begins that queued behind another writer
+	SnapsOpen    atomic.Int64 // currently open reader snapshots
+	SnapsMax     atomic.Int64 // high-water mark of SnapsOpen
+	BusyRetries  atomic.Int64 // BeginWithTimeout lock polls that found the db busy
+	BusyTimeouts atomic.Int64 // BeginWithTimeout budgets that expired into ErrBusy
 }
 
 // Manager owns one database file and hands out sessions.
@@ -214,6 +216,50 @@ func (m *Manager) TryBegin(readonly bool) (*Session, error) {
 		return nil, ErrBusy
 	}
 	return m.beginLocked(readonly, nil)
+}
+
+// Busy-timeout backoff bounds: the poll interval starts at the minimum
+// and doubles per miss up to the cap, all in virtual time.
+const (
+	busyBackoffMin = 100 * time.Microsecond
+	busyBackoffMax = 10 * time.Millisecond
+)
+
+// BeginWithTimeout is the sqlite3_busy_timeout analogue of TryBegin: a
+// writer that finds the database locked does not fail immediately but
+// polls the lock with exponential virtual-time backoff until it either
+// acquires it or has burned the budget d, and only then returns ErrBusy
+// (wrapped, so errors.Is still matches). Readers in MVCC mode never
+// block and ignore the budget. The elapsed budget is measured on the
+// device's virtual clock, so concurrent sessions' own charges count
+// against it exactly as wall time would against a real busy_timeout.
+func (m *Manager) BeginWithTimeout(readonly bool, d time.Duration) (*Session, error) {
+	if m.opts.Mode == MVCC && readonly {
+		return m.beginSnapshotReader(nil)
+	}
+	clock := m.fs.Device().Clock()
+	start := clock.Now()
+	backoff := busyBackoffMin
+	for {
+		if m.tryLockExclusive() {
+			return m.beginLocked(readonly, nil)
+		}
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		m.Stats.BusyRetries.Add(1)
+		if clock.Now()-start >= d {
+			m.Stats.BusyTimeouts.Add(1)
+			return nil, fmt.Errorf("%w (busy timeout %v expired)", ErrBusy, d)
+		}
+		clock.Advance(backoff)
+		if backoff < busyBackoffMax {
+			backoff = min(backoff*2, busyBackoffMax)
+		}
+	}
 }
 
 func (m *Manager) beginSnapshotReader(sc *metrics.IOStats) (*Session, error) {

@@ -31,6 +31,12 @@ var (
 	ErrProgramFail   = errors.New("nand: page program failed (status fail)")
 	ErrEraseFail     = errors.New("nand: block erase failed (status fail)")
 	ErrPowerLost     = errors.New("nand: power lost")
+	// ErrTransient is a retryable interface fault: the command timed out
+	// or came back garbled on the channel, but the cells were never
+	// touched — reissuing the same command (a bounded number of times)
+	// succeeds. Programs do NOT consume the page and erases do NOT wreck
+	// the block, unlike their status-fail counterparts.
+	ErrTransient = errors.New("nand: transient interface fault (retry)")
 )
 
 // FaultModel parameterizes wear-correlated fault injection. The zero
@@ -70,6 +76,30 @@ type FaultModel struct {
 	// EraseFailProb is the zero-wear probability that a block erase
 	// reports status fail (the block must be retired).
 	EraseFailProb float64
+
+	// TransientProb is the zero-wear probability that an operation
+	// (read, program or erase) fails with ErrTransient. A sampled hit
+	// opens a burst: the same physical target keeps failing for a
+	// seeded number of consecutive attempts in [1, MaxTransientFails],
+	// then succeeds — so any retry loop with more than
+	// MaxTransientFails attempts is guaranteed to clear the fault.
+	// Transient injection is active only while a command-path Charger
+	// is attached; the offline recovery scan (charger detached) models
+	// mount-time interface retries below this layer.
+	TransientProb float64
+	// MaxTransientFails bounds the consecutive failures of one
+	// transient burst. Zero means 1 (a single failure per burst).
+	MaxTransientFails int
+
+	// HangProb is the per-operation probability that the target's
+	// channel/way unit hangs — its busy-until time jumps by HangStall
+	// before the operation proceeds, modeling a stuck die that answers
+	// late. The operation itself then succeeds; the damage is purely
+	// temporal, and surfaces as command timeouts in the queue above.
+	// Like TransientProb, sampled only while a Charger is attached.
+	HangProb float64
+	// HangStall is the busy-time added to the unit by a sampled hang.
+	HangStall time.Duration
 }
 
 // DefaultFaultModel returns MLC-class rates: a raw BER that the 40-bit
@@ -88,17 +118,26 @@ func DefaultFaultModel(seed int64) *FaultModel {
 		MaxReadRetries:   3,
 		ProgramFailProb:  2e-5,
 		EraseFailProb:    5e-6,
+		// Transient faults and hangs default off (probability zero) so
+		// the sampling stream — and therefore every seeded fault
+		// sequence recorded before these mechanisms existed — is
+		// unchanged unless a caller opts in. The shape parameters get
+		// realistic values so opting in only means raising the probs.
+		MaxTransientFails: 3,
+		HangStall:         25 * time.Millisecond,
 	}
 }
 
 // Scale returns a copy with every probability multiplied by k (ECC
-// threshold and latencies unchanged). It is the fault-rate knob of the
-// torture sweeps.
+// threshold, latencies and burst/stall shapes unchanged). It is the
+// fault-rate knob of the torture sweeps.
 func (m *FaultModel) Scale(k float64) *FaultModel {
 	c := *m
 	c.ReadBER *= k
 	c.ProgramFailProb *= k
 	c.EraseFailProb *= k
+	c.TransientProb *= k
+	c.HangProb *= k
 	return &c
 }
 
@@ -136,6 +175,7 @@ func poisson(rng *rand.Rand, lambda float64) int {
 // model twice replays the same sequence.
 func (c *Chip) SetFaultModel(m *FaultModel) {
 	c.fault = m
+	c.transientLeft = nil
 	if m != nil {
 		c.frng = rand.New(rand.NewSource(m.Seed))
 	} else {
@@ -258,4 +298,61 @@ func (c *Chip) eraseFails(b *block) bool {
 		return false
 	}
 	return c.frng.Float64() < c.fault.EraseFailProb*c.fault.wearMult(b.eraseCount)
+}
+
+// transientFails samples whether the operation addressed by key (a ppn
+// for page ops, -(block+1) for erases) suffers a transient interface
+// fault on this attempt. An open burst fails deterministically until
+// its seeded failure budget is spent; a fresh hit opens a burst of
+// 1..MaxTransientFails consecutive failures. The guards keep the frng
+// stream untouched when the mechanism is disabled, so pre-existing
+// seeded fault sequences replay unchanged.
+func (c *Chip) transientFails(key int64, b *block) bool {
+	if c.fault == nil || c.fault.TransientProb <= 0 || c.charger == nil {
+		return false
+	}
+	if left, ok := c.transientLeft[key]; ok {
+		if left <= 1 {
+			delete(c.transientLeft, key)
+		} else {
+			c.transientLeft[key] = left - 1
+		}
+		if c.stats != nil {
+			c.stats.TransientFaults.Add(1)
+		}
+		return true
+	}
+	if c.frng.Float64() >= c.fault.TransientProb*c.fault.wearMult(b.eraseCount) {
+		return false
+	}
+	maxf := c.fault.MaxTransientFails
+	if maxf < 1 {
+		maxf = 1
+	}
+	if extra := c.frng.Intn(maxf); extra > 0 {
+		if c.transientLeft == nil {
+			c.transientLeft = make(map[int64]int)
+		}
+		c.transientLeft[key] = extra
+	}
+	if c.stats != nil {
+		c.stats.TransientFaults.Add(1)
+	}
+	return true
+}
+
+// unitHangs samples whether this operation's unit hangs, and if so
+// stalls the unit for HangStall before the operation proceeds. The
+// caller's normal latency charge then queues behind the stall.
+func (c *Chip) unitHangs(p PPN, b *block) {
+	if c.fault == nil || c.fault.HangProb <= 0 || c.charger == nil {
+		return
+	}
+	if c.frng.Float64() >= c.fault.HangProb*c.fault.wearMult(b.eraseCount) {
+		return
+	}
+	c.chargeRetry(p, c.fault.HangStall)
+	if c.stats != nil {
+		c.stats.UnitHangs.Add(1)
+	}
 }

@@ -187,6 +187,10 @@ type Chip struct {
 	// Fault injection (fault.go). fault == nil models ideal flash.
 	fault *FaultModel
 	frng  *rand.Rand
+	// transientLeft tracks open transient-fault bursts: remaining
+	// consecutive failures per target (ppn for page ops, -(block+1)
+	// for erases). Lazily allocated; reset by SetFaultModel.
+	transientLeft map[int64]int
 
 	// Op-indexed power-cut scheduler state (fault.go). opCount is
 	// atomic only so harness code may sample it while commands are in
@@ -359,6 +363,14 @@ func (c *Chip) readPage(p PPN, buf, oobBuf []byte, quiet, internal bool) error {
 		// Power died mid-read: no data transferred, no cell change.
 		return ErrPowerLost
 	}
+	c.unitHangs(p, b)
+	if c.transientFails(int64(p), b) {
+		// Interface fault: the read command ran (and took its time) but
+		// the transfer came back garbled. Nothing was copied; reissuing
+		// the command succeeds once the burst clears.
+		c.chargeOp(p, c.cfg.ReadLatency, internal)
+		return fmt.Errorf("%w: read ppn %d", ErrTransient, p)
+	}
 	st, en := c.chargeOp(p, c.cfg.ReadLatency, internal)
 	if c.stats != nil {
 		c.stats.PageReads.Add(1)
@@ -492,6 +504,14 @@ func (c *Chip) programPage(p PPN, data, oob []byte, internal bool) error {
 		}
 		return ErrPowerLost
 	}
+	c.unitHangs(p, b)
+	if c.transientFails(int64(p), b) {
+		// Interface fault: the program command never reached the cells,
+		// so unlike a status fail the page is NOT consumed — the same
+		// ppn can be retried in place once the burst clears.
+		c.chargeOp(p, c.cfg.ProgLatency, internal)
+		return fmt.Errorf("%w: program ppn %d", ErrTransient, p)
+	}
 	if c.programFails(b) {
 		// Status fail: the program pulse ran (and took its time) but the
 		// cells did not verify. The page is consumed; the firmware must
@@ -574,6 +594,12 @@ func (c *Chip) EraseBlock(blk BlockNum) error {
 		// unusable until a fresh, complete erase succeeds.
 		c.wreckBlock(b)
 		return ErrPowerLost
+	}
+	if c.transientFails(-int64(blk)-1, b) {
+		// Interface fault: the erase command was lost on the channel.
+		// The block is untouched (not wrecked); retry in place.
+		c.chargeErase(c.cfg.EraseLatency)
+		return fmt.Errorf("%w: erase block %d", ErrTransient, blk)
 	}
 	if c.eraseFails(b) {
 		// Status fail: the erase pulse ran but the block did not verify.

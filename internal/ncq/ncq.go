@@ -97,6 +97,10 @@ type Request struct {
 	Sess   uint64
 	Origin trace.Origin
 
+	// Deadline, when positive, overrides the queue policy's per-attempt
+	// deadline for this command (see RetryPolicy.Deadline).
+	Deadline time.Duration
+
 	Err       error
 	Submitted time.Duration // virtual time the request entered the queue
 	Started   time.Duration // virtual time its resource use could begin
@@ -132,6 +136,16 @@ type Queue struct {
 	// command. A nil tracer costs one pointer compare on the submit
 	// path and zero allocations (guarded by TestSubmitNoAllocs...).
 	tracer *trace.Tracer
+
+	// Deadline/retry plane (retry.go). The zero-value policy is the
+	// legacy single-attempt queue; abandoned is set by power loss and
+	// cleared by Resume after firmware recovery.
+	policy    RetryPolicy
+	health    HealthSink
+	unitHint  func(*Request) int
+	retries   int64 // attempts reissued
+	timeouts  int64 // attempts that overran their deadline
+	abandoned bool
 
 	// Per-class latency and occupancy histograms.
 	ReadLat    metrics.LatencyHist
@@ -209,39 +223,138 @@ func (q *Queue) SubmitWait(r *Request) error {
 }
 
 func (q *Queue) submitLocked(r *Request) error {
+	if q.abandoned {
+		// The in-flight window died with the power; nothing is accepted
+		// until firmware recovery resumes the queue.
+		r.Submitted = q.clock.Now()
+		r.Started, r.Done = r.Submitted, r.Submitted
+		r.Err = errAbandonedPower
+		return r.Err
+	}
 	r.Submitted = q.clock.Now()
 	if r.Op.IsBarrier() {
 		q.drainLocked()
 	} else if len(q.outstanding) >= q.depth {
 		q.retireEarliestLocked()
 	}
-	start := q.clock.Now()
-	if r.Op.targetsLPN() {
-		// Per-LPN ordering: a command on an LPN with an in-flight
-		// predecessor may not begin until that predecessor completes.
-		if gate, ok := q.byLPN[r.LPN]; ok && gate > start {
-			start = gate
+	if q.health != nil && q.unitHint != nil && !r.Op.IsBarrier() {
+		if u := q.unitHint(r); u >= 0 && q.health.Quarantined(u) {
+			// Probe discipline: a command aimed at a quarantined unit
+			// runs at queue depth 1, so a stuck die can hold at most one
+			// command hostage at a time.
+			q.drainLocked()
 		}
 	}
-	q.sched.Begin(start)
-	if q.tracer != nil {
-		// Firmware about to run on this session's behalf: NAND events
-		// it emits inherit the command's attribution.
-		q.tracer.SetFirmSession(r.Sess)
+	deadline := q.policy.Deadline
+	if r.Deadline > 0 {
+		deadline = r.Deadline
 	}
-	r.Err = q.exec(r)
-	if q.tracer != nil {
-		q.tracer.SetFirmSession(0)
+	maxAttempts := q.policy.MaxAttempts
+	if maxAttempts < 1 {
+		if deadline > 0 {
+			maxAttempts = DefaultMaxAttempts
+		} else {
+			maxAttempts = 1
+		}
 	}
-	r.Started = start
-	r.Done = q.sched.End()
-	if r.Err != nil && errors.Is(r.Err, nand.ErrPowerLost) {
-		// Power died: every in-flight command is lost with it. Leave
-		// the clock where it is; nothing completes.
-		q.outstanding = q.outstanding[:0]
-		clear(q.byLPN)
-		r.Done = q.clock.Now()
-		return r.Err
+	if r.Op.IsBarrier() {
+		// Barriers fence arbitrary amounts of queued work; exempt.
+		deadline = 0
+	}
+	backoff := q.policy.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	for attempt := 1; ; attempt++ {
+		start := q.clock.Now()
+		if r.Op.targetsLPN() {
+			// Per-LPN ordering: a command on an LPN with an in-flight
+			// predecessor may not begin until that predecessor completes.
+			if gate, ok := q.byLPN[r.LPN]; ok && gate > start {
+				start = gate
+			}
+		}
+		q.sched.Begin(start)
+		if q.tracer != nil {
+			// Firmware about to run on this session's behalf: NAND events
+			// it emits inherit the command's attribution.
+			q.tracer.SetFirmSession(r.Sess)
+		}
+		r.Err = q.exec(r)
+		if q.tracer != nil {
+			q.tracer.SetFirmSession(0)
+		}
+		r.Started = start
+		r.Done = q.sched.End()
+		if r.Err != nil && errors.Is(r.Err, nand.ErrPowerLost) {
+			// Power died: every in-flight command is lost with it. Leave
+			// the clock where it is; nothing completes, and the queue
+			// stays abandoned until recovery resumes it.
+			q.outstanding = q.outstanding[:0]
+			clear(q.byLPN)
+			q.abandoned = true
+			r.Done = q.clock.Now()
+			r.Err = fmt.Errorf("%w: %w", ErrPowerCutWindow, r.Err)
+			return r.Err
+		}
+		unit := q.sched.LastUnit()
+		timedOut := deadline > 0 && r.Done-start > deadline
+		transient := r.Err != nil && errors.Is(r.Err, nand.ErrTransient)
+		if !timedOut && !transient {
+			if q.health != nil && unit >= 0 {
+				q.health.CommandOK(unit, r.Op)
+			}
+			break
+		}
+		if timedOut {
+			q.timeouts++
+			if q.tracer != nil {
+				q.tracer.Record(trace.Event{
+					Layer: trace.LNCQ, Kind: trace.KTimeout,
+					Start: start, Dur: deadline,
+					Sess: r.Sess, TID: r.TID, Addr: r.LPN,
+					Aux: int64(attempt), Unit: int32(unit),
+					Origin: r.Origin, Op: uint8(r.Op),
+				})
+			}
+		}
+		if q.health != nil && unit >= 0 {
+			q.health.CommandFault(unit, r.Op, timedOut)
+		}
+		if attempt >= maxAttempts {
+			// Retry budget exhausted. A late success stands — the data
+			// did arrive, just slowly; a still-failing command is
+			// retired with the typed timeout sentinel, original cause
+			// in the wrap chain.
+			if r.Err != nil {
+				r.Err = fmt.Errorf("%w (op %v lpn %d, %d attempts): %w",
+					ErrCmdTimeout, r.Op, r.LPN, attempt, r.Err)
+			}
+			break
+		}
+		// The host observes the failure — a transient at its completion,
+		// a timeout at deadline expiry — then reissues after an
+		// exponentially growing backoff. A hung unit stays busy in the
+		// scheduler, so reissued attempts keep timing out until the
+		// stall drains; each one moves the clock at least a deadline
+		// forward, bounding how long the stall can hold the command.
+		q.retries++
+		wait := r.Done
+		if timedOut && start+deadline < wait {
+			wait = start + deadline
+		}
+		q.clock.AdvanceTo(wait)
+		q.clock.Advance(backoff)
+		backoff *= 2
+		if q.tracer != nil {
+			q.tracer.Record(trace.Event{
+				Layer: trace.LNCQ, Kind: trace.KRetry,
+				Start: q.clock.Now(),
+				Sess: r.Sess, TID: r.TID, Addr: r.LPN,
+				Aux: int64(attempt), Unit: int32(unit),
+				Origin: r.Origin, Op: uint8(r.Op),
+			})
+		}
 	}
 	q.outstanding = append(q.outstanding, pending{done: r.Done})
 	if r.Op.targetsLPN() && r.Done > q.byLPN[r.LPN] {
@@ -327,12 +440,14 @@ func (q *Queue) Exclusive(fn func()) {
 }
 
 // Abandon discards all outstanding commands without completing them
-// (power loss: in-flight work dies with the device).
+// (power loss: in-flight work dies with the device). The queue rejects
+// further submissions with ErrAbandoned until Resume is called.
 func (q *Queue) Abandon() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.outstanding = q.outstanding[:0]
 	clear(q.byLPN)
+	q.abandoned = true
 }
 
 func (q *Queue) observeLocked(r *Request) {

@@ -1,0 +1,173 @@
+package ncq
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+// flakyDev fails each command with nand.ErrTransient until its
+// per-request failure budget is used up, then succeeds.
+func flakyDev(sched *Scheduler, failures int) Executor {
+	left := map[*Request]int{}
+	return func(r *Request) error {
+		sched.ChargeController(ctrlCost)
+		sched.ChargeUnit(int(r.LPN), nandCost)
+		if _, ok := left[r]; !ok {
+			left[r] = failures
+		}
+		if left[r] > 0 {
+			left[r]--
+			return nand.ErrTransient
+		}
+		return nil
+	}
+}
+
+func TestTransientRetriedToSuccess(t *testing.T) {
+	clk := simclock.New()
+	sched := NewScheduler(clk, 4)
+	q := New(clk, sched, 32, flakyDev(sched, 2))
+	q.SetRetryPolicy(RetryPolicy{MaxAttempts: 4})
+	r := &Request{Op: OpRead, LPN: 3}
+	if err := q.SubmitWait(r); err != nil {
+		t.Fatalf("transient fault escaped the retry loop: %v", err)
+	}
+	if got := q.Retries(); got != 2 {
+		t.Errorf("Retries() = %d, want 2", got)
+	}
+	if q.Timeouts() != 0 {
+		t.Errorf("Timeouts() = %d on a pure transient run", q.Timeouts())
+	}
+}
+
+func TestExhaustedRetriesWrapTypedTimeout(t *testing.T) {
+	clk := simclock.New()
+	sched := NewScheduler(clk, 4)
+	q := New(clk, sched, 32, flakyDev(sched, 1<<30)) // never succeeds
+	q.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	err := q.SubmitWait(&Request{Op: OpRead, LPN: 0})
+	if err == nil {
+		t.Fatal("permanently failing command returned nil")
+	}
+	if !errors.Is(err, ErrCmdTimeout) {
+		t.Errorf("exhausted command not matchable as ErrCmdTimeout: %v", err)
+	}
+	if !errors.Is(err, nand.ErrTransient) {
+		t.Errorf("original cause lost from the wrap chain: %v", err)
+	}
+	if got := q.Retries(); got != 2 {
+		t.Errorf("Retries() = %d, want 2 (3 attempts)", got)
+	}
+}
+
+func TestHangTripsDeadlineThenDrains(t *testing.T) {
+	clk, q := newQueue(4, 32)
+	q.SetRetryPolicy(RetryPolicy{Deadline: 2 * nandCost, MaxAttempts: 16})
+	q.sched.Hang(1, 20*nandCost) // unit 1 stalls well past the deadline
+	r := &Request{Op: OpRead, LPN: 1}
+	if err := q.SubmitWait(r); err != nil {
+		t.Fatalf("hung unit escaped the retry budget: %v", err)
+	}
+	if q.Timeouts() == 0 {
+		t.Error("stall tripped no deadline")
+	}
+	if q.Retries() == 0 {
+		t.Error("timed-out command was never reissued")
+	}
+	// The reissue loop must have carried virtual time past the stall.
+	if clk.Now() < 20*nandCost {
+		t.Errorf("completed at %v, inside the %v stall", clk.Now(), 20*nandCost)
+	}
+}
+
+func TestLateSuccessStandsAtExhaustion(t *testing.T) {
+	_, q := newQueue(4, 32)
+	// One attempt, tight deadline: the command times out but its data
+	// did arrive — the queue must keep the late success.
+	q.SetRetryPolicy(RetryPolicy{Deadline: time.Microsecond, MaxAttempts: 1})
+	if err := q.SubmitWait(&Request{Op: OpRead, LPN: 0}); err != nil {
+		t.Fatalf("late success was discarded: %v", err)
+	}
+	if q.Timeouts() != 1 {
+		t.Errorf("Timeouts() = %d, want 1", q.Timeouts())
+	}
+}
+
+func TestBarriersExemptFromDeadline(t *testing.T) {
+	_, q := newQueue(4, 32)
+	for i := 0; i < 8; i++ {
+		if err := q.Submit(&Request{Op: OpWrite, LPN: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A deadline far smaller than the queued work the barrier must fence.
+	q.SetRetryPolicy(RetryPolicy{Deadline: time.Microsecond, MaxAttempts: 2})
+	if err := q.Submit(&Request{Op: OpBarrier}); err != nil {
+		t.Fatalf("barrier hit the data-path deadline: %v", err)
+	}
+	if q.Timeouts() != 0 {
+		t.Errorf("Timeouts() = %d; barriers must be deadline-exempt", q.Timeouts())
+	}
+}
+
+func TestAbandonedQueueTypedRejection(t *testing.T) {
+	_, q := newQueue(4, 32)
+	q.Abandon()
+	err := q.Submit(&Request{Op: OpWrite, LPN: 0})
+	if err == nil {
+		t.Fatal("abandoned queue accepted a command")
+	}
+	if !errors.Is(err, ErrAbandoned) {
+		t.Errorf("rejection not matchable as ErrAbandoned: %v", err)
+	}
+	if !errors.Is(err, nand.ErrPowerLost) {
+		t.Errorf("rejection not matchable as nand.ErrPowerLost (crash detection relies on it): %v", err)
+	}
+	q.Resume()
+	if err := q.Submit(&Request{Op: OpWrite, LPN: 0}); err != nil {
+		t.Fatalf("resumed queue rejected a command: %v", err)
+	}
+}
+
+// TestAbandonRacesSubmissions runs concurrent submitters against
+// repeated Abandon/Resume and Drain cycles. Run under -race; every
+// outcome must be either a clean completion or the typed abandoned
+// rejection — never a torn error or a deadlock.
+func TestAbandonRacesSubmissions(t *testing.T) {
+	_, q := newQueue(8, 16)
+	var wg sync.WaitGroup
+	const submitters = 4
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := &Request{Op: OpWrite, LPN: base + int64(i)%32}
+				err := q.Submit(r)
+				if err != nil && !errors.Is(err, ErrAbandoned) {
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}(int64(s) * 64)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			q.Abandon()
+			q.Drain()
+			q.Resume()
+		}
+	}()
+	wg.Wait()
+	q.Resume()
+	if err := q.SubmitWait(&Request{Op: OpRead, LPN: 1}); err != nil {
+		t.Fatalf("queue unusable after the race: %v", err)
+	}
+}

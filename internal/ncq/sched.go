@@ -48,6 +48,7 @@ type Scheduler struct {
 	start     time.Duration // earliest instant the command may use any resource
 	nandStart time.Duration // earliest instant its NAND phase may begin
 	end       time.Duration // completion: max end over touched segments
+	lastUnit  int           // last unit charged by the current command; -1 none
 }
 
 // NewScheduler creates a scheduler over the given number of channel/way
@@ -66,6 +67,26 @@ func (s *Scheduler) Units() int { return len(s.units) }
 func (s *Scheduler) Begin(t time.Duration) {
 	s.active = true
 	s.start, s.nandStart, s.end = t, t, t
+	s.lastUnit = -1
+}
+
+// LastUnit reports the channel/way unit the most recently charged page
+// operation of the current (or just-closed) command landed on, or -1
+// when the command touched no single unit (erases, pure controller
+// work). The queue uses it to attribute timeouts and retries to a unit
+// for health tracking.
+func (s *Scheduler) LastUnit() int { return s.lastUnit }
+
+// Hang stalls one unit: its busy-until time jumps forward by stall from
+// now (or from its current busy-until, if later). This is the explicit,
+// deterministic form of the fault model's HangProb mechanism, used by
+// chaos harnesses and degraded-mode benches to stick a die on demand.
+func (s *Scheduler) Hang(unit int, stall time.Duration) {
+	u := unit % len(s.units)
+	if now := s.clock.Now(); s.units[u] < now {
+		s.units[u] = now
+	}
+	s.units[u] += stall
 }
 
 // End closes the current command and returns its completion time.
@@ -111,6 +132,7 @@ func (s *Scheduler) ChargeUnit(unit int, d time.Duration) (time.Duration, time.D
 		return e - d, e
 	}
 	u := unit % len(s.units)
+	s.lastUnit = u
 	st := max(s.nandStart, s.units[u])
 	e := st + d
 	s.units[u] = e

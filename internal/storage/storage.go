@@ -150,6 +150,17 @@ type Options struct {
 	// ncq.DefaultDepth (32). The synchronous methods behave the same at
 	// any depth; Queue() submitters share the configured slots.
 	QueueDepth int
+	// CmdDeadline is the per-attempt virtual-time deadline for data-path
+	// commands. Zero disables timeout detection entirely (one attempt,
+	// no deadline — the legacy device).
+	CmdDeadline time.Duration
+	// CmdRetries bounds execution attempts per command. Zero means
+	// ncq.DefaultMaxAttempts when CmdDeadline is set, else 1.
+	CmdRetries int
+	// CmdBackoff is the initial virtual-time backoff between command
+	// retry attempts, doubling per retry. Zero selects
+	// ncq.DefaultBackoff.
+	CmdBackoff time.Duration
 }
 
 // Device is a simulated flash storage device exposing the (extended)
@@ -215,7 +226,61 @@ func New(prof Profile, clock *simclock.Clock, opts Options) (*Device, error) {
 	d.sched = ncq.NewScheduler(clock, prof.Nand.Units())
 	chip.SetCharger(d.sched)
 	d.q = ncq.New(clock, d.sched, opts.QueueDepth, d.execute)
+	// The degraded-mode plane is always wired (it is inert without a
+	// deadline policy or an injected fault model): every per-unit command
+	// outcome feeds the FTL's channel-health tracker, and commands aimed
+	// at a quarantined unit are fenced to depth 1.
+	d.q.SetHealthSink(healthSink{base})
+	d.q.SetUnitHint(d.unitHint)
+	d.q.SetRetryPolicy(ncq.RetryPolicy{
+		Deadline:    opts.CmdDeadline,
+		MaxAttempts: opts.CmdRetries,
+		Backoff:     opts.CmdBackoff,
+	})
 	return d, nil
+}
+
+// healthSink adapts the FTL's channel-health tracker to the queue's
+// HealthSink interface. Calls arrive under the queue lock with no
+// scheduler command open, which is exactly the context the tracker's
+// quarantine drain (GC-style relocations) expects.
+type healthSink struct{ f *ftl.FTL }
+
+func (h healthSink) CommandOK(unit int, _ ncq.Op) { h.f.NoteCommandOK(unit) }
+func (h healthSink) CommandFault(unit int, _ ncq.Op, timedOut bool) {
+	h.f.NoteCommandFault(unit, timedOut)
+}
+func (h healthSink) Quarantined(unit int) bool { return h.f.UnitQuarantined(unit) }
+
+// unitHint predicts which channel/way unit a request will touch, so the
+// queue can fence commands aimed at a quarantined unit before they
+// execute. Only read-class commands are predictable (their target page
+// is already mapped); writes go wherever the steered frontier points.
+func (d *Device) unitHint(r *ncq.Request) int {
+	switch r.Op {
+	case ncq.OpRead, ncq.OpReadTx, ncq.OpSnapRead:
+		if ppn := d.base.Mapping(ftl.LPN(r.LPN)); ppn != nand.InvalidPPN {
+			return d.base.Chip().Unit(ppn)
+		}
+	}
+	return -1
+}
+
+// HangUnit stalls one channel/way unit for the given virtual time, as
+// if its die stopped answering: commands landing on it overrun their
+// deadline until the stall drains. A deterministic chaos hook — the
+// explicit form of the fault model's HangProb mechanism.
+func (d *Device) HangUnit(unit int, stall time.Duration) {
+	d.q.Exclusive(func() { d.sched.Hang(unit, stall) })
+}
+
+// QuarantineUnit fences one channel/way unit directly, bypassing the
+// error thresholds (chaos harnesses and degraded-mode benches). The
+// firmware keeps at least one unit in service.
+func (d *Device) QuarantineUnit(unit int) error {
+	var err error
+	d.q.Exclusive(func() { err = d.base.ForceQuarantine(unit) })
+	return err
 }
 
 // Profile returns the hardware profile the device was built from.
@@ -267,6 +332,11 @@ func (d *Device) SetTracer(t *trace.Tracer) {
 func (d *Device) RegisterGauges(reg *trace.Registry) {
 	reg.Register("ftl.free_blocks", func() int64 { return int64(d.base.FreeBlockCount()) })
 	reg.Register("ncq.in_flight", func() int64 { return int64(d.q.InFlight()) })
+	reg.Register("ncq.retries", d.q.Retries)
+	reg.Register("ncq.timeouts", d.q.Timeouts)
+	reg.Register("ftl.quarantined_units", d.base.QuarantinedUnits)
+	reg.Register("ftl.quarantine_trips", d.base.QuarantineTrips)
+	reg.Register("ftl.degraded_ms", func() int64 { return d.base.DegradedTime().Milliseconds() })
 	reg.Register("nand.wear_spread", func() int64 { return d.base.Chip().WearSpread() })
 	reg.Register("nand.retired_blocks", func() int64 { return int64(d.base.BadBlockCount()) })
 	if d.x != nil {
@@ -540,6 +610,11 @@ func (d *Device) Restart() error {
 			})
 		}
 	})
+	if err == nil {
+		// Re-open the abandoned queue only once recovery succeeded —
+		// and outside the Exclusive block (Resume takes the queue lock).
+		d.q.Resume()
+	}
 	return err
 }
 

@@ -1,0 +1,128 @@
+// Error-storm chaos harness: the degraded-mode acceptance sweep.
+//
+// A chaos run layers every robustness mechanism at once on top of the
+// standard crash-recovery torture workload: seeded transient interface
+// faults and die stalls at the chip, command deadlines with bounded
+// retry/backoff at the queue, channel-health quarantine at the FTL,
+// deterministic harness-driven unit hangs, and (optionally) power cuts
+// landing mid-storm. The recovery invariants of the base harness still
+// hold — every committed transaction durable, every uncommitted one
+// discarded — and two containment invariants are added on top:
+//
+//  1. no raw NAND or queue fault ever escapes the firmware (the base
+//     harness already fails any non-power-loss command error), and
+//  2. the run terminates — retry loops, quarantine drains and hung
+//     units must never deadlock the virtual-time pipeline.
+//
+// All randomness is seeded, so a passing combination passes forever.
+package torture
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChaosOptions spans the (seed, fault scale, hang injection) grid of
+// the error-storm sweep.
+type ChaosOptions struct {
+	Seeds []int64
+	// FaultScale multiplies the media fault model per combination; 0
+	// isolates the interface-fault storm from bit errors and status
+	// fails.
+	FaultScale []float64
+	// Hang toggles die-stall injection (probabilistic at the chip plus
+	// deterministic round-robin stalls from the harness) per combination.
+	Hang []bool
+	// Cut arms mid-storm power cuts (the base harness cadence).
+	Cut bool
+	// Per-combination workload size (zero: DefaultOptions values).
+	Transactions int
+	PagesPerTx   int
+	// Progress, when non-nil, receives one line per combination.
+	Progress func(format string, args ...any)
+}
+
+// DefaultChaos returns the acceptance grid: 3 seeds x {0, 60} media
+// fault scale x {quiet, hanging} dies, all with transient interface
+// faults, command deadlines and mid-storm power cuts on.
+func DefaultChaos() ChaosOptions {
+	return ChaosOptions{
+		Seeds:      []int64{1, 2, 3},
+		FaultScale: []float64{0, 60},
+		Hang:       []bool{false, true},
+		Cut:        true,
+	}
+}
+
+// Chaos retry-plane sizing. The deadline must exceed nothing in
+// particular — a healthy-but-slow command that overruns it simply
+// completes late (the queue keeps a late success) — but deadline,
+// stall and attempt budget must satisfy stall/deadline+1 << attempts
+// so a hung unit always drains within one command's retry budget.
+const (
+	chaosDeadline      = 5 * time.Millisecond
+	chaosRetries       = 12
+	chaosTransientProb = 0.01
+	chaosHangProb      = 0.002
+	chaosHangStall     = 20 * time.Millisecond
+	chaosHangEvery     = 40 // harness-driven stall cadence, in transactions
+)
+
+// chaosOptions builds one combination's device-run options.
+func chaosOptions(seed int64, scale float64, hang, cut bool) Options {
+	ro := DefaultOptions(seed)
+	ro.FaultScale = scale
+	if !cut {
+		ro.CutEvery = 0
+	}
+	ro.CmdDeadline = chaosDeadline
+	ro.CmdRetries = chaosRetries
+	ro.TransientProb = chaosTransientProb
+	if hang {
+		ro.HangProb = chaosHangProb
+		ro.HangStall = chaosHangStall
+		ro.HangEvery = chaosHangEvery
+	}
+	return ro
+}
+
+// ChaosSweep runs the error-storm grid, failing on the first invariant
+// violation. The aggregate report carries the degraded-mode counters
+// (retries, timeouts, quarantine trips/re-admissions) and every seed
+// that contributed, so a failing line is reproducible from its summary.
+func ChaosSweep(o ChaosOptions) (*Report, error) {
+	agg := &Report{}
+	for _, seed := range o.Seeds {
+		for _, scale := range o.FaultScale {
+			for _, hang := range o.Hang {
+				ro := chaosOptions(seed, scale, hang, o.Cut)
+				if o.Transactions > 0 {
+					ro.Transactions = o.Transactions
+				}
+				if o.PagesPerTx > 0 {
+					ro.PagesPerTx = o.PagesPerTx
+				}
+				rep, err := RunDevice(ro)
+				if rep != nil {
+					agg.Add(rep)
+				}
+				if err != nil {
+					return agg, fmt.Errorf("chaos seed=%d scale=%g hang=%v: %w", seed, scale, hang, err)
+				}
+				if o.Progress != nil {
+					o.Progress("chaos: seed=%d scale=%g hang=%v %s", seed, scale, hang, rep)
+				}
+			}
+		}
+	}
+	// The storm must actually have stormed: a sweep that injected
+	// interface faults but observed no retries would mean the plane is
+	// wired to nothing.
+	if agg.Flash.TransientFaults == 0 {
+		return agg, fmt.Errorf("chaos sweep injected no transient faults (plane inert?)")
+	}
+	if agg.Retries == 0 {
+		return agg, fmt.Errorf("chaos sweep observed transient faults but zero queue retries")
+	}
+	return agg, nil
+}

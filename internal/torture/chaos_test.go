@@ -1,0 +1,69 @@
+package torture
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSweep is the degraded-mode acceptance sweep: transient
+// interface faults, die hangs, command deadlines/retries, channel
+// quarantine and mid-storm power cuts, all at once, with the full
+// recovery invariants asserted after every crash. The sweep is
+// deterministic (all randomness seeded, all time virtual), so these
+// exact combinations pass or fail reproducibly.
+func TestChaosSweep(t *testing.T) {
+	o := DefaultChaos()
+	if testing.Short() {
+		o.Seeds = o.Seeds[:1]
+		o.Transactions = 120
+	}
+	rep, err := ChaosSweep(o)
+	if err != nil {
+		t.Fatalf("%v (report %s)", err, rep)
+	}
+	t.Logf("chaos sweep: %s", rep)
+
+	// The plane must be observable end to end: faults injected, retries
+	// issued, deadlines tripped.
+	if rep.Flash.TransientFaults == 0 {
+		t.Error("no transient faults injected")
+	}
+	if rep.Retries == 0 {
+		t.Error("no queue retries observed")
+	}
+	if rep.Timeouts == 0 {
+		t.Error("no command timeouts observed despite hang injection")
+	}
+	if rep.Crashes == 0 {
+		t.Error("no mid-storm power cuts tripped")
+	}
+	if len(rep.Seeds) != len(o.Seeds) {
+		t.Errorf("report records seeds %v, want all of %v", rep.Seeds, o.Seeds)
+	}
+}
+
+// TestChaosQuarantine drives a sustained one-die error storm hard
+// enough to trip quarantine, and requires the run to survive it with
+// the invariants intact and the episode visible in the counters.
+func TestChaosQuarantine(t *testing.T) {
+	ro := chaosOptions(7, 0, true, false)
+	ro.Transactions = 400
+	// Storm one unit relentlessly: short deterministic hang cadence so
+	// read timeouts pile onto the same die inside one health window.
+	ro.HangEvery = 5
+	ro.HangStall = 30 * time.Millisecond
+	rep, err := RunDevice(ro)
+	if err != nil {
+		t.Fatalf("%v (report %s)", err, rep)
+	}
+	t.Logf("quarantine storm: %s", rep)
+	if rep.Timeouts == 0 {
+		t.Fatal("storm produced no command timeouts")
+	}
+	if rep.QuarantineTrips == 0 {
+		t.Fatal("storm never tripped quarantine")
+	}
+	if rep.Committed == 0 {
+		t.Fatal("no transaction committed through the storm")
+	}
+}

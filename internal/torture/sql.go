@@ -103,6 +103,7 @@ func runSQL(o SQLOptions) (*Report, *xftl.Stack, error) {
 		return nil, nil, err
 	}
 	rep := &Report{Runs: 1}
+	rep.noteSeed(o.Seed)
 	db, err := st.OpenDBWithCache("torture.db", 8)
 	if err != nil {
 		return nil, nil, err

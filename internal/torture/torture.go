@@ -65,6 +65,22 @@ type Options struct {
 	// entirely (e.g. an erase-fail-only model to force spare
 	// exhaustion).
 	Fault *nand.FaultModel
+
+	// Chaos (degraded-mode) knobs. CmdDeadline/CmdRetries/CmdBackoff
+	// configure the queue's timeout/retry plane (see storage.Options);
+	// TransientProb and HangProb inject seeded interface faults and die
+	// stalls at the chip; HangStall sizes both the chip's stalls and the
+	// harness's deterministic ones.
+	CmdDeadline   time.Duration
+	CmdRetries    int
+	CmdBackoff    time.Duration
+	TransientProb float64
+	HangProb      float64
+	HangStall     time.Duration
+	// HangEvery, when > 0, makes the harness stall one unit (rotating
+	// round-robin) for HangStall before every HangEvery-th transaction —
+	// a deterministic error storm on top of the probabilistic one.
+	HangEvery int
 }
 
 // DefaultOptions returns a run that exercises cuts, retirements and ECC
@@ -91,6 +107,16 @@ type Report struct {
 	Runs         int // sweep combinations executed
 	WornOut      int // runs stopped early because the spare reserve ran out
 
+	// Seeds records every workload/fault seed that contributed to this
+	// report, so a failing sweep line is reproducible from its summary.
+	Seeds []int64
+
+	// Degraded-mode counters (chaos runs; zero elsewhere).
+	Retries         int64 // queue command attempts reissued
+	Timeouts        int64 // command attempts that overran their deadline
+	QuarantineTrips int64 // quarantine episodes opened
+	Readmits        int64 // quarantined units probed back into service
+
 	Flash metrics.FlashSnapshot
 }
 
@@ -100,10 +126,24 @@ func (r *Report) String() string {
 	if r.WornOut > 0 {
 		s += fmt.Sprintf(" wornout=%d", r.WornOut)
 	}
+	if len(r.Seeds) > 0 {
+		s += fmt.Sprintf(" seeds=%v", r.Seeds)
+	}
+	if r.Retries+r.Timeouts+r.QuarantineTrips > 0 {
+		s += fmt.Sprintf(" retries=%d timeouts=%d quarantines=%d readmits=%d",
+			r.Retries, r.Timeouts, r.QuarantineTrips, r.Readmits)
+	}
 	if r.Flash.ImageRecoveries+r.Flash.ScanRecoveries > 0 {
 		s += fmt.Sprintf(" recovery=image:%d/scan:%d", r.Flash.ImageRecoveries, r.Flash.ScanRecoveries)
 	}
 	return s + " [" + r.Flash.String() + "]"
+}
+
+// noteSeed records a contributing seed, deduplicated.
+func (r *Report) noteSeed(seed int64) {
+	if !slices.Contains(r.Seeds, seed) {
+		r.Seeds = append(r.Seeds, seed)
+	}
 }
 
 // add folds one run's counts into an aggregate report.
@@ -116,6 +156,13 @@ func (r *Report) Add(o *Report) {
 	r.Crashes += o.Crashes
 	r.Runs += o.Runs
 	r.WornOut += o.WornOut
+	for _, s := range o.Seeds {
+		r.noteSeed(s)
+	}
+	r.Retries += o.Retries
+	r.Timeouts += o.Timeouts
+	r.QuarantineTrips += o.QuarantineTrips
+	r.Readmits += o.Readmits
 	r.Flash.PageWrites += o.Flash.PageWrites
 	r.Flash.PageReads += o.Flash.PageReads
 	r.Flash.GCRuns += o.Flash.GCRuns
@@ -130,6 +177,8 @@ func (r *Report) Add(o *Report) {
 	r.Flash.ImageRecoveries += o.Flash.ImageRecoveries
 	r.Flash.ScanRecoveries += o.Flash.ScanRecoveries
 	r.Flash.ScanPages += o.Flash.ScanPages
+	r.Flash.TransientFaults += o.Flash.TransientFaults
+	r.Flash.UnitHangs += o.Flash.UnitHangs
 }
 
 // deviceProfile is the small geometry the device-level torture runs on:
@@ -187,9 +236,22 @@ type runState struct {
 // RunDevice executes one device-level torture run and returns its
 // report; any invariant violation is an error.
 func RunDevice(o Options) (*Report, error) {
+	s, err := newRunState(o)
+	if err != nil {
+		return nil, err
+	}
+	return s.rep, s.run()
+}
+
+func newRunState(o Options) (*runState, error) {
 	fault := o.Fault
-	if fault == nil && o.FaultScale > 0 {
+	if fault == nil && (o.FaultScale > 0 || o.TransientProb > 0 || o.HangProb > 0) {
 		fault = nand.DefaultFaultModel(o.Seed).Scale(o.FaultScale)
+		fault.TransientProb = o.TransientProb
+		fault.HangProb = o.HangProb
+		if o.HangStall > 0 {
+			fault.HangStall = o.HangStall
+		}
 	}
 	prof := deviceProfile()
 	// Half the data blocks exported: retirements eat physical blocks at
@@ -205,6 +267,9 @@ func RunDevice(o Options) (*Report, error) {
 		FTL:           ftlCfg,
 		XFTL:          core.Config{TableEntries: 128, CommitMapPages: 0},
 		Fault:         fault,
+		CmdDeadline:   o.CmdDeadline,
+		CmdRetries:    o.CmdRetries,
+		CmdBackoff:    o.CmdBackoff,
 	})
 	if err != nil {
 		return nil, err
@@ -217,13 +282,28 @@ func RunDevice(o Options) (*Report, error) {
 		rep:    &Report{Runs: 1},
 		zero:   make([]byte, dev.PageSize()),
 	}
+	s.rep.noteSeed(o.Seed)
+	return s, nil
+}
+
+func (s *runState) run() error {
+	o := s.o
+	dev := s.dev
 	// Keep the working set well under capacity so GC has slack even
 	// after retirements eat into overprovisioning.
 	span := dev.LogicalPages() / 2
+	units := dev.Profile().Nand.Units()
 
 	s.arm()
 workload:
 	for txn := 1; txn <= o.Transactions; txn++ {
+		if o.HangEvery > 0 && txn%o.HangEvery == 0 {
+			stall := o.HangStall
+			if stall <= 0 {
+				stall = 10 * time.Millisecond
+			}
+			dev.HangUnit((txn/o.HangEvery)%units, stall)
+		}
 		s.rep.Transactions++
 		tid := uint64(txn)
 		lpns := s.pickDistinct(span, o.PagesPerTx)
@@ -241,7 +321,7 @@ workload:
 				// Uncommitted: every page of this transaction must
 				// read back its pre-transaction content.
 				if err := s.crashRecoverVerify(err, nil, writes); err != nil {
-					return s.rep, fmt.Errorf("txn %d (write): %w", txn, err)
+					return fmt.Errorf("txn %d (write): %w", txn, err)
 				}
 				crashed = true
 				break
@@ -258,7 +338,7 @@ workload:
 					break workload
 				}
 				if err := s.crashRecoverVerify(err, nil, writes); err != nil {
-					return s.rep, fmt.Errorf("txn %d (abort): %w", txn, err)
+					return fmt.Errorf("txn %d (abort): %w", txn, err)
 				}
 				continue
 			}
@@ -273,7 +353,7 @@ workload:
 			// In-doubt: the durable commit point may or may not have
 			// been reached; the outcome must be atomic.
 			if err := s.crashRecoverVerify(err, writes, nil); err != nil {
-				return s.rep, fmt.Errorf("txn %d (commit): %w", txn, err)
+				return fmt.Errorf("txn %d (commit): %w", txn, err)
 			}
 			continue
 		}
@@ -285,13 +365,17 @@ workload:
 	// Final verification with the cut disarmed.
 	s.dev.PowerCutAfter(0)
 	if err := s.verifyOracle(); err != nil {
-		return s.rep, fmt.Errorf("final verify: %w", err)
+		return fmt.Errorf("final verify: %w", err)
 	}
 	s.rep.Flash = dev.FlashStats().Snapshot()
+	s.rep.Retries = dev.Queue().Retries()
+	s.rep.Timeouts = dev.Queue().Timeouts()
+	s.rep.QuarantineTrips = dev.FTL().QuarantineTrips()
+	s.rep.Readmits = dev.FTL().QuarantineReadmits()
 	if s.rep.Flash.UncorrectableReads > 0 {
-		return s.rep, fmt.Errorf("uncorrectable-error escapes: %d reads exceeded the ECC threshold", s.rep.Flash.UncorrectableReads)
+		return fmt.Errorf("uncorrectable-error escapes: %d reads exceeded the ECC threshold", s.rep.Flash.UncorrectableReads)
 	}
-	return s.rep, nil
+	return nil
 }
 
 // arm schedules the next power cut a pseudo-random distance ahead.

@@ -71,21 +71,24 @@ func (l Layer) String() string {
 type Kind uint8
 
 const (
-	KSession   Kind = iota // session span; Aux: 1=writer 0=reader
-	KTxn                   // SQLite txn span; Aux: 1=commit 0=rollback
-	KPageRead              // pager cache-miss page read; Addr=pgno
-	KPageWrite             // pager page write into the page cache; Addr=pgno
-	KFSWrite               // simfs page write; Aux: write class (WDB/WJournal/WFSMeta)
-	KFSRead                // simfs page read (file or snapshot); Addr=page
-	KFSync                 // simfs fsync span; Aux: journal mode
-	KCmd                   // NCQ command; Op valid, Disp=dispatch, Depth=queue depth
-	KGC                    // FTL GC episode span; Addr=victim block, Aux=valid copies
-	KXCommit               // X-FTL commit span; Aux=remapped entries
-	KXAbort                // X-FTL abort; Aux=discarded entries
-	KXRecover              // device recovery span; Aux=pages scanned
-	KNandRead              // one page read; Addr=ppn, Unit set
-	KNandProg              // one page program; Addr=ppn, Unit set
-	KNandErase             // one block erase; Addr=block, all units
+	KSession    Kind = iota // session span; Aux: 1=writer 0=reader
+	KTxn                    // SQLite txn span; Aux: 1=commit 0=rollback
+	KPageRead               // pager cache-miss page read; Addr=pgno
+	KPageWrite              // pager page write into the page cache; Addr=pgno
+	KFSWrite                // simfs page write; Aux: write class (WDB/WJournal/WFSMeta)
+	KFSRead                 // simfs page read (file or snapshot); Addr=page
+	KFSync                  // simfs fsync span; Aux: journal mode
+	KCmd                    // NCQ command; Op valid, Disp=dispatch, Depth=queue depth
+	KGC                     // FTL GC episode span; Addr=victim block, Aux=valid copies
+	KXCommit                // X-FTL commit span; Aux=remapped entries
+	KXAbort                 // X-FTL abort; Aux=discarded entries
+	KXRecover               // device recovery span; Aux=pages scanned
+	KNandRead               // one page read; Addr=ppn, Unit set
+	KNandProg               // one page program; Addr=ppn, Unit set
+	KNandErase              // one block erase; Addr=block, all units
+	KRetry                  // NCQ command retry; Addr=lpn, Aux=attempt, Unit set
+	KTimeout                // NCQ command deadline exceeded; Addr=lpn, Aux=attempt, Unit set
+	KQuarantine             // unit quarantine transition; Unit set, Aux: 1=enter 0=re-admit
 )
 
 func (k Kind) String() string {
@@ -120,6 +123,12 @@ func (k Kind) String() string {
 		return "nand-prog"
 	case KNandErase:
 		return "nand-erase"
+	case KRetry:
+		return "retry"
+	case KTimeout:
+		return "timeout"
+	case KQuarantine:
+		return "quarantine"
 	default:
 		return "kind?"
 	}
