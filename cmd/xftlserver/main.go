@@ -1,0 +1,144 @@
+// Command xftlserver serves SQL over TCP on top of the X-FTL stack, or
+// runs the serving tier's SLO load-test scenario against itself.
+//
+// Usage:
+//
+//	xftlserver [-addr HOST:PORT] [-mode xftl|rollback] [-channels N]
+//	xftlserver -loadtest [-quick] [-quiet] [-seed N] [-json PATH]
+//
+// Serve mode listens on -addr (default 127.0.0.1:7890) and speaks the
+// line-delimited JSON protocol documented in internal/server: one
+// request object per line (query/exec/begin/commit/rollback/ping/
+// stats), one response object per line. SIGINT/SIGTERM triggers a
+// graceful drain: the listener closes, in-flight transactions run to
+// completion, then the stack shuts down.
+//
+// -loadtest skips serving and runs the overload-acceptance scenario
+// from internal/server/loadtest: calibrate the tier's sustainable rate,
+// a healthy leg at half that rate, an overload leg at twice it with a
+// flash unit force-quarantined mid-run, then a graceful drain with a
+// goroutine-leak check. -json writes the full scenario report; the exit
+// status is non-zero if any acceptance criterion failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mvcc"
+	"repro/internal/server"
+	"repro/internal/server/loadtest"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7890", "listen address (serve mode)")
+	modeFlag := flag.String("mode", "xftl", "session model: xftl (MVCC snapshot readers) or rollback (serialized baseline)")
+	channels := flag.Int("channels", 8, "flash array channel count")
+	loadtestMode := flag.Bool("loadtest", false, "run the SLO load-test scenario instead of serving")
+	quick := flag.Bool("quick", false, "loadtest: reduced legs (CI smoke mode)")
+	quiet := flag.Bool("quiet", false, "loadtest: suppress progress output")
+	seed := flag.Int64("seed", 0, "loadtest: workload RNG seed (0 = default)")
+	jsonPath := flag.String("json", "", "loadtest: write the scenario report as JSON to this path")
+	flag.Parse()
+
+	var mode mvcc.Mode
+	switch *modeFlag {
+	case "xftl":
+		mode = mvcc.MVCC
+	case "rollback":
+		mode = mvcc.Serialized
+	default:
+		fmt.Fprintf(os.Stderr, "xftlserver: unknown -mode %q (want xftl or rollback)\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	if *loadtestMode {
+		os.Exit(runLoadtest(mode, *quick, *quiet, *seed, *jsonPath))
+	}
+	os.Exit(serve(*addr, mode, *channels))
+}
+
+func serve(addr string, mode mvcc.Mode, channels int) int {
+	srv, err := server.New(server.Options{Mode: mode, Channels: channels})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xftlserver: %v\n", err)
+		return 1
+	}
+	got, err := srv.Start(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xftlserver: %v\n", err)
+		return 1
+	}
+	fmt.Printf("xftlserver: serving %s on %s (protocol: one JSON request per line; see internal/server)\n",
+		mode, got)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("xftlserver: %v — draining\n", s)
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "xftlserver: shutdown: %v\n", err)
+		return 1
+	}
+	lat := srv.Latency()
+	fmt.Printf("xftlserver: drained cleanly (%d served, p99 %v)\n", lat.Count, lat.P99)
+	return 0
+}
+
+// loadtestDoc is the machine-readable report written by -json: one
+// trajectory point for the serving tier's SLO scenario (BENCH_7.json).
+type loadtestDoc struct {
+	Tool        string             `json:"tool"`
+	Quick       bool               `json:"quick"`
+	Seed        int64              `json:"seed"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Scenario    *loadtest.Scenario `json:"scenario"`
+}
+
+func runLoadtest(mode mvcc.Mode, quick, quiet bool, seed int64, jsonPath string) int {
+	cfg := loadtest.ScenarioConfig{Quick: quick, Seed: seed, Mode: mode}
+	if !quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "loadtest: "+format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	sc, err := loadtest.RunScenario(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xftlserver: loadtest: %v\n", err)
+		return 1
+	}
+	wall := time.Since(start).Seconds()
+
+	if jsonPath != "" {
+		doc := &loadtestDoc{Tool: "xftlserver-loadtest", Quick: quick, Seed: seed,
+			WallSeconds: wall, Scenario: sc}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xftlserver: write %s: %v\n", jsonPath, err)
+			return 1
+		}
+	}
+
+	h, d := sc.Healthy, sc.Degraded
+	fmt.Printf("sustainable rate: %.0f qps (mean service %v)\n", sc.SustainableQPS, sc.MeanService)
+	fmt.Printf("  %s\n  %s\n", h, d)
+	fmt.Printf("quarantined at disturb: %d unit(s); leaked goroutines: %d; wall %.1fs\n",
+		sc.QuarantinedUnits, sc.LeakedGoroutines, wall)
+	if len(sc.Failures) > 0 {
+		for _, f := range sc.Failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Println("all acceptance criteria met")
+	return 0
+}

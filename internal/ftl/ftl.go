@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -160,6 +161,10 @@ type FTL struct {
 	health       []unitHealth
 	healthCfg    HealthConfig
 	quarCount    int
+	// quarGauge mirrors quarCount atomically so external observers (a
+	// serving tier's circuit breaker) can sample quarantine pressure
+	// without taking the device's command path lock.
+	quarGauge    atomic.Int64
 	quarTrips    int64
 	quarReadmits int64
 	degraded     time.Duration // closed quarantine episodes

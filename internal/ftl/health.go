@@ -77,6 +77,7 @@ func (f *FTL) SetHealthConfig(cfg HealthConfig) {
 	f.healthCfg = cfg.withDefaults()
 	f.health = make([]unitHealth, f.chip.Config().Units())
 	f.quarCount = 0
+	f.quarGauge.Store(0)
 }
 
 // UnitQuarantined reports whether a channel/way unit is quarantined.
@@ -88,7 +89,10 @@ func (f *FTL) UnitQuarantined(unit int) bool {
 }
 
 // QuarantinedUnits reports how many units are currently quarantined.
-func (f *FTL) QuarantinedUnits() int64 { return int64(f.quarCount) }
+// It reads an atomic mirror of the count, so it is safe to call from
+// any goroutine while commands are in flight — the sampling path for
+// admission-control and circuit-breaker logic above the device.
+func (f *FTL) QuarantinedUnits() int64 { return f.quarGauge.Load() }
 
 // QuarantineTrips reports how many quarantine episodes were opened.
 func (f *FTL) QuarantineTrips() int64 { return f.quarTrips }
@@ -172,6 +176,7 @@ func (f *FTL) maybeProbe(unit int) {
 	h.timeouts, h.faults = 0, 0
 	h.windowStart = now
 	f.quarCount--
+	f.quarGauge.Store(int64(f.quarCount))
 	f.degraded += now - h.since
 	f.quarReadmits++
 	if f.tracer != nil {
@@ -200,6 +205,7 @@ func (f *FTL) quarantine(unit int) error {
 	h.since = now
 	h.probes = 0
 	f.quarCount++
+	f.quarGauge.Store(int64(f.quarCount))
 	f.quarTrips++
 	if f.tracer != nil {
 		f.tracer.Record(trace.Event{
@@ -242,6 +248,7 @@ func (f *FTL) resetHealth() {
 		f.health[u] = unitHealth{}
 	}
 	f.quarCount = 0
+	f.quarGauge.Store(0)
 }
 
 // drainUnit relocates every live data page living on a quarantined

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a minimal protocol client: one TCP connection, serialized
+// request/response round trips. Safe for concurrent use (calls are
+// mutex-serialized onto the connection); open one Client per desired
+// in-flight request.
+type Client struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	br     *bufio.Reader
+	enc    *json.Encoder
+	nextID uint64
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), enc: json.NewEncoder(nc)}, nil
+}
+
+// Close tears the connection down. A transaction left open server-side
+// is rolled back by the server's connection cleanup.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Do sends one request and waits for its response. A zero req.ID is
+// assigned automatically.
+func (c *Client) Do(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.ID == 0 {
+		c.nextID++
+		req.ID = c.nextID
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	if err := json.Unmarshal(line, resp); err != nil {
+		return nil, fmt.Errorf("server: bad response: %w", err)
+	}
+	return resp, nil
+}
+
+// Query runs a SELECT (autocommit outside a transaction).
+func (c *Client) Query(sql string, args ...any) (*Response, error) {
+	return c.Do(Request{Op: OpQuery, SQL: sql, Args: args})
+}
+
+// Exec runs a write statement (autocommit outside a transaction).
+func (c *Client) Exec(sql string, args ...any) (*Response, error) {
+	return c.Do(Request{Op: OpExec, SQL: sql, Args: args})
+}
+
+// Begin opens a transaction on this connection.
+func (c *Client) Begin(readonly bool) (*Response, error) {
+	return c.Do(Request{Op: OpBegin, Readonly: readonly})
+}
+
+// Commit commits the connection's open transaction.
+func (c *Client) Commit() (*Response, error) { return c.Do(Request{Op: OpCommit}) }
+
+// Rollback rolls the connection's open transaction back.
+func (c *Client) Rollback() (*Response, error) { return c.Do(Request{Op: OpRollback}) }
+
+// Ping round-trips a no-op.
+func (c *Client) Ping() (*Response, error) { return c.Do(Request{Op: OpPing}) }
+
+// Stats fetches the server health snapshot.
+func (c *Client) Stats() (*WireStats, error) {
+	resp, err := c.Do(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("server: stats response missing payload")
+	}
+	return resp.Stats, nil
+}

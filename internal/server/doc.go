@@ -1,0 +1,98 @@
+// Package server is the network SQL serving tier in front of the X-FTL
+// stack: a concurrent line-delimited JSON protocol over TCP where each
+// connection drives transactions on an mvcc session, fronted by a
+// robustness plane that keeps the tier overload-safe — under a burst it
+// sheds explicitly instead of queueing unboundedly, and when the
+// firmware degrades (quarantined units, worn-out flash) it degrades
+// service deliberately instead of timing everything out.
+//
+// # Protocol
+//
+// One JSON object per line in each direction. Requests:
+//
+//	{"id":1,"op":"query","sql":"SELECT v FROM kv WHERE k = ?","args":[7]}
+//	{"id":2,"op":"exec","sql":"UPDATE kv SET v = ? WHERE k = ?","args":[1,7],"deadline_ms":100}
+//	{"op":"begin"} {"op":"begin","readonly":true} {"op":"commit"} {"op":"rollback"}
+//	{"op":"ping"} {"op":"stats"}
+//
+// query/exec outside an explicit transaction autocommit. Responses echo
+// the id and carry either the result ({"ok":true,"rows":...}) or a
+// typed failure ({"ok":false,"code":"overload","retryable":true,
+// "retry_after_ms":5,...}).
+//
+// # Error taxonomy
+//
+// Every failure the tier can produce maps onto one typed, errors.Is-
+// matchable sentinel, split into retryable (the client should back off
+// and resend — the condition is expected to clear) and fatal (resending
+// the same request cannot succeed):
+//
+// Retryable:
+//
+//   - ErrOverload ("overload") — the admission queue was full and the
+//     request was shed without queueing. Carries a retry-after hint.
+//   - ErrDeadline ("deadline") — the request's wall-clock budget
+//     expired while it waited for an execution slot or the write lock.
+//   - ErrDegraded ("degraded") — the write circuit breaker is open:
+//     quarantine pressure on the flash array crossed the configured
+//     fraction, so writes are shed while reads keep flowing. Carries a
+//     longer retry-after hint (breaker state changes on firmware
+//     timescales).
+//   - mvcc.ErrBusy ("busy") — the write lock could not be acquired
+//     inside the propagated deadline (SQLITE_BUSY analogue).
+//   - ncq.ErrCmdTimeout ("cmd_timeout") — a device command exhausted
+//     its retry budget; the retry plane has already steered around the
+//     sick unit, so a resend usually lands on healthy flash.
+//   - ErrShuttingDown ("shutdown") — the tier is draining; retry
+//     against another replica (or after restart).
+//
+// Fatal:
+//
+//   - storage.ErrWornOut ("worn_out") — the spare reserve is exhausted;
+//     the device is read-only forever.
+//   - nand.ErrPowerLost ("power_lost") — the device lost power mid-run;
+//     the connection's transaction state is gone.
+//   - pager.ErrReadOnly ("read_only") — a write inside a read-only
+//     (snapshot) transaction.
+//   - ErrBadRequest ("bad_request") — malformed JSON, unknown op, or a
+//     protocol-state violation (commit without begin).
+//   - anything else ("sql") — SQL and constraint errors; retrying the
+//     identical statement returns the identical error.
+//
+// Classify maps any error from the stack onto this taxonomy; the wire
+// response carries the code, the retryable bit and the retry-after
+// hint, so clients never need to parse error strings.
+//
+// # Admission control and backpressure
+//
+// MaxConcurrent execution slots bound how many requests touch the
+// stack at once; up to MaxQueue more may wait for a slot, each bounded
+// by its own request deadline. A request that arrives with the wait
+// queue full is shed immediately with ErrOverload — load past the
+// tier's capacity turns into fast, explicit rejections (with hints)
+// rather than unbounded queueing and collective timeout. Slots are
+// held per request, not per transaction, so an interactive transaction
+// cannot starve the tier between statements; the mvcc layer's FIFO
+// writer lock (reached through BeginWithTimeout with the request's
+// remaining budget) provides the transaction-level serialization.
+//
+// # Deadline propagation
+//
+// Each request carries a wall-clock budget (deadline_ms, defaulted by
+// the server). The budget gates the admission wait, is re-checked
+// before execution, and the remaining portion is handed to
+// mvcc.BeginWithTimeout as its busy budget — virtual time advances no
+// faster than device work, so the virtual budget is a conservative
+// bound. Below that, the stack's NCQ retry plane runs with per-attempt
+// command deadlines and bounded retries (see DESIGN.md §12 for the
+// sizing rule), so a hung die costs a deadline, not a stall.
+//
+// # Graceful drain
+//
+// Shutdown stops accepting, closes idle connections, lets in-flight
+// requests and open transactions finish (commit/rollback stay
+// admissible while draining; new work is refused with ErrShuttingDown),
+// force-closes stragglers after DrainTimeout, then closes the mvcc
+// manager and the stack — which drains every in-flight NCQ command.
+// After Shutdown returns no server goroutine remains.
+package server

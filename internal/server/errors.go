@@ -1,0 +1,107 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mvcc"
+	"repro/internal/nand"
+	"repro/internal/ncq"
+	"repro/internal/sqlite/pager"
+	"repro/internal/storage"
+)
+
+// Typed serving-tier failure sentinels. See the package documentation
+// for the full taxonomy (these plus the stack errors Classify maps).
+var (
+	// ErrOverload sheds a request that found the admission queue full.
+	ErrOverload = errors.New("server: overloaded, request shed")
+	// ErrDeadline fails a request whose wall-clock budget expired
+	// before it reached execution.
+	ErrDeadline = errors.New("server: request deadline exceeded")
+	// ErrDegraded sheds a write while the circuit breaker is open
+	// (quarantine pressure past the configured fraction).
+	ErrDegraded = errors.New("server: write shed, device degraded")
+	// ErrShuttingDown refuses new work while the tier drains.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrBadRequest rejects malformed or protocol-violating requests.
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// Class is one failure's position in the taxonomy: a stable wire code,
+// whether the client should retry, and an optional backoff hint.
+type Class struct {
+	Code       string
+	Retryable  bool
+	RetryAfter time.Duration // 0: no hint
+}
+
+// retryAfterErr decorates a sentinel with a backoff hint while keeping
+// the sentinel errors.Is-matchable through Unwrap.
+type retryAfterErr struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterErr) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.err, e.after)
+}
+
+func (e *retryAfterErr) Unwrap() error { return e.err }
+
+// WithRetryAfter attaches a retry-after hint to err. Classify (and the
+// wire encoding) surface the hint; errors.Is still matches err.
+func WithRetryAfter(err error, after time.Duration) error {
+	return &retryAfterErr{err: err, after: after}
+}
+
+// RetryAfterHint extracts a retry-after hint attached with
+// WithRetryAfter, reporting whether one was present.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var ra *retryAfterErr
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
+
+// Classify maps any error surfaced by the serving tier or the stack
+// beneath it onto the taxonomy. Order matters: the most specific
+// sentinels are checked first, and unknown errors are fatal SQL-level
+// failures (retrying an identical statement yields an identical error).
+func Classify(err error) Class {
+	var c Class
+	switch {
+	case err == nil:
+		return Class{Code: "ok"}
+	case errors.Is(err, ErrOverload):
+		c = Class{Code: "overload", Retryable: true}
+	case errors.Is(err, ErrDeadline):
+		c = Class{Code: "deadline", Retryable: true}
+	case errors.Is(err, ErrDegraded):
+		c = Class{Code: "degraded", Retryable: true}
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, mvcc.ErrClosed):
+		c = Class{Code: "shutdown", Retryable: true}
+	case errors.Is(err, mvcc.ErrBusy):
+		c = Class{Code: "busy", Retryable: true}
+	case errors.Is(err, storage.ErrWornOut):
+		// Checked before cmd_timeout: a worn-out write can surface
+		// wrapped in queue errors, and it is the terminal condition.
+		c = Class{Code: "worn_out"}
+	case errors.Is(err, nand.ErrPowerLost):
+		c = Class{Code: "power_lost"}
+	case errors.Is(err, ncq.ErrCmdTimeout):
+		c = Class{Code: "cmd_timeout", Retryable: true}
+	case errors.Is(err, pager.ErrReadOnly):
+		c = Class{Code: "read_only"}
+	case errors.Is(err, ErrBadRequest):
+		c = Class{Code: "bad_request"}
+	default:
+		c = Class{Code: "sql"}
+	}
+	if after, ok := RetryAfterHint(err); ok {
+		c.RetryAfter = after
+	}
+	return c
+}

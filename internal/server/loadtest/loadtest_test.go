@@ -1,0 +1,34 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestScenarioQuick runs the full acceptance scenario at CI scale:
+// calibration, healthy leg, 2x-overload leg with a unit quarantined
+// mid-run, graceful drain, leak check.
+func TestScenarioQuick(t *testing.T) {
+	sc, err := RunScenario(ScenarioConfig{Quick: true, Seed: 7, Progress: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if b, err := json.Marshal(sc); err != nil {
+		t.Fatalf("scenario does not serialize: %v", err)
+	} else {
+		t.Logf("scenario: %s", b)
+	}
+	if len(sc.Failures) > 0 {
+		t.Fatalf("acceptance failures: %v", sc.Failures)
+	}
+	if sc.Healthy.Offered == 0 || sc.Degraded.Offered == 0 {
+		t.Fatalf("legs offered nothing: healthy %d, degraded %d",
+			sc.Healthy.Offered, sc.Degraded.Offered)
+	}
+	if sc.Degraded.Shed == 0 {
+		t.Fatalf("2x overload leg shed nothing")
+	}
+	if sc.QuarantinedUnits == 0 {
+		t.Fatalf("mid-run quarantine did not register")
+	}
+}

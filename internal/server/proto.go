@@ -1,0 +1,131 @@
+package server
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sqlite"
+)
+
+// Request ops.
+const (
+	OpQuery    = "query"
+	OpExec     = "exec"
+	OpBegin    = "begin"
+	OpCommit   = "commit"
+	OpRollback = "rollback"
+	OpPing     = "ping"
+	OpStats    = "stats"
+)
+
+// Request is one client command: one JSON object per line.
+type Request struct {
+	ID  uint64 `json:"id,omitempty"`
+	Op  string `json:"op"`
+	SQL string `json:"sql,omitempty"`
+	// Args are the statement's bind parameters. JSON numbers arrive as
+	// float64; integral values are coerced back to int64 server-side so
+	// INTEGER keys match.
+	Args []any `json:"args,omitempty"`
+	// DeadlineMS is this request's end-to-end wall-clock budget in
+	// milliseconds; 0 selects the server's default. The budget gates
+	// the admission wait and is propagated to the mvcc busy timeout.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Readonly marks a begin as a snapshot-read transaction (MVCC mode:
+	// never blocks, never sheds on the write breaker).
+	Readonly bool `json:"readonly,omitempty"`
+}
+
+// Response is one reply: one JSON object per line, id echoed.
+type Response struct {
+	ID       uint64   `json:"id,omitempty"`
+	OK       bool     `json:"ok"`
+	Columns  []string `json:"columns,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int64    `json:"affected,omitempty"`
+
+	// Failure taxonomy (ok == false): human-readable error, stable
+	// machine code, whether a retry can succeed, and an optional
+	// backoff hint.
+	Error        string `json:"error,omitempty"`
+	Code         string `json:"code,omitempty"`
+	Retryable    bool   `json:"retryable,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+
+	Stats *WireStats `json:"stats,omitempty"`
+}
+
+// WireStats is the server health snapshot returned by the stats op.
+type WireStats struct {
+	Served        int64 `json:"served"`
+	Failed        int64 `json:"failed"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+	DeadlineDrops int64 `json:"deadline_drops"`
+	DegradedSheds int64 `json:"degraded_sheds"`
+	BreakerTrips  int64 `json:"breaker_trips"`
+	BreakerOpen   bool  `json:"breaker_open"`
+	InFlight      int   `json:"in_flight"`
+	OpenTxns      int64 `json:"open_txns"`
+	Quarantined   int   `json:"quarantined_units"`
+	Units         int   `json:"units"`
+	BusyTimeouts  int64 `json:"busy_timeouts"`
+	CmdRetries    int64 `json:"cmd_retries"`
+	CmdTimeouts   int64 `json:"cmd_timeouts"`
+}
+
+// failure builds the wire form of err per the taxonomy.
+func failure(id uint64, err error) *Response {
+	c := Classify(err)
+	return &Response{
+		ID:           id,
+		Error:        err.Error(),
+		Code:         c.Code,
+		Retryable:    c.Retryable,
+		RetryAfterMS: int64(c.RetryAfter / time.Millisecond),
+	}
+}
+
+// normalizeArgs undoes JSON's number erasure: a float64 that holds an
+// exact integral value becomes int64, so bind parameters compare equal
+// to INTEGER columns.
+func normalizeArgs(args []any) []any {
+	for i, a := range args {
+		if f, ok := a.(float64); ok {
+			if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+				args[i] = int64(f)
+			}
+		}
+	}
+	return args
+}
+
+// rowsToWire converts a materialized result set to JSON-friendly rows.
+func rowsToWire(rows *sqlite.Rows) ([]string, [][]any) {
+	out := make([][]any, len(rows.Data))
+	for i, r := range rows.Data {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = valueToWire(v)
+		}
+		out[i] = row
+	}
+	return rows.Columns, out
+}
+
+func valueToWire(v sqlite.Value) any {
+	switch v.Type() {
+	case sqlite.TypeNull:
+		return nil
+	case sqlite.TypeInt:
+		return v.Int()
+	case sqlite.TypeReal:
+		return v.Real()
+	case sqlite.TypeText:
+		return v.Text()
+	case sqlite.TypeBlob:
+		return v.Blob() // encoding/json base64-encodes []byte
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,570 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	xftl "repro"
+	"repro/internal/metrics"
+	"repro/internal/mvcc"
+	"repro/internal/sqlite/pager"
+	"repro/internal/storage"
+)
+
+// Options tunes the serving tier. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// Mode selects the session model: mvcc.MVCC (snapshot readers over
+	// X-FTL, the default) or mvcc.Serialized (rollback-journal
+	// baseline).
+	Mode mvcc.Mode
+	// Channels is the flash array's channel count (default 8).
+	Channels int
+	// QueueDepth is the NCQ depth (default 32).
+	QueueDepth int
+	// CacheSize is the SQLite page cache per connection (default 64).
+	CacheSize int
+	// DBName is the database file served (default "serve.db").
+	DBName string
+
+	// MaxConcurrent bounds requests executing on the stack at once
+	// (default 16).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; arrivals
+	// past it are shed with ErrOverload (default 2 x MaxConcurrent).
+	MaxQueue int
+	// DefaultDeadline is the per-request wall budget when the client
+	// sends none (default 500ms).
+	DefaultDeadline time.Duration
+	// ShedRetryAfter is the hint attached to overload sheds (default
+	// 5ms — the order of one service time).
+	ShedRetryAfter time.Duration
+	// BreakerFraction opens the write breaker when this fraction of
+	// channel/way units is quarantined (default 0.5; <= 0 after
+	// withDefaults disables the breaker only if set negative).
+	BreakerFraction float64
+	// BreakerRetryAfter is the hint attached to degraded write sheds
+	// (default 100ms — breaker state changes on firmware timescales).
+	BreakerRetryAfter time.Duration
+	// DrainTimeout bounds the graceful drain: connections still holding
+	// open transactions past it are force-closed and rolled back
+	// (default 5s).
+	DrainTimeout time.Duration
+	// ServiceFloor adds a wall-clock floor to every admitted data-path
+	// request while it holds its admission slot. The flash device below
+	// simulates in virtual time at near-zero wall cost, so on a small
+	// host the CPU saturates before the admission gate ever sees
+	// concurrent requests; the floor restores a realistic wall service
+	// time so overload dynamics — queue growth, shedding, deadline
+	// expiry — are observable. 0 (the default) disables it; load-test
+	// harnesses set it.
+	ServiceFloor time.Duration
+
+	// CmdDeadline / CmdRetries configure the stack's NCQ retry plane.
+	// The per-attempt deadline must clear healthy per-unit queueing
+	// (DESIGN.md §12); the defaults (10ms, 8 attempts) match the
+	// degraded rwconc leg's sizing.
+	CmdDeadline time.Duration
+	CmdRetries  int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Channels <= 0 {
+		o.Channels = 8
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 32
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 64
+	}
+	if o.DBName == "" {
+		o.DBName = "serve.db"
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 16
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 2 * o.MaxConcurrent
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 500 * time.Millisecond
+	}
+	if o.ShedRetryAfter <= 0 {
+		o.ShedRetryAfter = 5 * time.Millisecond
+	}
+	if o.BreakerFraction == 0 {
+		o.BreakerFraction = 0.5
+	}
+	if o.BreakerRetryAfter <= 0 {
+		o.BreakerRetryAfter = 100 * time.Millisecond
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.CmdDeadline == 0 {
+		o.CmdDeadline = 10 * time.Millisecond
+	}
+	if o.CmdRetries == 0 {
+		o.CmdRetries = 8
+	}
+	return o
+}
+
+// Server is one serving-tier instance: its own stack, mvcc manager,
+// admission gate and write breaker.
+type Server struct {
+	opts Options
+	st   *xftl.Stack
+	mgr  *mvcc.Manager
+	adm  *admission
+	brk  *breaker
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	closed   bool
+
+	wg sync.WaitGroup // accept loop + connection handlers
+
+	served   atomic.Int64
+	failed   atomic.Int64
+	openTxns atomic.Int64
+	// lat is wall-clock latency of served (successful) data-path
+	// requests, admission wait included.
+	lat metrics.LatencyHist
+}
+
+// New builds the stack and session manager for the given options. The
+// server owns both; Shutdown closes them.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	prof := storage.OpenSSD()
+	prof.Nand.Channels = opts.Channels
+	prof.Nand.Ways = 1
+	prof.Channels = opts.Channels
+
+	mode, journal := xftl.ModeRollback, pager.Rollback
+	if opts.Mode == mvcc.MVCC {
+		mode, journal = xftl.ModeXFTL, pager.Off
+	}
+	devOpts := storage.Options{
+		QueueDepth:  opts.QueueDepth,
+		CmdDeadline: opts.CmdDeadline,
+		CmdRetries:  opts.CmdRetries,
+	}
+	st, err := xftl.NewStackDevice(prof, mode, devOpts,
+		xftl.StackOptions{CacheSize: opts.CacheSize})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := mvcc.NewManager(st.FS, opts.DBName, mvcc.Options{
+		Mode:      opts.Mode,
+		Journal:   journal,
+		CacheSize: opts.CacheSize,
+		Pipelined: opts.Mode == mvcc.MVCC,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Server{
+		opts:  opts,
+		st:    st,
+		mgr:   mgr,
+		adm:   newAdmission(opts.MaxConcurrent, opts.MaxQueue, opts.ShedRetryAfter),
+		brk:   &breaker{dev: st.Device, openFrac: opts.BreakerFraction},
+		conns: make(map[*conn]struct{}),
+	}, nil
+}
+
+// Stack exposes the underlying stack (chaos hooks, gauges; loadtest
+// harnesses use it to force-quarantine units mid-run).
+func (s *Server) Stack() *xftl.Stack { return s.st }
+
+// Manager exposes the session manager (stats).
+func (s *Server) Manager() *mvcc.Manager { return s.mgr }
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and
+// serves until Shutdown.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return nil, ErrShuttingDown
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(lis)
+	return lis.Addr(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			return // listener closed (drain) or fatal
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		c := &conn{srv: s, nc: nc}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.serve()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown drains the tier gracefully: stop accepting, close idle
+// connections, let in-flight requests and open transactions finish
+// (refusing new work with ErrShuttingDown), force-close stragglers
+// after DrainTimeout, then close the session manager and the stack —
+// draining every in-flight NCQ command. Idempotent.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	lis := s.lis
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if alreadyDraining {
+		return nil
+	}
+	if lis != nil {
+		lis.Close()
+	}
+	// Connections with no open transaction and no request in flight
+	// have nothing to finish: close them now so their handlers unblock.
+	for _, c := range conns {
+		if !c.txnOpen() && !c.busy.Load() {
+			c.nc.Close()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.opts.DrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.mgr.Close()
+	if cerr := s.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// conn is one client connection's state: the handler goroutine, plus at
+// most one open transaction session.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	busy atomic.Bool // a request is being handled right now
+
+	mu     sync.Mutex
+	sess   *mvcc.Session
+	sessRO bool
+}
+
+func (c *conn) txnOpen() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess != nil
+}
+
+func (c *conn) setSess(s *mvcc.Session, readonly bool) {
+	c.mu.Lock()
+	c.sess, c.sessRO = s, readonly
+	c.mu.Unlock()
+	c.srv.openTxns.Add(1)
+}
+
+// takeSess detaches the open session (nil if none).
+func (c *conn) takeSess() (*mvcc.Session, bool) {
+	c.mu.Lock()
+	s, ro := c.sess, c.sessRO
+	c.sess = nil
+	c.mu.Unlock()
+	if s != nil {
+		c.srv.openTxns.Add(-1)
+	}
+	return s, ro
+}
+
+func (c *conn) curSess() *mvcc.Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess
+}
+
+func (c *conn) serve() {
+	defer c.srv.wg.Done()
+	defer c.cleanup()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	enc := json.NewEncoder(c.nc)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var resp *Response
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = failure(0, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		} else {
+			c.busy.Store(true)
+			resp = c.handle(&req)
+			c.busy.Store(false)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if c.srv.isDraining() && !c.txnOpen() {
+			return
+		}
+	}
+}
+
+// cleanup runs when the handler exits for any reason: an open
+// transaction is rolled back so the writer lock and snapshot pins are
+// always released.
+func (c *conn) cleanup() {
+	if s, _ := c.takeSess(); s != nil {
+		_ = s.Rollback()
+	}
+	c.nc.Close()
+	c.srv.removeConn(c)
+}
+
+// handle executes one request end to end and returns its response.
+func (c *conn) handle(req *Request) *Response {
+	start := time.Now()
+	budget := c.srv.opts.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		budget = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	deadline := start.Add(budget)
+
+	switch req.Op {
+	case OpPing:
+		return &Response{ID: req.ID, OK: true}
+	case OpStats:
+		return c.srv.statsResponse(req.ID)
+	case OpCommit, OpRollback:
+		// Finishing an already-admitted transaction is always allowed —
+		// shedding a commit would waste the work and pin the writer
+		// lock — so commit/rollback bypass admission and the breaker.
+		return c.account(start, c.endTxn(req, req.Op == OpCommit))
+	case OpQuery, OpExec, OpBegin:
+	default:
+		return failure(req.ID, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op))
+	}
+
+	// New work is refused while draining; statements inside an open
+	// transaction may still run so the transaction can reach commit.
+	if c.srv.isDraining() && !c.txnOpen() {
+		c.srv.failed.Add(1)
+		return failure(req.ID, ErrShuttingDown)
+	}
+	if err := c.srv.adm.acquire(deadline); err != nil {
+		c.srv.failed.Add(1)
+		return failure(req.ID, err)
+	}
+	defer c.srv.adm.release()
+	if !time.Now().Before(deadline) {
+		c.srv.failed.Add(1)
+		return failure(req.ID, ErrDeadline)
+	}
+	if d := c.srv.opts.ServiceFloor; d > 0 {
+		time.Sleep(d)
+	}
+	var resp *Response
+	switch req.Op {
+	case OpBegin:
+		resp = c.beginTxn(req, deadline)
+	case OpQuery:
+		resp = c.query(req, deadline)
+	case OpExec:
+		resp = c.exec(req, deadline)
+	}
+	return c.account(start, resp)
+}
+
+// account credits a finished data-path request to the served/failed
+// counters and the latency histogram.
+func (c *conn) account(start time.Time, resp *Response) *Response {
+	if resp.OK {
+		c.srv.served.Add(1)
+		c.srv.lat.Observe(time.Since(start))
+	} else {
+		c.srv.failed.Add(1)
+	}
+	return resp
+}
+
+// beginSession propagates the request's remaining wall budget to the
+// mvcc layer as its busy budget. Virtual time advances only with
+// device work, so the wall remainder is a conservative virtual bound.
+func (s *Server) beginSession(readonly bool, deadline time.Time) (*mvcc.Session, error) {
+	budget := time.Until(deadline)
+	if budget <= 0 {
+		return nil, ErrDeadline
+	}
+	return s.mgr.BeginWithTimeout(readonly, budget)
+}
+
+func (c *conn) beginTxn(req *Request, deadline time.Time) *Response {
+	if c.txnOpen() {
+		return failure(req.ID, fmt.Errorf("%w: transaction already open", ErrBadRequest))
+	}
+	if !req.Readonly {
+		if err := c.srv.brk.allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
+			return failure(req.ID, err)
+		}
+	}
+	sess, err := c.srv.beginSession(req.Readonly, deadline)
+	if err != nil {
+		return failure(req.ID, err)
+	}
+	c.setSess(sess, req.Readonly)
+	return &Response{ID: req.ID, OK: true}
+}
+
+func (c *conn) endTxn(req *Request, commit bool) *Response {
+	sess, _ := c.takeSess()
+	if sess == nil {
+		return failure(req.ID, fmt.Errorf("%w: no open transaction", ErrBadRequest))
+	}
+	var err error
+	if commit {
+		err = sess.Commit()
+	} else {
+		err = sess.Rollback()
+	}
+	if err != nil {
+		return failure(req.ID, err)
+	}
+	return &Response{ID: req.ID, OK: true}
+}
+
+func (c *conn) query(req *Request, deadline time.Time) *Response {
+	sess := c.curSess()
+	autocommit := sess == nil
+	if autocommit {
+		s, err := c.srv.beginSession(true, deadline)
+		if err != nil {
+			return failure(req.ID, err)
+		}
+		sess = s
+		defer func() { _ = sess.Commit() }()
+	}
+	rows, err := sess.Query(req.SQL, normalizeArgs(req.Args)...)
+	if err != nil {
+		return failure(req.ID, err)
+	}
+	cols, data := rowsToWire(rows)
+	return &Response{ID: req.ID, OK: true, Columns: cols, Rows: data}
+}
+
+func (c *conn) exec(req *Request, deadline time.Time) *Response {
+	sess := c.curSess()
+	if sess != nil {
+		n, err := sess.Exec(req.SQL, normalizeArgs(req.Args)...)
+		if err != nil {
+			return failure(req.ID, err)
+		}
+		return &Response{ID: req.ID, OK: true, Affected: n}
+	}
+	// Autocommit write: breaker, begin, exec, commit.
+	if err := c.srv.brk.allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
+		return failure(req.ID, err)
+	}
+	s, err := c.srv.beginSession(false, deadline)
+	if err != nil {
+		return failure(req.ID, err)
+	}
+	n, err := s.Exec(req.SQL, normalizeArgs(req.Args)...)
+	if err != nil {
+		_ = s.Rollback()
+		return failure(req.ID, err)
+	}
+	if err := s.Commit(); err != nil {
+		return failure(req.ID, err)
+	}
+	return &Response{ID: req.ID, OK: true, Affected: n}
+}
+
+func (s *Server) statsResponse(id uint64) *Response {
+	quar, units := s.st.Device.QuarantinePressure()
+	return &Response{ID: id, OK: true, Stats: &WireStats{
+		Served:        s.served.Load(),
+		Failed:        s.failed.Load(),
+		Admitted:      s.adm.stats.Admitted.Load(),
+		Shed:          s.adm.stats.Shed.Load(),
+		DeadlineDrops: s.adm.stats.DeadlineDrops.Load(),
+		DegradedSheds: s.brk.writeSheds.Load(),
+		BreakerTrips:  s.brk.openTrips.Load(),
+		BreakerOpen:   s.brk.open.Load(),
+		InFlight:      s.adm.inFlight(),
+		OpenTxns:      s.openTxns.Load(),
+		Quarantined:   quar,
+		Units:         units,
+		BusyTimeouts:  s.mgr.Stats.BusyTimeouts.Load(),
+		CmdRetries:    s.st.Device.Queue().Retries(),
+		CmdTimeouts:   s.st.Device.Queue().Timeouts(),
+	}}
+}
+
+// Latency snapshots the served-request wall latency histogram.
+func (s *Server) Latency() metrics.LatencySnapshot { return s.lat.Snapshot() }

@@ -1,0 +1,489 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/mvcc"
+	"repro/internal/ncq"
+	"repro/internal/storage"
+)
+
+// startServer builds a small server, starts it on a free port, and
+// registers a shutdown cleanup.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	if opts.Channels == 0 {
+		opts.Channels = 4
+	}
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return srv, addr.String()
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// oker returns a helper that fails the test unless a round trip
+// succeeded: ok := oker(t); ok(cl.Ping()).
+func oker(t *testing.T) func(*Response, error) *Response {
+	return func(resp *Response, err error) *Response {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if !resp.OK {
+			t.Fatalf("request failed: %s (code %s)", resp.Error, resp.Code)
+		}
+		return resp
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ok := oker(t)
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+
+	ok(cl.Ping())
+	ok(cl.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)"))
+
+	// Explicit transaction: two inserts, one commit.
+	ok(cl.Begin(false))
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (?, ?)", int64(1), "one"))
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (?, ?)", int64(2), "two"))
+	ok(cl.Commit())
+
+	resp := ok(cl.Query("SELECT k, v FROM t ORDER BY k"))
+	if len(resp.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(resp.Rows))
+	}
+	// JSON round-trips integers as float64 on the client side.
+	if got := resp.Rows[1][1]; got != "two" {
+		t.Fatalf("row[1].v = %v, want two", got)
+	}
+
+	// Rollback leaves no trace.
+	ok(cl.Begin(false))
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (?, ?)", int64(3), "three"))
+	ok(cl.Rollback())
+	resp = ok(cl.Query("SELECT COUNT(*) FROM t"))
+	if got := resp.Rows[0][0].(float64); got != 2 {
+		t.Fatalf("count after rollback = %v, want 2", got)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Served == 0 || st.Admitted == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+	if st.Units != 4 || st.Quarantined != 0 {
+		t.Fatalf("unit gauge = %d/%d, want 0/4", st.Quarantined, st.Units)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ok := oker(t)
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+
+	resp, err := cl.Do(Request{Op: "mystery"})
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if resp.OK || resp.Code != "bad_request" || resp.Retryable {
+		t.Fatalf("unknown op => %+v, want non-retryable bad_request", resp)
+	}
+	// Commit with no open transaction.
+	resp, err = cl.Commit()
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if resp.OK || resp.Code != "bad_request" {
+		t.Fatalf("stray commit => %+v, want bad_request", resp)
+	}
+	// SQL errors are fatal (non-retryable) with code "sql".
+	resp, err = cl.Query("SELECT nope FROM nowhere")
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if resp.OK || resp.Code != "sql" || resp.Retryable {
+		t.Fatalf("bad sql => %+v, want non-retryable sql", resp)
+	}
+	// The connection survives failures.
+	ok(cl.Ping())
+}
+
+// TestSnapshotIsolation: a readonly transaction pins its snapshot while
+// a concurrent writer commits (MVCC mode).
+func TestSnapshotIsolation(t *testing.T) {
+	ok := oker(t)
+	_, addr := startServer(t, Options{Mode: mvcc.MVCC})
+	writer := dial(t, addr)
+	reader := dial(t, addr)
+
+	ok(writer.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"))
+	ok(writer.Exec("INSERT INTO t (k, v) VALUES (1, 10)"))
+
+	ok(reader.Begin(true))
+	resp := ok(reader.Query("SELECT v FROM t WHERE k = 1"))
+	if got := resp.Rows[0][0].(float64); got != 10 {
+		t.Fatalf("pre-update read = %v, want 10", got)
+	}
+
+	ok(writer.Exec("UPDATE t SET v = 20 WHERE k = 1"))
+
+	// The pinned snapshot still sees the old value.
+	resp = ok(reader.Query("SELECT v FROM t WHERE k = 1"))
+	if got := resp.Rows[0][0].(float64); got != 10 {
+		t.Fatalf("snapshot read = %v, want 10 (snapshot must not move)", got)
+	}
+	ok(reader.Commit())
+
+	resp = ok(reader.Query("SELECT v FROM t WHERE k = 1"))
+	if got := resp.Rows[0][0].(float64); got != 20 {
+		t.Fatalf("post-commit read = %v, want 20", got)
+	}
+}
+
+// TestAdmissionQueue exercises the gate directly: slots, bounded queue,
+// shed past the bound, deadline expiry while queued.
+func TestAdmissionQueue(t *testing.T) {
+	a := newAdmission(1, 1, 5*time.Millisecond)
+	far := time.Now().Add(time.Minute)
+
+	if err := a.acquire(far); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second acquire queues; wait until it is counted.
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(far) }()
+	for a.queued.Load() == 0 {
+		runtime.Gosched()
+	}
+	// Third acquire finds the queue full: immediate overload shed with a
+	// retry-after hint.
+	err := a.acquire(far)
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("over-queue acquire = %v, want ErrOverload", err)
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint != 5*time.Millisecond {
+		t.Fatalf("retry-after hint = %v/%v, want 5ms", hint, ok)
+	}
+	if got := a.stats.Shed.Load(); got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+
+	// Release the slot: the queued waiter gets it.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+
+	// A queued waiter whose deadline passes is dropped with ErrDeadline.
+	err = a.acquire(time.Now().Add(20 * time.Millisecond))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired wait = %v, want ErrDeadline", err)
+	}
+	if got := a.stats.DeadlineDrops.Load(); got != 1 {
+		t.Fatalf("deadline drops = %d, want 1", got)
+	}
+	a.release()
+}
+
+// TestOverloadEndToEnd saturates a 1-slot/1-queue server's admission
+// gate and requires that a wire request is shed with an explicit,
+// retryable overload response — then served normally once the gate
+// frees up. The gate is occupied from inside the package so the test is
+// deterministic on any core count (natural bursts fully serialize on a
+// single CPU).
+func TestOverloadEndToEnd(t *testing.T) {
+	ok := oker(t)
+	srv, addr := startServer(t, Options{MaxConcurrent: 1, MaxQueue: 1})
+	cl := dial(t, addr)
+	ok(cl.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"))
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (1, 0)"))
+
+	// Occupy the slot, then fill the queue.
+	far := time.Now().Add(time.Minute)
+	if err := srv.adm.acquire(far); err != nil {
+		t.Fatalf("take slot: %v", err)
+	}
+	waiter := make(chan error, 1)
+	go func() { waiter <- srv.adm.acquire(far) }()
+	for srv.adm.queued.Load() == 0 {
+		runtime.Gosched()
+	}
+
+	// A wire request now finds slot busy + queue full: immediate shed,
+	// not a queued wait.
+	shedStart := time.Now()
+	resp, err := cl.Exec("UPDATE t SET v = v + 1 WHERE k = 1")
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if resp.OK || resp.Code != "overload" || !resp.Retryable || resp.RetryAfterMS <= 0 {
+		t.Fatalf("saturated gate => %+v, want retryable overload with hint", resp)
+	}
+	if waited := time.Since(shedStart); waited > time.Second {
+		t.Fatalf("shed took %v — request queued instead of shedding", waited)
+	}
+	if got := srv.adm.stats.Shed.Load(); got == 0 {
+		t.Fatalf("shed not counted")
+	}
+
+	// Free the gate: the same request now serves.
+	srv.adm.release() // waiter takes the slot
+	if err := <-waiter; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	srv.adm.release()
+	ok(cl.Exec("UPDATE t SET v = v + 1 WHERE k = 1"))
+	if got := srv.served.Load(); got == 0 {
+		t.Fatalf("served not counted")
+	}
+}
+
+// TestBusySurfacesRetryable: with the writer lock held by an open
+// transaction, a concurrent write burns its budget and comes back as a
+// retryable "busy" — the wire form of mvcc.ErrBusy.
+func TestBusySurfacesRetryable(t *testing.T) {
+	ok := oker(t)
+	srv, addr := startServer(t, Options{})
+	holder := dial(t, addr)
+	ok(holder.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"))
+	ok(holder.Exec("INSERT INTO t (k, v) VALUES (1, 0)"))
+	ok(holder.Begin(false)) // hold the writer lock
+
+	blocked := dial(t, addr)
+	resp, err := blocked.Do(Request{Op: OpExec,
+		SQL: "UPDATE t SET v = 1 WHERE k = 1", DeadlineMS: 100})
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if resp.OK || resp.Code != "busy" || !resp.Retryable {
+		t.Fatalf("write against held lock => %+v, want retryable busy", resp)
+	}
+	if srv.Manager().Stats.BusyTimeouts.Load() == 0 {
+		t.Fatalf("busy timeout not counted by the mvcc layer")
+	}
+	ok(holder.Commit())
+	ok(blocked.Exec("UPDATE t SET v = 1 WHERE k = 1"))
+}
+
+// TestBreakerDegradesWrites quarantines half the array and requires the
+// write breaker to open: writes shed with "degraded", reads keep
+// flowing, and the breaker closes again when pressure clears.
+func TestBreakerDegradesWrites(t *testing.T) {
+	ok := oker(t)
+	srv, addr := startServer(t, Options{Channels: 4, BreakerFraction: 0.5})
+	cl := dial(t, addr)
+	ok(cl.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"))
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (1, 1)"))
+
+	dev := srv.Stack().Device
+	if err := dev.QuarantineUnit(0); err != nil {
+		t.Fatalf("quarantine 0: %v", err)
+	}
+	if err := dev.QuarantineUnit(1); err != nil {
+		t.Fatalf("quarantine 1: %v", err)
+	}
+	if q, u := dev.QuarantinePressure(); q != 2 || u != 4 {
+		t.Fatalf("pressure = %d/%d, want 2/4", q, u)
+	}
+
+	// Writes shed with a degraded hint; reads and readonly txns flow.
+	resp, err := cl.Exec("UPDATE t SET v = 2 WHERE k = 1")
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if resp.OK || resp.Code != "degraded" || !resp.Retryable || resp.RetryAfterMS <= 0 {
+		t.Fatalf("write under quarantine pressure => %+v, want retryable degraded with hint", resp)
+	}
+	ok(cl.Query("SELECT v FROM t WHERE k = 1"))
+	ok(cl.Begin(true))
+	ok(cl.Query("SELECT v FROM t WHERE k = 1"))
+	ok(cl.Commit())
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !st.BreakerOpen || st.BreakerTrips != 1 || st.DegradedSheds == 0 {
+		t.Fatalf("breaker state not reflected in stats: %+v", st)
+	}
+
+	// Pressure clearing closes the breaker on the next admission: the
+	// health config reset below re-admits every unit.
+	dev.Queue().Exclusive(func() { dev.FTL().SetHealthConfig(ftl.HealthConfig{}) })
+	ok(cl.Exec("UPDATE t SET v = 3 WHERE k = 1"))
+	st, err = cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.BreakerOpen {
+		t.Fatalf("breaker still open after pressure cleared: %+v", st)
+	}
+}
+
+// TestGracefulDrain: shutdown refuses new connections, lets the open
+// transaction run to commit, then drains without leaking goroutines.
+func TestGracefulDrain(t *testing.T) {
+	ok := oker(t)
+	baseline := runtime.NumGoroutine()
+	srv, err := New(Options{Channels: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	cl, err := Dial(addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	ok(cl.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"))
+	ok(cl.Begin(false))
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (1, 1)"))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown() }()
+
+	// Wait for the drain to begin (listener closed => dial fails).
+	for {
+		if c, err := Dial(addr.String()); err != nil {
+			break
+		} else {
+			// Accepted before the listener closed, or while racing it —
+			// either way a fresh conn is torn down by the drain.
+			c.Close()
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The in-flight transaction still runs statements and commits.
+	ok(cl.Exec("INSERT INTO t (k, v) VALUES (2, 2)"))
+	ok(cl.Commit())
+
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !srv.Stack().Closed() {
+		t.Fatalf("stack not closed after drain")
+	}
+	// Second shutdown is a no-op.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("drain leaked %d goroutines", n-baseline)
+	}
+}
+
+// TestDrainRollsBackAbandoned: a transaction still open when its
+// connection dies is rolled back by the server, releasing the writer
+// lock for everyone else.
+func TestDrainRollsBackAbandoned(t *testing.T) {
+	ok := oker(t)
+	_, addr := startServer(t, Options{})
+	ghost := dial(t, addr)
+	ok(ghost.Exec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)"))
+	ok(ghost.Begin(false))
+	ok(ghost.Exec("INSERT INTO t (k, v) VALUES (1, 1)"))
+	ghost.Close() // connection dies with the transaction open
+
+	// The server's cleanup rolls back, so a new writer acquires the lock
+	// and sees none of the ghost's work.
+	cl := dial(t, addr)
+	var resp *Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = cl.Do(Request{Op: OpQuery,
+			SQL: "SELECT COUNT(*) FROM t", DeadlineMS: 1000})
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if resp.OK {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !resp.OK {
+		t.Fatalf("query after abandoned txn: %s (%s)", resp.Error, resp.Code)
+	}
+	if got := resp.Rows[0][0].(float64); got != 0 {
+		t.Fatalf("abandoned txn leaked %v rows", got)
+	}
+}
+
+// TestErrorTaxonomy pins the Classify mapping the wire protocol and
+// clients depend on.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		err       error
+		code      string
+		retryable bool
+	}{
+		{ErrOverload, "overload", true},
+		{ErrDeadline, "deadline", true},
+		{ErrDegraded, "degraded", true},
+		{ErrShuttingDown, "shutdown", true},
+		{mvcc.ErrClosed, "shutdown", true},
+		{mvcc.ErrBusy, "busy", true},
+		{fmt.Errorf("begin: %w", mvcc.ErrBusy), "busy", true},
+		{ncq.ErrCmdTimeout, "cmd_timeout", true},
+		{storage.ErrWornOut, "worn_out", false},
+		{ErrBadRequest, "bad_request", false},
+		{errors.New("parse error near FROM"), "sql", false},
+	}
+	for _, tc := range cases {
+		c := Classify(tc.err)
+		if c.Code != tc.code || c.Retryable != tc.retryable {
+			t.Errorf("Classify(%v) = {%s %v}, want {%s %v}",
+				tc.err, c.Code, c.Retryable, tc.code, tc.retryable)
+		}
+	}
+
+	// Retry-after wrapping preserves errors.Is and carries the hint.
+	err := WithRetryAfter(ErrOverload, 7*time.Millisecond)
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("wrapped overload lost errors.Is identity")
+	}
+	if hint, ok := RetryAfterHint(fmt.Errorf("admission: %w", err)); !ok || hint != 7*time.Millisecond {
+		t.Fatalf("hint through wrapping = %v/%v, want 7ms", hint, ok)
+	}
+	if _, ok := RetryAfterHint(ErrDeadline); ok {
+		t.Fatalf("bare error should carry no hint")
+	}
+}

@@ -283,6 +283,15 @@ func (d *Device) QuarantineUnit(unit int) error {
 	return err
 }
 
+// QuarantinePressure reports how many channel/way units are currently
+// quarantined and how many the device has in total. Unlike most device
+// introspection it is safe to call from any goroutine while commands
+// are in flight (the count is an atomic mirror), so a serving tier's
+// circuit breaker can sample it on every admission decision.
+func (d *Device) QuarantinePressure() (quarantined, units int) {
+	return int(d.base.QuarantinedUnits()), d.prof.Nand.Units()
+}
+
 // Profile returns the hardware profile the device was built from.
 func (d *Device) Profile() Profile { return d.prof }
 

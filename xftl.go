@@ -2,6 +2,7 @@ package xftl
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -94,7 +95,26 @@ type Stack struct {
 	Gauges *trace.Registry
 
 	dbConfig sqlite.Config
+	closed   atomic.Bool
 }
+
+// Close shuts the stack down gracefully: every in-flight NCQ command is
+// drained to completion (advancing virtual time to the last retire), so
+// no queued work is abandoned. The stack owns no goroutines — all
+// simulation is synchronous in virtual time — so Close leaves nothing
+// running. A second Close is a no-op. Sessions and databases opened on
+// the stack must be closed by their owners first; Close does not reach
+// into them.
+func (s *Stack) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.Device.Queue().Drain()
+	return nil
+}
+
+// Closed reports whether Close has run.
+func (s *Stack) Closed() bool { return s.closed.Load() }
 
 // SetTracer installs (or removes, with nil) a cross-layer event tracer
 // on every layer of the stack. Call Attach on the tracer first so

@@ -1,10 +1,64 @@
 package xftl_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro"
+	"repro/internal/ncq"
 )
+
+// TestStackClose pins the graceful-shutdown contract: Close drains
+// every in-flight NCQ command to completion (advancing virtual time to
+// the last retire), leaves no goroutines behind (the stack owns none —
+// all simulation is synchronous in virtual time), and a second Close is
+// a no-op.
+func TestStackClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	st, err := xftl.NewStack(xftl.OpenSSD(), xftl.ModeXFTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.Device.Queue()
+	pageSize := st.Device.Profile().Nand.PageSize
+
+	// Fill the queue with asynchronous writes: submitted and issued, but
+	// their completions are not yet visible in virtual time.
+	for i := int64(0); i < 16; i++ {
+		if err := q.Submit(&ncq.Request{Op: ncq.OpWrite, LPN: i, Data: make([]byte, pageSize)}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if q.InFlight() == 0 {
+		t.Fatal("no commands in flight before close")
+	}
+	elapsed := st.Elapsed()
+
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !st.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if got := q.InFlight(); got != 0 {
+		t.Fatalf("Close left %d commands in flight", got)
+	}
+	if st.Elapsed() <= elapsed {
+		t.Fatal("drain did not advance virtual time to the last completion")
+	}
+
+	// Second close: no-op, no error, clock untouched.
+	drained := st.Elapsed()
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if st.Elapsed() != drained {
+		t.Fatal("second Close advanced the clock")
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("stack leaked %d goroutines", after-before)
+	}
+}
 
 func TestStackModes(t *testing.T) {
 	for _, mode := range modes() {
