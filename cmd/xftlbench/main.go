@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}
+//	xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc|fleet}
 //	xftlbench [-quick] -torture
 //
 // -quick shrinks workloads for a fast smoke run; the published numbers
@@ -50,11 +50,12 @@ func main() {
 	tortureMode := flag.Bool("torture", false, "run the crash/fault torture harness instead of an experiment")
 	chaosMode := flag.Bool("chaos", false, "run the degraded-mode error-storm sweep: transient faults, die hangs, command deadlines, quarantine and mid-storm power cuts")
 	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-generator defaults)")
+	shards := flag.Int("shards", 4, "maximum shard count for the fleet experiment (swept in powers of two from 1)")
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
 	tracePath := flag.String("trace", "", "record cross-layer events and write Chrome trace-event JSON (Perfetto-loadable) to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] [-trace PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc}\n")
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] [-trace PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc|fleet}\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] [-seed N] -torture\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] [-seed N] -chaos\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
@@ -130,6 +131,7 @@ func main() {
 	}
 	what := flag.Arg(0)
 	doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, Seed: *seed, FaultScale: *faults}
+	opts.FleetShards = *shards
 	if err := run(what, opts, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "xftlbench %s: %v\n", what, err)
 		os.Exit(1)
@@ -327,6 +329,20 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 		}); err != nil {
 			return err
 		}
+		if err := do("fleet", func() error {
+			fb, err := bench.RunFleet(opts, opts.FleetShards)
+			if err != nil {
+				return err
+			}
+			t := fb.Table()
+			fmt.Println(t)
+			doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
+				Name: "fleet", Tables: []*bench.Table{t}, Fleet: fb,
+			})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if !did {
 		return fmt.Errorf("unknown experiment %q", what)
@@ -403,6 +419,25 @@ func runTorture(quick bool, faults float64, seed int64) error {
 		magg.Add(r)
 	}
 	fmt.Printf("mvcc sessions: %s\n", magg)
+
+	// Fleet 2PC torture: cross-shard transactions killed at every stage
+	// of the two-phase commit protocol; recovery must leave each one
+	// committed on all participants or on none.
+	fo := torture.DefaultFleetOptions()
+	fo.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[torture] "+format+"\n", args...)
+	}
+	if quick {
+		fo.Seeds = fo.Seeds[:1]
+	}
+	if seed != 0 {
+		fo.Seeds = []int64{seed}
+	}
+	frep, err := torture.FleetSweep(fo)
+	if err != nil {
+		return fmt.Errorf("fleet 2pc: %w", err)
+	}
+	fmt.Printf("fleet 2pc:    %s\n", frep)
 
 	// Metadata-corruption sweep: destroy every persisted copy of the
 	// mapping table (and, separately, the bad-block table) after each

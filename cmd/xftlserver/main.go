@@ -25,6 +25,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,8 +39,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7890", "listen address (serve mode)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text-format metrics on this address at /metrics (serve mode; empty disables)")
 	modeFlag := flag.String("mode", "xftl", "session model: xftl (MVCC snapshot readers) or rollback (serialized baseline)")
 	channels := flag.Int("channels", 8, "flash array channel count")
+	shards := flag.Int("shards", 1, "shard the tier across N independent X-FTL stacks, routing requests by database name")
 	loadtestMode := flag.Bool("loadtest", false, "run the SLO load-test scenario instead of serving")
 	quick := flag.Bool("quick", false, "loadtest: reduced legs (CI smoke mode)")
 	quiet := flag.Bool("quiet", false, "loadtest: suppress progress output")
@@ -60,11 +64,11 @@ func main() {
 	if *loadtestMode {
 		os.Exit(runLoadtest(mode, *quick, *quiet, *seed, *jsonPath))
 	}
-	os.Exit(serve(*addr, mode, *channels))
+	os.Exit(serve(*addr, *metricsAddr, mode, *channels, *shards))
 }
 
-func serve(addr string, mode mvcc.Mode, channels int) int {
-	srv, err := server.New(server.Options{Mode: mode, Channels: channels})
+func serve(addr, metricsAddr string, mode mvcc.Mode, channels, shards int) int {
+	srv, err := server.New(server.Options{Mode: mode, Channels: channels, Shards: shards})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xftlserver: %v\n", err)
 		return 1
@@ -76,11 +80,35 @@ func serve(addr string, mode mvcc.Mode, channels int) int {
 	}
 	fmt.Printf("xftlserver: serving %s on %s (protocol: one JSON request per line; see internal/server)\n",
 		mode, got)
+	var msrv *http.Server
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			srv.WritePrometheus(w)
+		})
+		msrv = &http.Server{Addr: metricsAddr, Handler: mux}
+		mlis, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xftlserver: metrics: %v\n", err)
+			_ = srv.Shutdown()
+			return 1
+		}
+		fmt.Printf("xftlserver: metrics on http://%s/metrics\n", mlis.Addr())
+		go func() {
+			if err := msrv.Serve(mlis); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "xftlserver: metrics: %v\n", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("xftlserver: %v — draining\n", s)
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintf(os.Stderr, "xftlserver: shutdown: %v\n", err)
 		return 1

@@ -53,6 +53,10 @@ type Options struct {
 	Trace *trace.Tracer
 	// Out receives progress lines; nil silences them.
 	Progress func(format string, args ...any)
+	// FleetShards caps the fleet experiment's shard sweep (powers of
+	// two from 1; 0 means the default of 4). Set from xftlbench's
+	// -shards flag.
+	FleetShards int
 }
 
 // seedOr resolves the effective seed: the -seed override when set,

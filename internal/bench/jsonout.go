@@ -27,10 +27,11 @@ type JSONDoc struct {
 // (title, header, rows, notes) and, for the multi-tenant sweep, the
 // typed points with ops, NAND counts and latency percentiles.
 type JSONExperiment struct {
-	Name        string   `json:"name"`
-	Tables      []*Table `json:"tables,omitempty"`
-	MultiTenant *MT      `json:"multi_tenant,omitempty"`
-	RWConc      *RWC     `json:"rwconc,omitempty"`
+	Name        string      `json:"name"`
+	Tables      []*Table    `json:"tables,omitempty"`
+	MultiTenant *MT         `json:"multi_tenant,omitempty"`
+	RWConc      *RWC        `json:"rwconc,omitempty"`
+	Fleet       *FleetBench `json:"fleet,omitempty"`
 }
 
 // WriteJSON writes the document, indented, to path.

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ftl"
 	"repro/internal/metrics"
@@ -41,6 +42,12 @@ const (
 	StatusActive Status = iota
 	StatusCommitted
 	StatusAborted
+	// StatusPrepared marks the entries of a transaction that has passed
+	// phase one of a cross-device two-phase commit: its fate belongs to
+	// the fleet coordinator, so a crash recovers the entries as in-doubt
+	// rather than discarding them. The value fits the 2-bit status field
+	// of the 16-byte on-flash entry encoding.
+	StatusPrepared
 )
 
 func (s Status) String() string {
@@ -51,6 +58,8 @@ func (s Status) String() string {
 		return "committed"
 	case StatusAborted:
 		return "aborted"
+	case StatusPrepared:
+		return "prepared"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -123,6 +132,8 @@ type Stats struct {
 	TxReads     int64 // read(t,p) commands served from X-L2P or L2P
 	Commits     int64
 	Aborts      int64
+	Prepares    int64 // prepare(t) commands (2PC phase one)
+	InDoubt     int64 // prepared transactions rebuilt by the last Restart
 	TableImages int64 // X-L2P table images programmed to flash
 	GCReflushes int64 // image rewrites forced by GC relocating a committed page
 	Snapshots   int64 // snapshot handles opened
@@ -143,8 +154,12 @@ type XFTL struct {
 	// Flash-resident X-L2P image shadow. Committed rows must be
 	// protected from GC (their mapping may only exist here until the
 	// base map image catches up) and must be re-applied at recovery.
+	// Prepared rows are equally protected: they are the durable record
+	// of an in-doubt two-phase-commit participant, and losing their
+	// pages would make a coordinator-decided commit unredoable.
 	image          []imageEntry
 	imageCommitted map[nand.PPN]int // ppn -> index into image
+	imagePrepared  map[nand.PPN]int // ppn -> index into image
 
 	// Snapshot (MVCC) state. The paper's §5 observation — "readers are
 	// never blocked" because the old committed version stays reachable —
@@ -184,6 +199,7 @@ func New(base *ftl.FTL, cfg Config, stats *metrics.FlashCounters) (*XFTL, error)
 		byPPN:          make(map[nand.PPN]*entry),
 		byTx:           make(map[TxID][]*entry),
 		imageCommitted: make(map[nand.PPN]int),
+		imagePrepared:  make(map[nand.PPN]int),
 		snaps:          make(map[SnapID]uint64),
 		versions:       make(map[ftl.LPN][]oldVersion),
 		pinned:         make(map[nand.PPN]ftl.LPN),
@@ -357,27 +373,48 @@ func (x *XFTL) Commit(tid TxID) error {
 	if len(entries) == 0 {
 		return x.base.Barrier()
 	}
-	for _, e := range entries {
-		e.status = StatusCommitted
-	}
-	if err := x.flushImage(); err != nil {
-		// The durable commit point was not reached (program failure or
-		// power cut mid-image): flip the entries back so the transaction
-		// is still active — matching what recovery would conclude from
-		// the old flash-resident image.
-		for _, e := range entries {
-			e.status = StatusActive
+	if entries[0].status == StatusPrepared {
+		// Phase two of a cross-device 2PC. The ordering inverts: the
+		// commit-log append comes FIRST, because the durable prepared
+		// rows already carry the page set. A crash after the append
+		// recovers as "prepared rows whose tid is logged" — applied as
+		// committed — while a crash before it stays in-doubt for the
+		// fleet coordinator to resolve. Writing the image first (as the
+		// plain path does) would open a window where committed-status
+		// rows with an unlogged tid are indistinguishable from an
+		// ordinary torn commit and would be wrongly discarded.
+		if err := x.base.NoteCommittedTx(uint64(tid)); err != nil {
+			return err
 		}
-		return err
-	}
-	// The committed-transaction log entry is the durable commit point:
-	// recovery applies an image row (and accepts the transaction's CoW
-	// data pages during a full-device scan) only when its tid is logged.
-	if err := x.base.NoteCommittedTx(uint64(tid)); err != nil {
 		for _, e := range entries {
-			e.status = StatusActive
+			e.status = StatusCommitted
 		}
-		return err
+		if err := x.flushImage(); err != nil {
+			return err
+		}
+	} else {
+		for _, e := range entries {
+			e.status = StatusCommitted
+		}
+		if err := x.flushImage(); err != nil {
+			// The durable commit point was not reached (program failure or
+			// power cut mid-image): flip the entries back so the transaction
+			// is still active — matching what recovery would conclude from
+			// the old flash-resident image.
+			for _, e := range entries {
+				e.status = StatusActive
+			}
+			return err
+		}
+		// The committed-transaction log entry is the durable commit point:
+		// recovery applies an image row (and accepts the transaction's CoW
+		// data pages during a full-device scan) only when its tid is logged.
+		if err := x.base.NoteCommittedTx(uint64(tid)); err != nil {
+			for _, e := range entries {
+				e.status = StatusActive
+			}
+			return err
+		}
 	}
 	for _, e := range entries {
 		// Pin the superseded committed version for open snapshots before
@@ -431,6 +468,7 @@ func (x *XFTL) Abort(tid TxID) error {
 			})
 		}()
 	}
+	prepared := len(entries) > 0 && entries[0].status == StatusPrepared
 	for _, e := range entries {
 		e.status = StatusAborted
 		delete(x.byLPN, e.lpn)
@@ -440,7 +478,77 @@ func (x *XFTL) Abort(tid TxID) error {
 		}
 	}
 	delete(x.byTx, tid)
+	if prepared {
+		// A prepared transaction's rows are already durable in the
+		// flash-resident image; without a rewrite a crash would resurrect
+		// the transaction as in-doubt and re-ask the coordinator forever.
+		// Aborting a 2PC participant therefore pays one image flush to
+		// durably retract the prepare.
+		return x.flushImage()
+	}
 	return nil
+}
+
+// Prepare implements phase one of a cross-device two-phase commit: the
+// transaction's X-L2P entries flip to prepared and the table image is
+// flushed, making the page set durable without making it visible. After
+// Prepare returns, the participant guarantees it can commit — the CoW
+// pages and the prepared image rows survive power loss (GC treats
+// prepared rows as live) — but readers still see the pre-transaction
+// versions, and recovery reports the transaction as in-doubt until a
+// coordinator decision arrives via Commit or Abort.
+//
+// Preparing a tid with no writes is legal and degrades to a barrier,
+// mirroring Commit on a read-only participant.
+func (x *XFTL) Prepare(tid TxID) error {
+	if x.powerOff {
+		return ErrPowerCut
+	}
+	x.xstats.Prepares++
+	entries := x.byTx[tid]
+	if x.tracer != nil {
+		start := x.tracer.Now()
+		prev := x.tracer.SetFirmOrigin(trace.OCommit)
+		defer func() {
+			x.tracer.SetFirmOrigin(prev)
+			x.tracer.Record(trace.Event{
+				Layer: trace.LXFTL, Kind: trace.KXPrepare,
+				Start: start, Dur: x.tracer.Now() - start,
+				TID: uint64(tid), Aux: int64(len(entries)),
+				Sess: x.tracer.FirmSession(), Origin: trace.OCommit,
+			})
+		}()
+	}
+	if len(entries) == 0 {
+		return x.base.Barrier()
+	}
+	for _, e := range entries {
+		e.status = StatusPrepared
+	}
+	if err := x.flushImage(); err != nil {
+		// Prepare did not reach flash: the transaction is still merely
+		// active, which is exactly what recovery will conclude.
+		for _, e := range entries {
+			e.status = StatusActive
+		}
+		return err
+	}
+	return nil
+}
+
+// InDoubt lists the prepared transactions the last Restart rebuilt from
+// the flash-resident image — participants whose coordinator decision was
+// lost with volatile state. Each must be resolved by Commit or Abort
+// before its pages are reclaimable. Sorted for determinism.
+func (x *XFTL) InDoubt() []TxID {
+	var ids []TxID
+	for tid, entries := range x.byTx {
+		if len(entries) > 0 && entries[0].status == StatusPrepared {
+			ids = append(ids, tid)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Barrier flushes the base mapping table without a transaction (plain
@@ -663,13 +771,18 @@ func (x *XFTL) writeImage(img []imageEntry) error {
 		return err
 	}
 	committed := make(map[nand.PPN]int)
+	prepared := make(map[nand.PPN]int)
 	for i, r := range img {
-		if r.status == StatusCommitted {
+		switch r.status {
+		case StatusCommitted:
 			committed[r.ppn] = i
+		case StatusPrepared:
+			prepared[r.ppn] = i
 		}
 	}
 	x.image = img
 	x.imageCommitted = committed
+	x.imagePrepared = prepared
 	x.xstats.TableImages++
 	return nil
 }
@@ -685,7 +798,10 @@ func (x *XFTL) Live(ppn nand.PPN) bool {
 	if _, ok := x.pinned[ppn]; ok {
 		return true
 	}
-	_, ok := x.imageCommitted[ppn]
+	if _, ok := x.imageCommitted[ppn]; ok {
+		return true
+	}
+	_, ok := x.imagePrepared[ppn]
 	return ok
 }
 
@@ -717,6 +833,13 @@ func (x *XFTL) Relocated(old, new nand.PPN) {
 		x.xstats.GCReflushes++
 		// Best-effort rewrite; GC is already mid-flight, so an error
 		// here surfaces on the next commit instead.
+		_ = x.writeImage(x.image)
+	}
+	if idx, ok := x.imagePrepared[old]; ok {
+		delete(x.imagePrepared, old)
+		x.image[idx].ppn = new
+		x.imagePrepared[new] = idx
+		x.xstats.GCReflushes++
 		_ = x.writeImage(x.image)
 	}
 }
@@ -757,8 +880,36 @@ func (x *XFTL) Restart() error {
 	// metadata-destroying crash the scan may have recovered an older
 	// image, or none at all (the committed data pages themselves were
 	// then adopted directly from their spare records).
+	x.xstats.InDoubt = 0
 	for _, row := range decodeImage(x.base.MetaSlotData("xl2p")) {
-		if row.status != StatusCommitted || !x.base.TxCommitted(uint64(row.tid)) {
+		committed := row.status == StatusCommitted && x.base.TxCommitted(uint64(row.tid))
+		// A prepared row whose tid reached the committed-transaction log
+		// crashed between phase-two's log append and the image rewrite:
+		// the decision is durable, so it replays exactly like a committed
+		// row. A prepared row with an unlogged tid is in-doubt — its fate
+		// belongs to the fleet coordinator — so instead of discarding it
+		// we rebuild the X-L2P entry and wait for Commit or Abort.
+		if row.status == StatusPrepared && x.base.TxCommitted(uint64(row.tid)) {
+			committed = true
+		}
+		if !committed {
+			if row.status != StatusPrepared {
+				continue
+			}
+			if _, live := x.base.PageSeq(row.ppn); !live {
+				// The CoW page itself did not survive (meta-destroying
+				// crash fell back to the OOB scan, which keeps only
+				// committed-tx pages): the participant cannot honor a
+				// commit decision, so it reports abort via absence.
+				continue
+			}
+			e := &entry{tid: row.tid, lpn: row.lpn, newPPN: row.ppn, status: StatusPrepared}
+			x.byLPN[row.lpn] = e
+			x.byPPN[row.ppn] = e
+			if len(x.byTx[row.tid]) == 0 {
+				x.xstats.InDoubt++
+			}
+			x.byTx[row.tid] = append(x.byTx[row.tid], e)
 			continue
 		}
 		rowSeq, live := x.base.PageSeq(row.ppn)
@@ -781,6 +932,8 @@ func (x *XFTL) Restart() error {
 		return err
 	}
 	// The recovered mappings are now durable in the base map image;
-	// drop the committed rows by writing a fresh (empty) table image.
+	// write a fresh table image that drops the replayed committed rows
+	// but preserves any rebuilt in-doubt prepared rows, so a second
+	// crash before the coordinator resolves them changes nothing.
 	return x.flushImage()
 }

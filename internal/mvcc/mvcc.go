@@ -433,6 +433,54 @@ func (s *Session) end(commit bool) error {
 	return err
 }
 
+// DB exposes the session's underlying database connection so a
+// coordination layer can drive the transaction's ending itself — the
+// shard coordinator stages and prepares writer transactions through
+// sqlite.PrepareAtomic rather than Session.Commit. Valid only while the
+// session is open; the caller must finish with Commit, Rollback, or
+// FinishExternal exactly once.
+func (s *Session) DB() *sqlite.DB { return s.db }
+
+// FinishExternal ends a writer session whose transaction was already
+// committed or rolled back externally (through sqlite.FinishPrepared
+// after a 2PC decision): the session releases its writer ticket and
+// records its stats without touching the finished transaction. commit
+// only labels the stats; no database work happens here.
+func (s *Session) FinishExternal(commit bool) error {
+	if s.done {
+		return ErrSessionDone
+	}
+	_ = commit
+	s.done = true
+	if s.snap != nil {
+		err := s.db.Close()
+		if cerr := s.snap.Close(); err == nil {
+			err = cerr
+		}
+		s.m.Stats.SnapsOpen.Add(-1)
+		s.m.Stats.ReadTx.Add(1)
+		s.noteSession(0)
+		return err
+	}
+	if !s.readonly {
+		s.m.Stats.WriteTx.Add(1)
+		s.noteSession(1)
+	} else {
+		s.m.Stats.ReadTx.Add(1)
+		s.noteSession(0)
+	}
+	s.m.fs.ClearIOContext()
+	s.m.unlockExclusive()
+	return nil
+}
+
+// FS exposes the manager's file system (each shard's managers share
+// one), letting coordination layers reach simfs.ResolveInDoubt.
+func (m *Manager) FS() *simfs.FS { return m.fs }
+
+// Name reports the database file name this manager owns.
+func (m *Manager) Name() string { return m.name }
+
 // noteSession records the session's lifetime span. aux is 1 for a
 // write session, 0 for a read session.
 func (s *Session) noteSession(aux int64) {

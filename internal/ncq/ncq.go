@@ -35,6 +35,13 @@ const (
 	// different physical page — imposes no ordering on it. That is the
 	// device-level form of "readers never block on the writer".
 	OpSnapRead
+	// OpPrepare is phase one of a cross-device two-phase commit: the
+	// transaction's X-L2P entries become durably "prepared" (they
+	// survive a power cut as in-doubt instead of being discarded), but
+	// no mapping changes are published. A later OpCommit or OpAbort —
+	// possibly after a remount, driven by the fleet coordinator —
+	// resolves the transaction. Like commit, it fences the queue.
+	OpPrepare
 )
 
 func (o Op) String() string {
@@ -57,6 +64,8 @@ func (o Op) String() string {
 		return "abort"
 	case OpSnapRead:
 		return "snapread"
+	case OpPrepare:
+		return "prepare"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -68,7 +77,7 @@ func (o Op) String() string {
 // paper's §4.2 — a transaction's fate must not reorder around the page
 // state changes it implies.
 func (o Op) IsBarrier() bool {
-	return o == OpBarrier || o == OpCommit || o == OpAbort
+	return o == OpBarrier || o == OpCommit || o == OpAbort || o == OpPrepare
 }
 
 // targetsLPN reports whether the op addresses one logical page (and so
@@ -146,6 +155,7 @@ type Queue struct {
 	retries   int64 // attempts reissued
 	timeouts  int64 // attempts that overran their deadline
 	abandoned bool
+	closed    bool // Close ran: reject all future submissions
 
 	// Per-class latency and occupancy histograms.
 	ReadLat    metrics.LatencyHist
@@ -223,6 +233,12 @@ func (q *Queue) SubmitWait(r *Request) error {
 }
 
 func (q *Queue) submitLocked(r *Request) error {
+	if q.closed {
+		r.Submitted = q.clock.Now()
+		r.Started, r.Done = r.Submitted, r.Submitted
+		r.Err = ErrQueueClosed
+		return r.Err
+	}
 	if q.abandoned {
 		// The in-flight window died with the power; nothing is accepted
 		// until firmware recovery resumes the queue.
@@ -427,6 +443,24 @@ func (q *Queue) Drain() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.drainLocked()
+}
+
+// ErrQueueClosed fails commands submitted after Close.
+var ErrQueueClosed = errors.New("ncq: queue closed")
+
+// Close drains the queue and permanently rejects further submissions.
+// Each fleet member owns an independent queue (own mutex, own clock),
+// so closing one cannot block another member's drain; a straggler that
+// submits to a closed member fails fast with ErrQueueClosed instead of
+// mutating a half-torn-down device. Idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.drainLocked()
+	q.closed = true
 }
 
 // Exclusive runs fn while holding the queue lock with no command in

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFleetRouting serves two databases from a 2-shard tier and checks
+// each lands on its routed shard with the data isolated per database.
+func TestFleetRouting(t *testing.T) {
+	srv, addr := startServer(t, Options{Shards: 2})
+	cl := dial(t, addr)
+	ok := oker(t)
+
+	ok(cl.Do(Request{Op: OpExec, DB: "a.db", SQL: "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)"}))
+	ok(cl.Do(Request{Op: OpExec, DB: "b.db", SQL: "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)"}))
+	ok(cl.Do(Request{Op: OpExec, DB: "a.db", SQL: "INSERT INTO kv VALUES (1, 'from-a')"}))
+	ok(cl.Do(Request{Op: OpExec, DB: "b.db", SQL: "INSERT INTO kv VALUES (1, 'from-b')"}))
+
+	ra := ok(cl.Do(Request{Op: OpQuery, DB: "a.db", SQL: "SELECT v FROM kv WHERE k = 1"}))
+	rb := ok(cl.Do(Request{Op: OpQuery, DB: "b.db", SQL: "SELECT v FROM kv WHERE k = 1"}))
+	if ra.Rows[0][0] != "from-a" || rb.Rows[0][0] != "from-b" {
+		t.Fatalf("cross-database leak: a=%v b=%v", ra.Rows, rb.Rows)
+	}
+
+	// The databases live on their routed shards only.
+	f := srv.Fleet()
+	for _, db := range []string{"a.db", "b.db"} {
+		shard := f.Route(db)
+		for i, st := range f.Stacks() {
+			if has := st.FS.Exists(db); has != (i == shard) {
+				t.Fatalf("shard %d Exists(%s) = %v, routed to %d", i, db, has, shard)
+			}
+		}
+	}
+
+	// Transactions route by the begin request's DB.
+	ok(cl.Do(Request{Op: OpBegin, DB: "a.db"}))
+	ok(cl.Do(Request{Op: OpExec, SQL: "UPDATE kv SET v = 'txn-a' WHERE k = 1"}))
+	ok(cl.Do(Request{Op: OpCommit}))
+	ra = ok(cl.Do(Request{Op: OpQuery, DB: "a.db", SQL: "SELECT v FROM kv WHERE k = 1"}))
+	if ra.Rows[0][0] != "txn-a" {
+		t.Fatalf("txn on a.db: got %v", ra.Rows)
+	}
+
+	// Stats carry the per-shard breakdown on a multi-shard tier.
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if len(stats.Shards) != 2 {
+		t.Fatalf("stats shards = %d, want 2", len(stats.Shards))
+	}
+	sum := 0
+	for _, sh := range stats.Shards {
+		sum += sh.Units
+	}
+	if sum != stats.Units || stats.Units == 0 {
+		t.Fatalf("per-shard units %d do not sum to total %d", sum, stats.Units)
+	}
+}
+
+// TestDoRetryBacksOff feeds DoRetry a retryable failure stream and
+// checks it honors the retry_after hint, jitters within bounds, and
+// stops at the attempt cap.
+func TestDoRetryBacksOff(t *testing.T) {
+	srv, addr := startServer(t, Options{
+		MaxConcurrent: 1, MaxQueue: 1,
+		ShedRetryAfter: 4 * time.Millisecond,
+		ServiceFloor:   30 * time.Millisecond,
+	})
+	_ = srv
+
+	// Saturate the single slot + single queue entry so a third request
+	// sheds with ErrOverload (retryable + retry-after hint).
+	hold := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		blk := dial(t, addr)
+		go func() {
+			_, _ = blk.Do(Request{Op: OpQuery, SQL: "SELECT 1", DeadlineMS: 2000})
+			hold <- struct{}{}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let both occupy slot + queue
+
+	var waits []time.Duration
+	var slept atomic.Int64
+	cl := dial(t, addr)
+	resp, err := cl.DoRetry(Request{Op: OpQuery, SQL: "SELECT 1", DeadlineMS: 1}, RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+		Budget:      10 * time.Second,
+		Sleep: func(d time.Duration) {
+			waits = append(waits, d)
+			slept.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatalf("DoRetry transport error: %v", err)
+	}
+	<-hold
+	<-hold
+	if resp.OK {
+		t.Skip("request was admitted — host too fast to saturate; retry path not exercised")
+	}
+	if !resp.Retryable {
+		t.Fatalf("final failure not retryable: %s (code %s)", resp.Error, resp.Code)
+	}
+	if got := int(slept.Load()); got != 2 {
+		t.Fatalf("slept %d times, want 2 (3 attempts)", got)
+	}
+	for i, w := range waits {
+		if w <= 0 || w > 250*time.Millisecond {
+			t.Fatalf("wait %d = %v out of bounds", i, w)
+		}
+	}
+}
+
+// TestDoRetrySucceedsFirstTry is the no-retry fast path.
+func TestDoRetrySucceedsFirstTry(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	cl := dial(t, addr)
+	resp, err := cl.DoRetry(Request{Op: OpPing}, RetryPolicy{})
+	if err != nil || !resp.OK {
+		t.Fatalf("DoRetry ping: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestWritePrometheus checks the exposition format carries the tier
+// counters, the latency summary and per-shard stack gauges.
+func TestWritePrometheus(t *testing.T) {
+	srv, addr := startServer(t, Options{Shards: 2})
+	cl := dial(t, addr)
+	ok := oker(t)
+	ok(cl.Do(Request{Op: OpExec, DB: "p.db", SQL: "CREATE TABLE t (a INTEGER)"}))
+
+	var b strings.Builder
+	srv.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE xftl_requests_served_total counter",
+		"# TYPE xftl_request_latency_seconds summary",
+		"xftl_request_latency_seconds{quantile=\"0.99\"}",
+		"xftl_request_latency_seconds_count",
+		"# TYPE xftl_stack_gauge gauge",
+		`xftl_stack_gauge{shard="0",`,
+		`xftl_stack_gauge{shard="1",`,
+		`xftl_stack_gauge{shard="fleet",name="cross_tx"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "xftl_requests_served_total 1") {
+		t.Fatalf("served counter not 1:\n%s", out)
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the tier's health as Prometheus text format
+// (version 0.0.4): tier counters, the served-request latency summary,
+// and every stack gauge from the fleet's registries. Gauge names keep
+// their dotted registry form in a label — Prometheus metric names
+// cannot contain dots, and a stable label survives gauge additions
+// without changing the exposition schema.
+func (s *Server) WritePrometheus(w io.Writer) {
+	ws := s.WireStats()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("xftl_requests_served_total", "Data-path requests completed successfully.", ws.Served)
+	counter("xftl_requests_failed_total", "Data-path requests failed (sheds, deadlines, errors).", ws.Failed)
+	counter("xftl_admitted_total", "Requests admitted past the admission gate.", ws.Admitted)
+	counter("xftl_shed_total", "Requests shed by the admission gate.", ws.Shed)
+	counter("xftl_deadline_drops_total", "Requests dropped on deadline while queued.", ws.DeadlineDrops)
+	counter("xftl_degraded_sheds_total", "Writes shed by open write breakers.", ws.DegradedSheds)
+	counter("xftl_breaker_trips_total", "Write breaker closed-to-open transitions.", ws.BreakerTrips)
+	counter("xftl_busy_timeouts_total", "Sessions that timed out waiting for the writer lock.", ws.BusyTimeouts)
+	counter("xftl_cmd_retries_total", "Device commands retried after a timeout.", ws.CmdRetries)
+	counter("xftl_cmd_timeouts_total", "Device command attempts that timed out.", ws.CmdTimeouts)
+	gauge("xftl_in_flight", "Requests holding an admission slot right now.", int64(ws.InFlight))
+	gauge("xftl_open_txns", "Transactions currently open.", ws.OpenTxns)
+	gauge("xftl_quarantined_units", "Flash units currently quarantined, fleet-wide.", int64(ws.Quarantined))
+	gauge("xftl_units", "Flash units total, fleet-wide.", int64(ws.Units))
+	open := int64(0)
+	if ws.BreakerOpen {
+		open = 1
+	}
+	gauge("xftl_breaker_open", "1 when any shard's write breaker is open.", open)
+
+	// Served-request wall latency as a summary: quantiles precomputed
+	// by the log2 histogram.
+	lat := s.Latency()
+	fmt.Fprintf(w, "# HELP xftl_request_latency_seconds Wall latency of served data-path requests.\n")
+	fmt.Fprintf(w, "# TYPE xftl_request_latency_seconds summary\n")
+	fmt.Fprintf(w, "xftl_request_latency_seconds{quantile=\"0.5\"} %g\n", lat.P50.Seconds())
+	fmt.Fprintf(w, "xftl_request_latency_seconds{quantile=\"0.95\"} %g\n", lat.P95.Seconds())
+	fmt.Fprintf(w, "xftl_request_latency_seconds{quantile=\"0.99\"} %g\n", lat.P99.Seconds())
+	fmt.Fprintf(w, "xftl_request_latency_seconds_sum %g\n", (time.Duration(lat.Count) * lat.Mean).Seconds())
+	fmt.Fprintf(w, "xftl_request_latency_seconds_count %d\n", lat.Count)
+
+	// Stack gauges: one metric family, shard and dotted gauge name as
+	// labels, deterministic order.
+	stats := s.fleet.Gauges()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	fmt.Fprintf(w, "# HELP xftl_stack_gauge Point-in-time stack health gauges (per shard, dotted registry names).\n")
+	fmt.Fprintf(w, "# TYPE xftl_stack_gauge gauge\n")
+	for _, st := range stats {
+		shard, name := splitShard(st.Name)
+		fmt.Fprintf(w, "xftl_stack_gauge{shard=%q,name=%q} %d\n", shard, name, st.Value)
+	}
+}
+
+// splitShard peels the "shardN." prefix the fleet's Gauges() adds;
+// fleet-level counters ("fleet.*") report shard "fleet".
+func splitShard(name string) (shard, rest string) {
+	i := strings.IndexByte(name, '.')
+	if i < 0 {
+		return "", name
+	}
+	head := name[:i]
+	if head == "fleet" || strings.HasPrefix(head, "shard") {
+		return strings.TrimPrefix(head, "shard"), name[i+1:]
+	}
+	return "", name
+}

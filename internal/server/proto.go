@@ -23,6 +23,11 @@ type Request struct {
 	ID  uint64 `json:"id,omitempty"`
 	Op  string `json:"op"`
 	SQL string `json:"sql,omitempty"`
+	// DB names the target database; empty selects the server's default.
+	// The serving tier routes it to the owning shard by name. Statements
+	// inside an open transaction ignore DB — they run on the session
+	// opened by begin.
+	DB string `json:"db,omitempty"`
 	// Args are the statement's bind parameters. JSON numbers arrive as
 	// float64; integral values are coerced back to int64 server-side so
 	// INTEGER keys match.
@@ -72,6 +77,23 @@ type WireStats struct {
 	BusyTimeouts  int64 `json:"busy_timeouts"`
 	CmdRetries    int64 `json:"cmd_retries"`
 	CmdTimeouts   int64 `json:"cmd_timeouts"`
+	// Shards breaks the device-level gauges down per fleet member
+	// (present only when the tier runs more than one shard; the
+	// top-level fields hold the sums).
+	Shards []WireShard `json:"shards,omitempty"`
+}
+
+// WireShard is one fleet member's share of the health snapshot.
+type WireShard struct {
+	Shard         int   `json:"shard"`
+	Quarantined   int   `json:"quarantined_units"`
+	Units         int   `json:"units"`
+	CmdRetries    int64 `json:"cmd_retries"`
+	CmdTimeouts   int64 `json:"cmd_timeouts"`
+	BusyTimeouts  int64 `json:"busy_timeouts"`
+	DegradedSheds int64 `json:"degraded_sheds"`
+	BreakerTrips  int64 `json:"breaker_trips"`
+	BreakerOpen   bool  `json:"breaker_open"`
 }
 
 // failure builds the wire form of err per the taxonomy.

@@ -13,6 +13,7 @@ import (
 	xftl "repro"
 	"repro/internal/metrics"
 	"repro/internal/mvcc"
+	"repro/internal/shard"
 	"repro/internal/sqlite/pager"
 	"repro/internal/storage"
 )
@@ -30,8 +31,13 @@ type Options struct {
 	QueueDepth int
 	// CacheSize is the SQLite page cache per connection (default 64).
 	CacheSize int
-	// DBName is the database file served (default "serve.db").
+	// DBName is the default database served — requests that name no DB
+	// go here (default "serve.db").
 	DBName string
+	// Shards builds the tier over a fleet of independent X-FTL stacks
+	// and routes requests to shards by database name (default 1). Each
+	// shard gets its own device, queue and write breaker.
+	Shards int
 
 	// MaxConcurrent bounds requests executing on the stack at once
 	// (default 16).
@@ -87,6 +93,9 @@ func (o Options) withDefaults() Options {
 	if o.DBName == "" {
 		o.DBName = "serve.db"
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = 16
 	}
@@ -117,14 +126,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is one serving-tier instance: its own stack, mvcc manager,
-// admission gate and write breaker.
+// Server is one serving-tier instance: a fleet of stacks behind a
+// shard router (one member unless Options.Shards says otherwise), an
+// admission gate and one write breaker per shard.
 type Server struct {
-	opts Options
-	st   *xftl.Stack
-	mgr  *mvcc.Manager
-	adm  *admission
-	brk  *breaker
+	opts  Options
+	fleet *shard.Fleet
+	adm   *admission
+	brks  []*breaker
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -142,8 +151,8 @@ type Server struct {
 	lat metrics.LatencyHist
 }
 
-// New builds the stack and session manager for the given options. The
-// server owns both; Shutdown closes them.
+// New builds the fleet and default session manager for the given
+// options. The server owns them; Shutdown closes everything.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	prof := storage.OpenSSD()
@@ -155,42 +164,72 @@ func New(opts Options) (*Server, error) {
 	if opts.Mode == mvcc.MVCC {
 		mode, journal = xftl.ModeXFTL, pager.Off
 	}
-	devOpts := storage.Options{
-		QueueDepth:  opts.QueueDepth,
-		CmdDeadline: opts.CmdDeadline,
-		CmdRetries:  opts.CmdRetries,
-	}
-	st, err := xftl.NewStackDevice(prof, mode, devOpts,
-		xftl.StackOptions{CacheSize: opts.CacheSize})
-	if err != nil {
-		return nil, err
-	}
-	mgr, err := mvcc.NewManager(st.FS, opts.DBName, mvcc.Options{
-		Mode:      opts.Mode,
-		Journal:   journal,
-		CacheSize: opts.CacheSize,
-		Pipelined: opts.Mode == mvcc.MVCC,
+	fleet, err := shard.New(shard.Options{
+		Shards:  opts.Shards,
+		Profile: prof,
+		Mode:    mode,
+		Stack: xftl.StackOptions{
+			CacheSize:   opts.CacheSize,
+			QueueDepth:  opts.QueueDepth,
+			CmdDeadline: opts.CmdDeadline,
+			CmdRetries:  opts.CmdRetries,
+		},
+		Session: &mvcc.Options{
+			Mode:      opts.Mode,
+			Journal:   journal,
+			CacheSize: opts.CacheSize,
+			Pipelined: opts.Mode == mvcc.MVCC,
+		},
 	})
 	if err != nil {
-		st.Close()
 		return nil, err
+	}
+	// Open the default database eagerly so a misconfigured stack fails
+	// at construction, not on the first request.
+	if _, _, err := fleet.Manager(opts.DBName); err != nil {
+		_ = fleet.Close()
+		return nil, err
+	}
+	brks := make([]*breaker, fleet.Shards())
+	for i, st := range fleet.Stacks() {
+		brks[i] = &breaker{dev: st.Device, openFrac: opts.BreakerFraction}
 	}
 	return &Server{
 		opts:  opts,
-		st:    st,
-		mgr:   mgr,
+		fleet: fleet,
 		adm:   newAdmission(opts.MaxConcurrent, opts.MaxQueue, opts.ShedRetryAfter),
-		brk:   &breaker{dev: st.Device, openFrac: opts.BreakerFraction},
+		brks:  brks,
 		conns: make(map[*conn]struct{}),
 	}, nil
 }
 
-// Stack exposes the underlying stack (chaos hooks, gauges; loadtest
-// harnesses use it to force-quarantine units mid-run).
-func (s *Server) Stack() *xftl.Stack { return s.st }
+// Stack exposes the default database's underlying stack (chaos hooks,
+// gauges; loadtest harnesses use it to force-quarantine units mid-run).
+func (s *Server) Stack() *xftl.Stack {
+	return s.fleet.Stacks()[s.fleet.Route(s.opts.DBName)]
+}
 
-// Manager exposes the session manager (stats).
-func (s *Server) Manager() *mvcc.Manager { return s.mgr }
+// Fleet exposes the shard fleet behind the tier.
+func (s *Server) Fleet() *shard.Fleet { return s.fleet }
+
+// Manager exposes the default database's session manager (stats).
+func (s *Server) Manager() *mvcc.Manager {
+	m, _, _ := s.fleet.Manager(s.opts.DBName)
+	return m
+}
+
+// dbName resolves a request's target database (default DBName).
+func (s *Server) dbName(req *Request) string {
+	if req.DB != "" {
+		return req.DB
+	}
+	return s.opts.DBName
+}
+
+// brkFor returns the write breaker of the shard owning db.
+func (s *Server) brkFor(db string) *breaker {
+	return s.brks[s.fleet.Route(db)]
+}
 
 // Start listens on addr ("host:port"; ":0" picks a free port) and
 // serves until Shutdown.
@@ -295,11 +334,7 @@ func (s *Server) Shutdown() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	err := s.mgr.Close()
-	if cerr := s.st.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return s.fleet.Close()
 }
 
 // conn is one client connection's state: the handler goroutine, plus at
@@ -310,7 +345,7 @@ type conn struct {
 	busy atomic.Bool // a request is being handled right now
 
 	mu     sync.Mutex
-	sess   *mvcc.Session
+	sess   *shard.Session
 	sessRO bool
 }
 
@@ -320,7 +355,7 @@ func (c *conn) txnOpen() bool {
 	return c.sess != nil
 }
 
-func (c *conn) setSess(s *mvcc.Session, readonly bool) {
+func (c *conn) setSess(s *shard.Session, readonly bool) {
 	c.mu.Lock()
 	c.sess, c.sessRO = s, readonly
 	c.mu.Unlock()
@@ -328,7 +363,7 @@ func (c *conn) setSess(s *mvcc.Session, readonly bool) {
 }
 
 // takeSess detaches the open session (nil if none).
-func (c *conn) takeSess() (*mvcc.Session, bool) {
+func (c *conn) takeSess() (*shard.Session, bool) {
 	c.mu.Lock()
 	s, ro := c.sess, c.sessRO
 	c.sess = nil
@@ -339,7 +374,7 @@ func (c *conn) takeSess() (*mvcc.Session, bool) {
 	return s, ro
 }
 
-func (c *conn) curSess() *mvcc.Session {
+func (c *conn) curSess() *shard.Session {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sess
@@ -453,27 +488,29 @@ func (c *conn) account(start time.Time, resp *Response) *Response {
 	return resp
 }
 
-// beginSession propagates the request's remaining wall budget to the
-// mvcc layer as its busy budget. Virtual time advances only with
-// device work, so the wall remainder is a conservative virtual bound.
-func (s *Server) beginSession(readonly bool, deadline time.Time) (*mvcc.Session, error) {
+// beginSession routes to db's shard and propagates the request's
+// remaining wall budget to the mvcc layer as its busy budget. Virtual
+// time advances only with device work, so the wall remainder is a
+// conservative virtual bound.
+func (s *Server) beginSession(db string, readonly bool, deadline time.Time) (*shard.Session, error) {
 	budget := time.Until(deadline)
 	if budget <= 0 {
 		return nil, ErrDeadline
 	}
-	return s.mgr.BeginWithTimeout(readonly, budget)
+	return s.fleet.BeginTimeout(db, readonly, budget)
 }
 
 func (c *conn) beginTxn(req *Request, deadline time.Time) *Response {
 	if c.txnOpen() {
 		return failure(req.ID, fmt.Errorf("%w: transaction already open", ErrBadRequest))
 	}
+	db := c.srv.dbName(req)
 	if !req.Readonly {
-		if err := c.srv.brk.allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
+		if err := c.srv.brkFor(db).allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
 			return failure(req.ID, err)
 		}
 	}
-	sess, err := c.srv.beginSession(req.Readonly, deadline)
+	sess, err := c.srv.beginSession(db, req.Readonly, deadline)
 	if err != nil {
 		return failure(req.ID, err)
 	}
@@ -502,7 +539,7 @@ func (c *conn) query(req *Request, deadline time.Time) *Response {
 	sess := c.curSess()
 	autocommit := sess == nil
 	if autocommit {
-		s, err := c.srv.beginSession(true, deadline)
+		s, err := c.srv.beginSession(c.srv.dbName(req), true, deadline)
 		if err != nil {
 			return failure(req.ID, err)
 		}
@@ -527,10 +564,11 @@ func (c *conn) exec(req *Request, deadline time.Time) *Response {
 		return &Response{ID: req.ID, OK: true, Affected: n}
 	}
 	// Autocommit write: breaker, begin, exec, commit.
-	if err := c.srv.brk.allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
+	db := c.srv.dbName(req)
+	if err := c.srv.brkFor(db).allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
 		return failure(req.ID, err)
 	}
-	s, err := c.srv.beginSession(false, deadline)
+	s, err := c.srv.beginSession(db, false, deadline)
 	if err != nil {
 		return failure(req.ID, err)
 	}
@@ -546,24 +584,52 @@ func (c *conn) exec(req *Request, deadline time.Time) *Response {
 }
 
 func (s *Server) statsResponse(id uint64) *Response {
-	quar, units := s.st.Device.QuarantinePressure()
-	return &Response{ID: id, OK: true, Stats: &WireStats{
+	return &Response{ID: id, OK: true, Stats: s.WireStats()}
+}
+
+// WireStats samples the tier's health snapshot: tier-level counters
+// plus per-shard gauges, with the fleet-wide sums in the top-level
+// fields (a 1-shard tier reports exactly what it did before sharding).
+func (s *Server) WireStats() *WireStats {
+	ws := &WireStats{
 		Served:        s.served.Load(),
 		Failed:        s.failed.Load(),
 		Admitted:      s.adm.stats.Admitted.Load(),
 		Shed:          s.adm.stats.Shed.Load(),
 		DeadlineDrops: s.adm.stats.DeadlineDrops.Load(),
-		DegradedSheds: s.brk.writeSheds.Load(),
-		BreakerTrips:  s.brk.openTrips.Load(),
-		BreakerOpen:   s.brk.open.Load(),
 		InFlight:      s.adm.inFlight(),
 		OpenTxns:      s.openTxns.Load(),
-		Quarantined:   quar,
-		Units:         units,
-		BusyTimeouts:  s.mgr.Stats.BusyTimeouts.Load(),
-		CmdRetries:    s.st.Device.Queue().Retries(),
-		CmdTimeouts:   s.st.Device.Queue().Timeouts(),
-	}}
+	}
+	busyByShard := make(map[int]int64)
+	s.fleet.EachManager(func(shard int, db string, m *mvcc.Manager) {
+		busyByShard[shard] += m.Stats.BusyTimeouts.Load()
+	})
+	for i, st := range s.fleet.Stacks() {
+		quar, units := st.Device.QuarantinePressure()
+		sh := WireShard{
+			Shard:        i,
+			Quarantined:  quar,
+			Units:        units,
+			CmdRetries:   st.Device.Queue().Retries(),
+			CmdTimeouts:  st.Device.Queue().Timeouts(),
+			BusyTimeouts: busyByShard[i],
+			DegradedSheds: s.brks[i].writeSheds.Load(),
+			BreakerTrips:  s.brks[i].openTrips.Load(),
+			BreakerOpen:   s.brks[i].open.Load(),
+		}
+		ws.Quarantined += sh.Quarantined
+		ws.Units += sh.Units
+		ws.CmdRetries += sh.CmdRetries
+		ws.CmdTimeouts += sh.CmdTimeouts
+		ws.BusyTimeouts += sh.BusyTimeouts
+		ws.DegradedSheds += sh.DegradedSheds
+		ws.BreakerTrips += sh.BreakerTrips
+		ws.BreakerOpen = ws.BreakerOpen || sh.BreakerOpen
+		if s.opts.Shards > 1 {
+			ws.Shards = append(ws.Shards, sh)
+		}
+	}
+	return ws
 }
 
 // Latency snapshots the served-request wall latency histogram.

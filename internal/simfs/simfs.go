@@ -110,6 +110,17 @@ type inodeImage struct {
 	pages []int64
 }
 
+// preparedTx is the deferred commit point of a prepared (2PC phase-one)
+// transaction: the inode images of exactly the files in the prepared
+// group, as they would persist on commit. Scoping the capture to the
+// group keeps other files' commit points on the same file system
+// independent of the prepare window; the caller must still exclude
+// concurrent commits of the group's own files between Prepare and
+// resolution (the shard coordinator holds a per-shard gate for that).
+type preparedTx struct {
+	images map[string]inodeImage
+}
+
 // FS is a simulated journaling file system over one storage device.
 // File handles follow the single-writer discipline (one mutating
 // session at a time, as SQLite's locking guarantees); concurrent
@@ -143,6 +154,13 @@ type FS struct {
 	dirtyMeta   map[int64]struct{} // synthetic metadata LPNs awaiting journal commit
 	pendingFree []int64            // pages freed since the last commit point
 	journalHead int64              // next slot in the circular fs journal
+
+	// prepared holds, per device transaction id, the namespace image a
+	// coordinator commit would promote — the file-system half of a 2PC
+	// prepare. Like persisted it models durable state: the inode changes
+	// ride the device transaction as write(t,p) metadata pages, so they
+	// survive power loss exactly when the device's prepared rows do.
+	prepared map[uint64]*preparedTx
 
 	nextTid uint64
 	mounted bool
@@ -178,6 +196,7 @@ func New(dev *storage.Device, cfg Config, host *metrics.HostCounters) (*FS, erro
 		dataStart: metaRegionPages + journalRegionPages,
 		capacity:  dev.LogicalPages(),
 		dirtyMeta: make(map[int64]struct{}),
+		prepared:  make(map[uint64]*preparedTx),
 		nextTid:   1,
 		mounted:   true,
 	}
@@ -411,16 +430,21 @@ func (fs *FS) Files() []string {
 	return names
 }
 
-// commitPoint snapshots the namespace as the durable image a remount
-// would recover, and clears the dirty-metadata set.
-func (fs *FS) commitPoint() {
+// namespaceImage snapshots every inode as a durable image set.
+func (fs *FS) namespaceImage() map[string]inodeImage {
 	img := make(map[string]inodeImage, len(fs.files))
 	for name, ino := range fs.files {
 		pages := make([]int64, len(ino.pages))
 		copy(pages, ino.pages)
 		img[name] = inodeImage{role: ino.role, pages: pages}
 	}
-	fs.persisted = img
+	return img
+}
+
+// commitPoint snapshots the namespace as the durable image a remount
+// would recover, and clears the dirty-metadata set.
+func (fs *FS) commitPoint() {
+	fs.persisted = fs.namespaceImage()
 	fs.freeList = append(fs.freeList, fs.pendingFree...)
 	fs.pendingFree = fs.pendingFree[:0]
 	clear(fs.dirtyMeta)
@@ -485,6 +509,28 @@ func (fs *FS) Remount() error {
 	if err := fs.dev.Restart(); err != nil {
 		return err
 	}
+	// Settle the fate of prepared transactions the crash left behind.
+	// The device is authoritative: a tid it still reports in-doubt waits
+	// for the coordinator (ResolveInDoubt); a tid whose commit record
+	// reached the device's transaction log crashed mid-phase-two with the
+	// decision durable, so its namespace image promotes now; anything
+	// else never survived prepare (or was durably aborted) and is
+	// dropped — its pages rejoin the allocator through the rebuild below.
+	stillInDoubt := make(map[uint64]bool)
+	for _, tid := range fs.dev.InDoubt() {
+		stillInDoubt[tid] = true
+	}
+	for tid, prep := range fs.prepared {
+		if stillInDoubt[tid] {
+			continue
+		}
+		if fs.dev.FTL().TxCommitted(tid) {
+			for name, img := range prep.images {
+				fs.persisted[name] = img
+			}
+		}
+		delete(fs.prepared, tid)
+	}
 	fs.files = make(map[string]*inode)
 	used := make(map[int64]bool)
 	for name, img := range fs.persisted {
@@ -494,6 +540,17 @@ func (fs *FS) Remount() error {
 		for _, l := range pages {
 			if l >= 0 {
 				used[l] = true
+			}
+		}
+	}
+	// Pages referenced only by a still-in-doubt prepared image must not
+	// be reallocated while the coordinator's decision is pending.
+	for _, prep := range fs.prepared {
+		for _, img := range prep.images {
+			for _, l := range img.pages {
+				if l >= 0 {
+					used[l] = true
+				}
 			}
 		}
 	}
@@ -805,6 +862,180 @@ func (f *File) fsync() error {
 	default:
 		return fmt.Errorf("simfs: unknown mode %v", f.fs.cfg.Mode)
 	}
+}
+
+// Prepare runs phase one of a cross-device two-phase commit on this
+// file's transaction: it does everything the OffXFTL fsync does —
+// flush dirty data and metadata home writes under the transaction id —
+// but ends with prepare(t) instead of commit(t), so the page set is
+// durable yet invisible, and records the inode images the eventual
+// commit would promote. group names every file that shares the
+// transaction id (a multi-database group commit); the lead file itself
+// is always included. The returned tid identifies the participant
+// transaction to the coordinator; it is 0 when nothing transactional
+// was written (a read-only participant, trivially prepared).
+//
+// The caller must exclude commits of the group's files between Prepare
+// and ResolveInDoubt — the shard coordinator holds a per-shard gate
+// across the window. Unrelated files on the same file system may commit
+// freely; their images are not captured.
+func (f *File) Prepare(group ...string) (uint64, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if f.fs.cfg.Mode != OffXFTL {
+		return 0, fmt.Errorf("simfs: Prepare requires OffXFTL mode, have %v", f.fs.cfg.Mode)
+	}
+	if _, err := f.flushDirty(); err != nil {
+		return 0, err
+	}
+	if len(f.fs.dirtyMeta) > 0 {
+		tid := f.tidFor()
+		blank := make([]byte, f.fs.PageSize())
+		for lpn := range f.fs.dirtyMeta {
+			f.fs.noteWrite(trace.WFSMeta, lpn, tid)
+			if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
+				Op: ncq.OpWriteTx, TID: tid, LPN: lpn, Data: blank,
+				Sess: f.fs.ioSess, Origin: trace.OMeta,
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	tid := f.tid
+	if tid == 0 {
+		// Read-only participant: a barrier orders whatever non-
+		// transactional writes preceded it, and there is nothing to
+		// prepare.
+		return 0, f.fs.barrier()
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
+		Op: ncq.OpPrepare, TID: tid, Sess: f.fs.ioSess,
+	}); err != nil {
+		return 0, err
+	}
+	names := append([]string{f.ino.name}, group...)
+	images := make(map[string]inodeImage, len(names))
+	for _, name := range names {
+		ino, ok := f.fs.files[name]
+		if !ok {
+			continue
+		}
+		pages := make([]int64, len(ino.pages))
+		copy(pages, ino.pages)
+		images[name] = inodeImage{role: ino.role, pages: pages}
+	}
+	f.fs.prepared[tid] = &preparedTx{images: images}
+	clear(f.fs.dirtyMeta)
+	// f.tid stays set: the transaction is decided but not finished; the
+	// handle releases it in FinishPrepared.
+	return tid, nil
+}
+
+// FinishPrepared applies the coordinator's decision to this handle's
+// prepared transaction and releases the handle's transaction id.
+func (f *File) FinishPrepared(commit bool) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	tid := f.tid
+	f.tid = 0
+	if tid == 0 {
+		return nil
+	}
+	return f.fs.ResolveInDoubt(tid, commit)
+}
+
+// ResolveInDoubt applies a coordinator decision to a prepared
+// transaction — either the live continuation of File.Prepare or the
+// recovery of an in-doubt participant surfaced by InDoubt after a
+// remount. Commit makes the device transaction visible and promotes the
+// prepared namespace image to the durable commit point; abort durably
+// retracts the prepare and reverts every inode to its last committed
+// image.
+func (fs *FS) ResolveInDoubt(tid uint64, commit bool) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	prep, ok := fs.prepared[tid]
+	if !ok {
+		return fmt.Errorf("simfs: no prepared transaction %d", tid)
+	}
+	op := ncq.OpAbort
+	if commit {
+		op = ncq.OpCommit
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.dev.Queue().SubmitWait(&ncq.Request{
+		Op: op, TID: tid, Sess: fs.ioSess,
+	}); err != nil {
+		return err
+	}
+	delete(fs.prepared, tid)
+	// Reconcile exactly the prepared group's files; every other file on
+	// this file system keeps whatever state its own commits established.
+	for name, img := range prep.images {
+		if commit {
+			// Promote the prepared image to the durable commit point and
+			// make the live inode match (a no-op in the live path — the
+			// inode already holds the prepared state — and the real work
+			// after a remount rebuilt inodes from the old images).
+			pages := make([]int64, len(img.pages))
+			copy(pages, img.pages)
+			fs.persisted[name] = inodeImage{role: img.role, pages: pages}
+			live := make([]int64, len(img.pages))
+			copy(live, img.pages)
+			if ino, ok := fs.files[name]; ok {
+				ino.role = img.role
+				ino.pages = live
+			} else {
+				fs.files[name] = &inode{name: name, role: img.role, pages: live}
+			}
+			continue
+		}
+		// Abort: the inode reverts to its last committed image, and pages
+		// only the prepared image referenced go back to the allocator.
+		old, existed := fs.persisted[name]
+		keep := make(map[int64]bool, len(old.pages))
+		for _, l := range old.pages {
+			if l >= 0 {
+				keep[l] = true
+			}
+		}
+		for _, l := range img.pages {
+			if l >= 0 && !keep[l] {
+				fs.freeList = append(fs.freeList, l)
+			}
+		}
+		if !existed {
+			delete(fs.files, name)
+			continue
+		}
+		pages := make([]int64, len(old.pages))
+		copy(pages, old.pages)
+		if ino, ok := fs.files[name]; ok {
+			ino.role = old.role
+			ino.pages = pages
+		} else {
+			fs.files[name] = &inode{name: name, role: old.role, pages: pages}
+		}
+	}
+	return nil
+}
+
+// InDoubt lists prepared transactions whose coordinator decision is
+// unknown after a remount. Each must be resolved with ResolveInDoubt
+// before new writers are admitted.
+func (fs *FS) InDoubt() []uint64 {
+	ids := make([]uint64, 0, len(fs.prepared))
+	for tid := range fs.prepared {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Abort implements the new ioctl request type of §5.1/§5.2: cached

@@ -355,50 +355,12 @@ func CommitAtomic(dbs ...*DB) error {
 	if len(dbs) == 1 {
 		return dbs[0].Commit()
 	}
-	for _, db := range dbs {
-		if !db.explicitTx {
-			return fmt.Errorf("%w: CommitAtomic requires an open transaction on every database", ErrTxState)
-		}
-		if db.pg.Mode() != pager.Off {
-			return fmt.Errorf("%w: CommitAtomic requires X-FTL (journal mode off)", ErrUnsupported)
-		}
-		if db.fs != dbs[0].fs {
-			return fmt.Errorf("%w: CommitAtomic requires one shared file system", ErrMisuse)
-		}
-	}
 	// Stage every database's dirty pages: first into the file-system
 	// cache, then to the device as write(t,p) under the lead file's
 	// transaction id, so the whole group rides one X-L2P transaction.
-	lead := dbs[0].pg.File()
-	for _, db := range dbs {
-		if err := db.pg.FlushForGroupCommit(); err != nil {
-			return err
-		}
-	}
-	if err := lead.FlushAll(); err != nil {
+	lead, err := stageGroup(dbs)
+	if err != nil {
 		return err
-	}
-	tid := lead.TxID()
-	for _, db := range dbs[1:] {
-		f := db.pg.File()
-		if own := f.TxID(); own != 0 && own != tid {
-			// The follower stole writes to the device under its own id
-			// before the group commit was requested; those cannot be
-			// re-tagged. Callers avoid this by sizing the page cache to
-			// the transaction (as the X-L2P capacity requires anyway).
-			return fmt.Errorf("%w: database %s has stolen writes under a different device transaction",
-				ErrTxState, db.name)
-		}
-		if tid != 0 {
-			f.AdoptTx(tid)
-		}
-		if err := f.FlushAll(); err != nil {
-			return err
-		}
-		if tid == 0 {
-			tid = f.TxID()
-			lead.AdoptTx(tid)
-		}
 	}
 	// One fsync on the lead commits the shared transaction, carrying
 	// every file's data (and metadata) atomically.
@@ -407,6 +369,99 @@ func CommitAtomic(dbs ...*DB) error {
 	}
 	for _, db := range dbs {
 		db.pg.FinishGroupCommit()
+		db.explicitTx = false
+	}
+	return nil
+}
+
+// stageGroup pushes every database's dirty pages to the device under
+// one shared transaction id (the staging half of CommitAtomic, reused
+// by PrepareAtomic). Returns the lead file; its TxID after staging is
+// the group's tid (0 if nothing was written).
+func stageGroup(dbs []*DB) (*simfs.File, error) {
+	for _, db := range dbs {
+		if !db.explicitTx {
+			return nil, fmt.Errorf("%w: group commit requires an open transaction on every database", ErrTxState)
+		}
+		if db.pg.Mode() != pager.Off {
+			return nil, fmt.Errorf("%w: group commit requires X-FTL (journal mode off)", ErrUnsupported)
+		}
+		if db.fs != dbs[0].fs {
+			return nil, fmt.Errorf("%w: group commit requires one shared file system", ErrMisuse)
+		}
+	}
+	lead := dbs[0].pg.File()
+	for _, db := range dbs {
+		if err := db.pg.FlushForGroupCommit(); err != nil {
+			return nil, err
+		}
+	}
+	if err := lead.FlushAll(); err != nil {
+		return nil, err
+	}
+	tid := lead.TxID()
+	for _, db := range dbs[1:] {
+		f := db.pg.File()
+		if own := f.TxID(); own != 0 && own != tid {
+			return nil, fmt.Errorf("%w: database %s has stolen writes under a different device transaction",
+				ErrTxState, db.name)
+		}
+		if tid != 0 {
+			f.AdoptTx(tid)
+		}
+		if err := f.FlushAll(); err != nil {
+			return nil, err
+		}
+		if tid == 0 {
+			tid = f.TxID()
+			lead.AdoptTx(tid)
+		}
+	}
+	return lead, nil
+}
+
+// PrepareAtomic runs phase one of a cross-shard two-phase commit for
+// the open transactions on these databases (all on one file system):
+// every dirty page is staged to the device under one shared transaction
+// id, then a single prepare(t) makes the page set durable without
+// making it visible. The returned tid names the participant to the
+// fleet coordinator; 0 means the group wrote nothing and is trivially
+// prepared. The transactions stay open until FinishPrepared delivers
+// the coordinator's decision.
+func PrepareAtomic(dbs ...*DB) (uint64, error) {
+	if len(dbs) == 0 {
+		return 0, nil
+	}
+	lead, err := stageGroup(dbs)
+	if err != nil {
+		return 0, err
+	}
+	group := make([]string, 0, len(dbs))
+	for _, db := range dbs[1:] {
+		group = append(group, db.pg.File().Name())
+	}
+	return lead.Prepare(group...)
+}
+
+// FinishPrepared applies the coordinator's commit/abort decision to a
+// group previously staged with PrepareAtomic. The lead file resolves
+// the shared device transaction (and the file-system namespace) once;
+// each pager then reconciles its cache with the outcome.
+func FinishPrepared(commit bool, dbs ...*DB) error {
+	if len(dbs) == 0 {
+		return nil
+	}
+	lead := dbs[0].pg.File()
+	if err := lead.FinishPrepared(commit); err != nil {
+		return err
+	}
+	for _, db := range dbs {
+		// Followers shared the lead's tid; clear their handles without a
+		// second device resolution.
+		if f := db.pg.File(); f != lead && f.TxID() != 0 {
+			f.AdoptTx(0)
+		}
+		db.pg.FinishPreparedTx(commit)
 		db.explicitTx = false
 	}
 	return nil

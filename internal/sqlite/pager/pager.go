@@ -1139,6 +1139,40 @@ func (p *Pager) FinishGroupCommit() {
 	p.Commits++
 }
 
+// FinishPreparedTx concludes a transaction whose fate a fleet
+// coordinator decided after a group prepare. The device-side commit or
+// abort — and the file-system image promotion or revert — already
+// happened via simfs.ResolveInDoubt, so this only reconciles the
+// pager's cached state with the decision: a commit keeps the cache, an
+// abort drops the transaction's pages and rewinds the header snapshot
+// exactly as Rollback does (minus the device abort, which must not be
+// issued twice for the shared transaction id).
+func (p *Pager) FinishPreparedTx(commit bool) {
+	if !p.inTx {
+		return
+	}
+	if commit {
+		p.finishTx()
+		p.Commits++
+		return
+	}
+	for pgno := range p.dirty {
+		p.dropCached(pgno)
+	}
+	for pgno := range p.stolen {
+		p.dropCached(pgno)
+	}
+	clear(p.dirty)
+	p.nPages = p.txNPages
+	p.freelist = p.txFreelist
+	p.schema = p.txSchema
+	p.inTx = false
+	p.journaled = nil
+	p.stolen = nil
+	p.Rollbacks++
+	p.noteTxn(trace.KTxn, 0)
+}
+
 // finishTx clears per-transaction state after a successful commit.
 func (p *Pager) finishTx() {
 	p.inTx = false

@@ -426,6 +426,14 @@ func (d *Device) execute(r *ncq.Request) error {
 		}
 		d.chargeCmd(1)
 		return d.lost(d.x.SnapshotRead(core.SnapID(r.TID), ftl.LPN(r.LPN), r.Buf))
+	case ncq.OpPrepare:
+		if d.x == nil {
+			return ErrNotTransactional
+		}
+		d.chargeCmd(0)
+		d.barriers.Add(1)
+		d.sched.ChargeController(d.prof.BarrierOverhead)
+		return d.lost(d.x.Prepare(core.TxID(r.TID)))
 	default:
 		return fmt.Errorf("storage: unknown op %v", r.Op)
 	}
@@ -516,6 +524,32 @@ func (d *Device) Abort(tid uint64) error {
 		return ErrNotTransactional
 	}
 	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpAbort, TID: tid})
+}
+
+// Prepare services prepare(t), phase one of a cross-device two-phase
+// commit: the transaction's page set becomes durable without becoming
+// visible, and the device guarantees a later Commit will succeed. Like
+// commit, it fences the queue and pays the barrier overhead.
+func (d *Device) Prepare(tid uint64) error {
+	if d.x == nil {
+		return ErrNotTransactional
+	}
+	return d.q.SubmitWait(&ncq.Request{Op: ncq.OpPrepare, TID: tid})
+}
+
+// InDoubt lists prepared transactions the last Restart recovered whose
+// coordinator decision is unknown to this device. Each must be resolved
+// with Commit or Abort.
+func (d *Device) InDoubt() []uint64 {
+	if d.x == nil {
+		return nil
+	}
+	ids := d.x.InDoubt()
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
 }
 
 // SnapshotOpen pins the committed state as of now and returns a

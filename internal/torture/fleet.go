@@ -1,0 +1,187 @@
+// Fleet 2PC torture: cross-shard transactions killed by power cuts at
+// every stage of the two-phase commit protocol, over a grid of seeds.
+// The invariant is atomicity across devices: after recovery, every
+// cross-shard transaction is visible on all of its participants or on
+// none of them — never a mix — and which of the two is dictated by
+// whether the coordinator record on shard 0 became durable before the
+// lights went out.
+package torture
+
+import (
+	"fmt"
+
+	xftl "repro"
+	"repro/internal/shard"
+)
+
+// FleetOptions configures the fleet 2PC torture sweep.
+type FleetOptions struct {
+	Seeds  []int64
+	Shards int
+	// Warmup is the number of committed cross-shard transactions before
+	// the one that gets killed, so recovery must also preserve history.
+	Warmup   int
+	Progress func(format string, args ...any)
+}
+
+// DefaultFleetOptions is the acceptance grid: 3-shard fleets, every
+// 2PC stage cut once per seed.
+func DefaultFleetOptions() FleetOptions {
+	return FleetOptions{
+		Seeds:  []int64{1, 2, 3, 4},
+		Shards: 3,
+		Warmup: 3,
+	}
+}
+
+// fleetStages enumerates every crash point of an n-participant commit,
+// in protocol order.
+func fleetStages(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("prepared:%d", i))
+	}
+	out = append(out, "decision-logged")
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("committed:%d", i))
+	}
+	return out
+}
+
+// FleetSweep runs the grid. Each run builds a fresh fleet, commits
+// Warmup cross-shard transactions, kills one more at the stage under
+// test, remounts, and verifies atomicity plus history.
+func FleetSweep(o FleetOptions) (*Report, error) {
+	rep := &Report{}
+	for _, seed := range o.Seeds {
+		for _, stage := range fleetStages(o.Shards) {
+			if o.Progress != nil {
+				o.Progress("fleet seed=%d cut=%s", seed, stage)
+			}
+			r, err := fleetRun(o, seed, stage)
+			if err != nil {
+				return rep, fmt.Errorf("seed %d cut %s: %w", seed, stage, err)
+			}
+			rep.Add(r)
+		}
+	}
+	return rep, nil
+}
+
+// fleetRun is one grid cell.
+func fleetRun(o FleetOptions, seed int64, stage string) (*Report, error) {
+	rep := &Report{Runs: 1}
+	rep.noteSeed(seed)
+	f, err := shard.New(shard.Options{
+		Shards:  o.Shards,
+		Profile: xftl.OpenSSD(),
+		Mode:    xftl.ModeXFTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+
+	// One database per shard, spread by probing names off the seed so
+	// different seeds exercise different name→shard layouts.
+	dbs := make([]string, 0, o.Shards)
+	seen := make(map[int]bool)
+	for i := 0; len(dbs) < o.Shards; i++ {
+		db := fmt.Sprintf("t%d-%d.db", seed, i)
+		if s := f.Route(db); !seen[s] {
+			seen[s] = true
+			dbs = append(dbs, db)
+		}
+	}
+	for _, db := range dbs {
+		s, err := f.Begin(db, false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+			return nil, err
+		}
+		if _, err := s.Exec("INSERT INTO kv VALUES (1, 0)"); err != nil {
+			return nil, err
+		}
+		if err := s.Commit(); err != nil {
+			return nil, err
+		}
+	}
+
+	// History: Warmup committed cross-shard transactions.
+	for n := 1; n <= o.Warmup; n++ {
+		tx, err := f.BeginCross(dbs...)
+		if err != nil {
+			return nil, err
+		}
+		for _, db := range dbs {
+			if _, err := tx.Exec(db, fmt.Sprintf("UPDATE kv SET v = %d WHERE k = 1", n)); err != nil {
+				return nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		rep.Transactions++
+		rep.Committed++
+	}
+
+	// The victim: killed at the stage under test.
+	const crashVal = 1 << 20
+	tx, err := f.BeginCross(dbs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, db := range dbs {
+		if _, err := tx.Exec(db, fmt.Sprintf("UPDATE kv SET v = %d WHERE k = 1", crashVal)); err != nil {
+			return nil, err
+		}
+	}
+	f.SetCrashHook(func(s string) bool { return s == stage })
+	if err := tx.Commit(); err == nil {
+		return nil, fmt.Errorf("commit survived a power cut at %s", stage)
+	}
+	f.SetCrashHook(nil)
+	rep.Transactions++
+	rep.InDoubt++
+	rep.Crashes++
+
+	if err := f.Remount(); err != nil {
+		return nil, fmt.Errorf("remount: %w", err)
+	}
+	if id := f.InDoubt(); len(id) != 0 {
+		return nil, fmt.Errorf("unresolved in-doubt after remount: %v", id)
+	}
+
+	// Verify: every participant shows either the full history (warmup
+	// value) or the victim — and all participants agree.
+	committed := 0
+	for _, db := range dbs {
+		s, err := f.Begin(db, true)
+		if err != nil {
+			return nil, err
+		}
+		row, ok, err := s.QueryRow("SELECT v FROM kv WHERE k = 1")
+		if err != nil || !ok {
+			_ = s.Rollback()
+			return nil, fmt.Errorf("%s: read back: %v", db, err)
+		}
+		v := row[0].Int()
+		if err := s.Commit(); err != nil {
+			return nil, err
+		}
+		switch v {
+		case crashVal:
+			committed++
+		case int64(o.Warmup):
+			// aborted: pre-victim history intact
+		default:
+			return nil, fmt.Errorf("%s: v = %d, want %d or %d", db, v, o.Warmup, crashVal)
+		}
+	}
+	if committed != 0 && committed != len(dbs) {
+		return nil, fmt.Errorf("cut at %s: %d/%d participants committed — mixed outcome", stage, committed, len(dbs))
+	}
+	return rep, nil
+}

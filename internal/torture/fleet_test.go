@@ -1,0 +1,19 @@
+package torture
+
+import "testing"
+
+// TestFleetSweepQuick runs one seed of the fleet 2PC torture grid:
+// every crash stage of a 3-shard cross-shard commit, verified
+// all-or-nothing after recovery.
+func TestFleetSweepQuick(t *testing.T) {
+	o := DefaultFleetOptions()
+	o.Seeds = o.Seeds[:1]
+	rep, err := FleetSweep(o)
+	if err != nil {
+		t.Fatalf("FleetSweep: %v (report %s)", err, rep)
+	}
+	if rep.Crashes == 0 || rep.InDoubt == 0 {
+		t.Fatalf("sweep tripped no crashes: %s", rep)
+	}
+	t.Logf("fleet 2pc: %s", rep)
+}

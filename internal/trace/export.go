@@ -143,7 +143,7 @@ func eventName(ev *Event) string {
 // opName decodes the ncq.Op byte without importing ncq (which imports
 // this package). Mirrors ncq.Op.String.
 func opName(op uint8) string {
-	names := [...]string{"read", "write", "trim", "barrier", "readtx", "writetx", "commit", "abort", "snapread"}
+	names := [...]string{"read", "write", "trim", "barrier", "readtx", "writetx", "commit", "abort", "snapread", "prepare"}
 	if int(op) < len(names) {
 		return names[op]
 	}

@@ -89,6 +89,7 @@ const (
 	KRetry                  // NCQ command retry; Addr=lpn, Aux=attempt, Unit set
 	KTimeout                // NCQ command deadline exceeded; Addr=lpn, Aux=attempt, Unit set
 	KQuarantine             // unit quarantine transition; Unit set, Aux: 1=enter 0=re-admit
+	KXPrepare               // X-FTL 2PC prepare span; Aux=prepared entries
 )
 
 func (k Kind) String() string {
@@ -129,6 +130,8 @@ func (k Kind) String() string {
 		return "timeout"
 	case KQuarantine:
 		return "quarantine"
+	case KXPrepare:
+		return "x-prepare"
 	default:
 		return "kind?"
 	}
@@ -291,6 +294,56 @@ func (t *Tracer) Events() []Event {
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
 	return out
+}
+
+// Merge combines several tracers' recorded events into one snapshot
+// tracer for export: each source generation becomes a distinct
+// generation of the result (labels preserved), so per-shard tracers —
+// one per fleet member, each on its own virtual clock — render side by
+// side in one Chrome trace. The result is detached from any clock and
+// must not be used for further recording.
+func Merge(ts ...*Tracer) *Tracer {
+	out := New()
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		t.mu.Lock()
+		base := uint16(len(out.labels))
+		out.labels = append(out.labels, t.labels...)
+		for _, ev := range t.events {
+			if ev.Gen > 0 {
+				ev.Gen += base
+			}
+			out.events = append(out.events, ev)
+		}
+		t.mu.Unlock()
+	}
+	out.gen = uint16(len(out.labels))
+	return out
+}
+
+// Absorb appends other tracers' recorded events into t, each source
+// generation becoming a new generation of t (Merge semantics, but
+// accumulating into a caller-owned tracer — the shape the bench driver
+// needs when -trace hands it one tracer and a fleet run produces one
+// per member).
+func (t *Tracer) Absorb(others ...*Tracer) {
+	merged := Merge(others...)
+	if t == nil || len(merged.events) == 0 && len(merged.labels) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := uint16(len(t.labels))
+	t.labels = append(t.labels, merged.labels...)
+	for _, ev := range merged.events {
+		if ev.Gen > 0 {
+			ev.Gen += base
+		}
+		t.events = append(t.events, ev)
+	}
+	t.gen = uint16(len(t.labels))
 }
 
 // SetFirmSession sets the firmware-context session id and returns the

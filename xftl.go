@@ -2,6 +2,7 @@ package xftl
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -109,7 +110,13 @@ func (s *Stack) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	s.Device.Queue().Drain()
+	// Queue.Close drains and then rejects stragglers: once a fleet
+	// member is closed, a misrouted submission fails fast with
+	// ncq.ErrQueueClosed instead of executing against (and advancing the
+	// virtual clock of) a half-torn-down device — and because each
+	// member's queue has its own mutex and clock, closing one member can
+	// never block another member's drain.
+	s.Device.Queue().Close()
 	return nil
 }
 
@@ -140,6 +147,12 @@ type StackOptions struct {
 	// the derived default — long runs on faulty flash retire blocks
 	// steadily, and without headroom retirement exhausts the GC pool.
 	FTLSpareBlocks int
+	// QueueDepth overrides the device's NCQ depth (0: profile default).
+	QueueDepth int
+	// CmdDeadline / CmdRetries configure the NCQ retry plane (0: the
+	// storage defaults). See storage.Options.
+	CmdDeadline time.Duration
+	CmdRetries  int
 }
 
 // NewStack builds the device and file system for a mode on the given
@@ -158,6 +171,9 @@ func NewStackOptions(prof Profile, mode Mode, opts StackOptions) (*Stack, error)
 	}
 	devOpts.FTL.SpareBlocks = opts.FTLSpareBlocks
 	devOpts.Fault = opts.Fault
+	devOpts.QueueDepth = opts.QueueDepth
+	devOpts.CmdDeadline = opts.CmdDeadline
+	devOpts.CmdRetries = opts.CmdRetries
 	return NewStackDevice(prof, mode, devOpts, opts)
 }
 
@@ -202,6 +218,101 @@ func NewStackDevice(prof Profile, mode Mode, devOpts storage.Options, opts Stack
 			CheckpointPages: opts.CheckpointPages,
 		},
 	}, nil
+}
+
+// AttachTracer gives the stack its own tracer generation: the tracer is
+// bound to this stack's clock under the given label and installed on
+// every layer. Fleet members each call this on a private tracer (one
+// tracer cannot serve two concurrently running stacks — the generation
+// is stamped at record time from tracer-global state); trace.Merge
+// combines the per-member tracers for one side-by-side export.
+func (s *Stack) AttachTracer(t *trace.Tracer, label string) {
+	t.Attach(s.Clock, label)
+	s.SetTracer(t)
+}
+
+// FleetSpec configures a fleet of independent stacks — the shard
+// substrate. Every member shares one hardware profile, mode and tuning
+// options but owns its device, clock, file system and (derived) fault
+// model, so members simulate in parallel without serializing on any
+// shared state.
+type FleetSpec struct {
+	Shards  int
+	Profile Profile
+	Mode    Mode
+	Options StackOptions
+
+	// FaultSeed, when non-zero, installs an independent NAND fault model
+	// on each member, seeded FaultSeed+shard — the same fault class
+	// everywhere, different outcome streams. A shared Options.Fault would
+	// couple the members' RNG state and is rejected for Shards > 1.
+	FaultSeed int64
+
+	// Trace attaches a private tracer per member, labeled "shard N".
+	Trace bool
+}
+
+// NewFleet builds N independent stacks. Construction is cheap — pure
+// struct wiring, no goroutines, no preallocation beyond each device's
+// page store — so fleets are sized by the experiment, not the
+// constructor. The returned tracers are nil unless spec.Trace is set
+// (index-aligned with the stacks; merge with trace.Merge for export).
+func NewFleet(spec FleetSpec) ([]*Stack, []*trace.Tracer, error) {
+	if spec.Shards <= 0 {
+		spec.Shards = 1
+	}
+	if spec.Options.Fault != nil && spec.Shards > 1 {
+		return nil, nil, fmt.Errorf("xftl: a shared fault model cannot serve %d shards; use FleetSpec.FaultSeed", spec.Shards)
+	}
+	stacks := make([]*Stack, spec.Shards)
+	tracers := make([]*trace.Tracer, spec.Shards)
+	for i := range stacks {
+		opts := spec.Options
+		if spec.FaultSeed != 0 {
+			opts.Fault = nand.DefaultFaultModel(spec.FaultSeed + int64(i))
+		}
+		st, err := NewStackOptions(spec.Profile, spec.Mode, opts)
+		if err != nil {
+			// Unwind the members already built so no queue outlives the
+			// failed constructor.
+			for _, prev := range stacks[:i] {
+				_ = prev.Close()
+			}
+			return nil, nil, fmt.Errorf("xftl: fleet shard %d: %w", i, err)
+		}
+		if spec.Trace {
+			tracers[i] = trace.New()
+			st.AttachTracer(tracers[i], fmt.Sprintf("shard %d", i))
+		}
+		stacks[i] = st
+	}
+	return stacks, tracers, nil
+}
+
+// CloseFleet closes every member concurrently and returns the first
+// error. Concurrency is safe — each member's queue drain touches only
+// that member's mutex and clock — and it is the natural shutdown shape
+// for a fleet whose members are independent simulations.
+func CloseFleet(stacks []*Stack) error {
+	errs := make([]error, len(stacks))
+	var wg sync.WaitGroup
+	for i, st := range stacks {
+		if st == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *Stack) {
+			defer wg.Done()
+			errs[i] = st.Close()
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // OpenDB opens (or creates) a database on the stack's file system with
