@@ -51,6 +51,7 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the degraded-mode error-storm sweep: transient faults, die hangs, command deadlines, quarantine and mid-storm power cuts")
 	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-generator defaults)")
 	shards := flag.Int("shards", 4, "maximum shard count for the fleet experiment (swept in powers of two from 1)")
+	journal := flag.String("journal", "rbj", "rwconc baseline arm for the speedup comparison: rbj (serialized rollback journal) or wal (concurrent WAL readers)")
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
 	tracePath := flag.String("trace", "", "record cross-layer events and write Chrome trace-event JSON (Perfetto-loadable) to this path")
@@ -132,6 +133,11 @@ func main() {
 	what := flag.Arg(0)
 	doc := &bench.JSONDoc{Tool: "xftlbench", Quick: *quick, Seed: *seed, FaultScale: *faults}
 	opts.FleetShards = *shards
+	if *journal != "rbj" && *journal != "wal" {
+		fmt.Fprintf(os.Stderr, "xftlbench: -journal must be rbj or wal, got %q\n", *journal)
+		os.Exit(2)
+	}
+	opts.Journal = *journal
 	if err := run(what, opts, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "xftlbench %s: %v\n", what, err)
 		os.Exit(1)
@@ -419,6 +425,32 @@ func runTorture(quick bool, faults float64, seed int64) error {
 		magg.Add(r)
 	}
 	fmt.Printf("mvcc sessions: %s\n", magg)
+
+	// Pooled-reader torture: the same workload with readers served
+	// through the warm connection pool, and the manager kept alive
+	// across the power cut — the pool's epoch check must invalidate
+	// every pre-cut connection before serving a post-recovery read.
+	pagg := &torture.Report{}
+	for _, seed := range mvccSeeds {
+		r, err := torture.RunPooledCut(torture.DefaultMVCCOptions(seed))
+		if err != nil {
+			return fmt.Errorf("pooled mvcc seed %d: %w", seed, err)
+		}
+		pagg.Add(r)
+	}
+	fmt.Printf("mvcc pooled:   %s\n", pagg)
+
+	// WAL concurrent-reader torture: readers on captured log views
+	// racing the appending writer, recovery by log replay on reopen.
+	wagg := &torture.Report{}
+	for _, seed := range mvccSeeds {
+		r, err := torture.RunWALConcCut(torture.DefaultMVCCOptions(seed))
+		if err != nil {
+			return fmt.Errorf("walconc seed %d: %w", seed, err)
+		}
+		wagg.Add(r)
+	}
+	fmt.Printf("wal readers:   %s\n", wagg)
 
 	// Fleet 2PC torture: cross-shard transactions killed at every stage
 	// of the two-phase commit protocol; recovery must leave each one

@@ -43,6 +43,7 @@ func main() {
 	modeFlag := flag.String("mode", "xftl", "session model: xftl (MVCC snapshot readers) or rollback (serialized baseline)")
 	channels := flag.Int("channels", 8, "flash array channel count")
 	shards := flag.Int("shards", 1, "shard the tier across N independent X-FTL stacks, routing requests by database name")
+	readPool := flag.Int("readpool", 0, "warm reader connections pooled per database (0 = default 8, negative disables; xftl mode only)")
 	loadtestMode := flag.Bool("loadtest", false, "run the SLO load-test scenario instead of serving")
 	quick := flag.Bool("quick", false, "loadtest: reduced legs (CI smoke mode)")
 	quiet := flag.Bool("quiet", false, "loadtest: suppress progress output")
@@ -64,11 +65,11 @@ func main() {
 	if *loadtestMode {
 		os.Exit(runLoadtest(mode, *quick, *quiet, *seed, *jsonPath))
 	}
-	os.Exit(serve(*addr, *metricsAddr, mode, *channels, *shards))
+	os.Exit(serve(*addr, *metricsAddr, mode, *channels, *shards, *readPool))
 }
 
-func serve(addr, metricsAddr string, mode mvcc.Mode, channels, shards int) int {
-	srv, err := server.New(server.Options{Mode: mode, Channels: channels, Shards: shards})
+func serve(addr, metricsAddr string, mode mvcc.Mode, channels, shards, readPool int) int {
+	srv, err := server.New(server.Options{Mode: mode, Channels: channels, Shards: shards, ReadPool: readPool})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xftlserver: %v\n", err)
 		return 1

@@ -57,6 +57,11 @@ type Options struct {
 	// two from 1; 0 means the default of 4). Set from xftlbench's
 	// -shards flag.
 	FleetShards int
+	// Journal selects the rwconc baseline arm the speedup notes compare
+	// against: "rbj" (default) is the serialized rollback-journal
+	// control, "wal" the WAL concurrent-reader arm. Both arms run
+	// either way. Set from xftlbench's -journal flag.
+	Journal string
 }
 
 // seedOr resolves the effective seed: the -seed override when set,

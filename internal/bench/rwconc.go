@@ -12,6 +12,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,11 @@ type RWConfig struct {
 	// by the deadline x retry budget instead of the raw stall length.
 	Degraded bool
 
+	// Pooled enables the warm reader pool (capacity = Readers) on the
+	// MVCC arm and appends a steady-state read-only phase after the
+	// writer drains, over which the pool hit ratio is measured.
+	Pooled bool
+
 	// Label names the point (and its tracer generation when tracing).
 	Label string
 	// Trace, when set, is attached to the point's stack after seeding so
@@ -71,6 +77,14 @@ type RWPoint struct {
 	SnapReads   int64 `json:"snap_reads"`
 	SnapOldHits int64 `json:"snap_old_hits"`
 	WriterWaits int64 `json:"writer_waits"`
+	// Journal is the arm's writer journal mode (off, rollback, wal).
+	Journal string `json:"journal,omitempty"`
+
+	// Warm reader-pool counters over the steady-state read phase
+	// (Pooled points only).
+	PoolHits     int64   `json:"pool_hits,omitempty"`
+	PoolMisses   int64   `json:"pool_misses,omitempty"`
+	PoolHitRatio float64 `json:"pool_hit_ratio,omitempty"`
 
 	// Degraded-mode counters (Degraded points only).
 	Retries          int64 `json:"retries,omitempty"`
@@ -114,8 +128,11 @@ const (
 // scheduling.
 func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 	mode, journal := RBJ, pager.Rollback
-	if cfg.Mode == mvcc.MVCC {
+	switch cfg.Mode {
+	case mvcc.MVCC:
 		mode, journal = XFTL, pager.Off
+	case mvcc.WALConc:
+		mode, journal = WAL, pager.WAL
 	}
 	devOpts := storage.Options{QueueDepth: cfg.Depth}
 	if cfg.Degraded {
@@ -127,16 +144,24 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := mvcc.NewManager(st.FS, "rw.db", mvcc.Options{
+	mgrOpts := mvcc.Options{
 		Mode:      cfg.Mode,
 		Journal:   journal,
 		CacheSize: cfg.CacheSize,
-		Pipelined: cfg.Mode == mvcc.MVCC,
-	})
+		Pipelined: cfg.Mode == mvcc.MVCC || cfg.Mode == mvcc.WALConc,
+	}
+	if cfg.Pooled {
+		mgrOpts.PoolCapacity = cfg.Readers
+	}
+	mgr, err := mvcc.NewManager(st.FS, "rw.db", mgrOpts)
 	if err != nil {
 		return nil, err
 	}
 	defer mgr.Close()
+	// Session-layer gauges (reader pool, WAL checkpointing) ride the
+	// stack registry so they land in the point's gauge snapshot and,
+	// in the serving tier, on /metrics.
+	mgr.RegisterGauges(st.Gauges, "")
 
 	// Seed the table: fixed-width rows so every point SELECT costs a
 	// real page read once the cache is cold.
@@ -288,6 +313,7 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		pt.WriterTPS = float64(pt.WriterTx) / elapsed.Seconds()
 	}
 	pt.Label = cfg.Label
+	pt.Journal = journal.String()
 	pt.ReaderIO = mgr.ReaderIO.Host.Snapshot().Sub(readerIO0)
 	pt.WriterIO = mgr.WriterIO.Host.Snapshot().Sub(writerIO0)
 	merged := &metrics.LatencyHist{}
@@ -296,14 +322,146 @@ func RunRWPoint(cfg RWConfig) (*RWPoint, error) {
 		pt.ReaderLats = append(pt.ReaderLats, sc.ReadLat.Snapshot())
 	}
 	pt.ReaderLat = merged.Snapshot()
+
+	// Steady-state read phase (pooled arm): the writer has drained, so
+	// the committed generation is frozen — after one warm-up round
+	// populates the pool, every read session should check out warm. The
+	// hit ratio is measured over this phase alone; during the
+	// concurrent window commits invalidate the pool by design.
+	if cfg.Pooled {
+		base, _ := mgr.PoolStats()
+		steadyTx := cfg.ReaderTx
+		if steadyTx < 20 {
+			steadyTx = 20
+		}
+		var swg sync.WaitGroup
+		for r := 0; r < cfg.Readers; r++ {
+			swg.Add(1)
+			go func(r int) {
+				defer swg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729))
+				for t := 0; t < steadyTx && !stop.Load(); t++ {
+					s, err := mgr.BeginWith(true, readerStats[r])
+					if err != nil {
+						fail(err)
+						return
+					}
+					k := rng.Int63n(int64(cfg.Rows))
+					if _, _, err := s.QueryRow("SELECT v FROM kv WHERE k = ?", k); err != nil {
+						fail(err)
+						_ = s.Rollback()
+						return
+					}
+					if err := s.Commit(); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}(r)
+		}
+		swg.Wait()
+		st.Device.Queue().Drain()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return nil, err
+		}
+		now, _ := mgr.PoolStats()
+		pt.PoolHits = now.Hits - base.Hits
+		pt.PoolMisses = now.Misses - base.Misses
+		if n := pt.PoolHits + pt.PoolMisses; n > 0 {
+			pt.PoolHitRatio = float64(pt.PoolHits) / float64(n)
+		}
+	}
 	pt.Gauges = st.Gauges.Snapshot()
 	return pt, nil
+}
+
+// Short-read micro-leg sizing: enough transactions for a stable median
+// after the warm-up rounds are discarded.
+const (
+	shortReadTx     = 48
+	shortReadWarmup = 4
+)
+
+// runShortRead measures the short-read path — one session is a
+// snapshot open, a single point SELECT, and a close — in virtual time
+// per transaction, with or without the warm reader pool. This is the
+// cost the pool exists to remove: a cold open pays catalog and btree
+// root reads from the device on every transaction, a warm checkout
+// reuses them from the pooled pager cache.
+func runShortRead(opts Options, pooled bool) (time.Duration, error) {
+	prof := storage.OpenSSD()
+	prof.Nand.Channels = 8
+	prof.Nand.Ways = 1
+	prof.Channels = 8
+	st, err := xftl.NewStackDevice(prof, XFTL, storage.Options{QueueDepth: 32},
+		xftl.StackOptions{CacheSize: 64})
+	if err != nil {
+		return 0, err
+	}
+	mgrOpts := mvcc.Options{Mode: mvcc.MVCC, Journal: pager.Off, CacheSize: 64, Pipelined: true}
+	if pooled {
+		mgrOpts.PoolCapacity = 4
+	}
+	mgr, err := mvcc.NewManager(st.FS, "short.db", mgrOpts)
+	if err != nil {
+		return 0, err
+	}
+	defer mgr.Close()
+	w, err := mgr.Begin(false)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		return 0, err
+	}
+	const rows = 512
+	for k := 0; k < rows; k++ {
+		if _, err := w.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", int64(k), int64(k)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(opts.seedOr(42)))
+	durs := make([]time.Duration, 0, shortReadTx)
+	for t := 0; t < shortReadTx+shortReadWarmup; t++ {
+		t0 := st.Clock.Now()
+		s, err := mgr.Begin(true)
+		if err != nil {
+			return 0, err
+		}
+		k := rng.Int63n(rows)
+		if _, _, err := s.QueryRow("SELECT v FROM kv WHERE k = ?", k); err != nil {
+			_ = s.Rollback()
+			return 0, err
+		}
+		if err := s.Commit(); err != nil {
+			return 0, err
+		}
+		if t >= shortReadWarmup {
+			durs = append(durs, st.Clock.Now()-t0)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[len(durs)/2], nil
 }
 
 // RWC holds the reader/writer concurrency sweep.
 type RWC struct {
 	Quick  bool       `json:"quick"`
 	Points []*RWPoint `json:"points"`
+	// Journal records the -journal selection; Baseline is the label of
+	// the arm the speedup notes compare against.
+	Journal  string `json:"journal"`
+	Baseline string `json:"baseline"`
+	// Short-read micro-leg: virtual-time p50 of one snapshot-open +
+	// point-SELECT + close transaction, warm pool versus cold opens,
+	// and their ratio (pooled p50 is floored at 1ns for the ratio — a
+	// fully warm read costs no device I/O at all).
+	ShortPooledP50   time.Duration `json:"short_pooled_p50_ns"`
+	ShortColdP50     time.Duration `json:"short_cold_p50_ns"`
+	ShortReadSpeedup float64       `json:"short_read_speedup"`
 }
 
 // RunRWConc sweeps the MVCC arm across channel counts and runs the
@@ -316,7 +474,15 @@ func RunRWConc(opts Options) (*RWC, error) {
 	if opts.Quick {
 		readers, readerTx, selects, rows, wrows, wtx = 4, 8, 4, 1024, 8, 16
 	}
-	out := &RWC{Quick: opts.Quick}
+	journal := opts.Journal
+	if journal == "" {
+		journal = "rbj"
+	}
+	baseline := "serialized-rbj ch=8"
+	if journal == "wal" {
+		baseline = "wal ch=8"
+	}
+	out := &RWC{Quick: opts.Quick, Journal: journal, Baseline: baseline}
 	run := func(label string, cfg RWConfig) error {
 		opts.progress("rwconc: %s", label)
 		cfg.Label = label
@@ -349,6 +515,38 @@ func RunRWConc(opts Options) (*RWC, error) {
 			return nil, err
 		}
 	}
+	// Pooled leg: the top MVCC configuration with the warm reader pool
+	// on, plus a steady-state read phase measuring the pool hit ratio.
+	{
+		prof := storage.OpenSSD()
+		prof.Nand.Channels = 8
+		prof.Nand.Ways = 1
+		prof.Channels = 8
+		cfg := base
+		cfg.Profile = prof
+		cfg.Mode = mvcc.MVCC
+		cfg.Pooled = true
+		if err := run("mvcc ch=8 pooled", cfg); err != nil {
+			return nil, err
+		}
+	}
+	// WAL concurrent-reader arm: the writer journals through the
+	// write-ahead log while readers capture (db file, log index) views
+	// and read without the lock — the strongest journal-level baseline
+	// for reader/writer concurrency, on the same hardware as the top
+	// MVCC point.
+	{
+		prof := storage.OpenSSD()
+		prof.Nand.Channels = 8
+		prof.Nand.Ways = 1
+		prof.Channels = 8
+		cfg := base
+		cfg.Profile = prof
+		cfg.Mode = mvcc.WALConc
+		if err := run("wal ch=8", cfg); err != nil {
+			return nil, err
+		}
+	}
 	// Degraded leg: the top MVCC configuration on a sick array — one
 	// unit force-quarantined, another storming, command deadlines/
 	// retries absorbing both. Quantifies what degraded mode costs and
@@ -378,6 +576,23 @@ func RunRWConc(opts Options) (*RWC, error) {
 	if err := run("serialized-rbj ch=8", cfg); err != nil {
 		return nil, err
 	}
+	// Short-read micro-leg: what the warm pool saves on the
+	// open-read-close path, pooled versus cold-open p50.
+	opts.progress("rwconc: short-read p50 (pooled vs cold)")
+	pooledP50, err := runShortRead(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	coldP50, err := runShortRead(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	out.ShortPooledP50, out.ShortColdP50 = pooledP50, coldP50
+	floor := out.ShortPooledP50
+	if floor <= 0 {
+		floor = time.Nanosecond
+	}
+	out.ShortReadSpeedup = float64(out.ShortColdP50) / float64(floor)
 	return out, nil
 }
 
@@ -392,10 +607,16 @@ func (r *RWC) point(label string) *RWPoint {
 }
 
 // ReaderSpeedup reports MVCC reader throughput at the given channel
-// count over the serialized rollback-journal control, 0 when missing.
+// count over the selected baseline arm (serialized rollback journal by
+// default, the WAL concurrent-reader arm under -journal wal), 0 when
+// missing.
 func (r *RWC) ReaderSpeedup(channels int) float64 {
+	baseline := r.Baseline
+	if baseline == "" {
+		baseline = "serialized-rbj ch=8"
+	}
 	hi := r.point(fmt.Sprintf("mvcc ch=%d", channels))
-	lo := r.point("serialized-rbj ch=8")
+	lo := r.point(baseline)
 	if hi == nil || lo == nil || lo.ReaderTPS == 0 {
 		return 0
 	}
@@ -417,8 +638,20 @@ func (r *RWC) Table() *Table {
 	for _, ch := range []int{8, 4, 2, 1} {
 		if s := r.ReaderSpeedup(ch); s > 0 {
 			t.Notes = append(t.Notes,
-				fmt.Sprintf("MVCC readers at %d channels run %.1fx the serialized rollback-journal baseline.", ch, s))
+				fmt.Sprintf("MVCC readers at %d channels run %.1fx the %q baseline.", ch, s, r.Baseline))
 		}
+	}
+	for _, p := range r.Points {
+		if p.PoolHits+p.PoolMisses > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: steady-state reader-pool hit ratio %.2f (%d hits / %d misses).",
+				p.Label, p.PoolHitRatio, p.PoolHits, p.PoolMisses))
+		}
+	}
+	if r.ShortColdP50 > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"Short read (snapshot open + point SELECT + close): p50 %v cold-open vs %v pooled (%.0fx).",
+			r.ShortColdP50, r.ShortPooledP50, r.ShortReadSpeedup))
 	}
 	for _, p := range r.Points {
 		if p.ReaderLat.Count == 0 {

@@ -12,8 +12,8 @@ func TestRWConcQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Points) != 4 {
-		t.Fatalf("quick sweep: got %d points, want 4", len(res.Points))
+	if len(res.Points) != 6 {
+		t.Fatalf("quick sweep: got %d points, want 6", len(res.Points))
 	}
 	for _, p := range res.Points {
 		if p.ReaderTx == 0 || p.ReaderTPS == 0 {
@@ -30,8 +30,24 @@ func TestRWConcQuick(t *testing.T) {
 	if s := res.ReaderSpeedup(8); s < 3 {
 		t.Fatalf("reader speedup at 8 channels: %.2fx, want >= 3x", s)
 	}
+	// The pooled arm must hit its warm pool in steady state, and the
+	// WAL concurrent-reader arm must actually read through log views.
+	pooled := res.point("mvcc ch=8 pooled")
+	if pooled == nil || pooled.PoolHitRatio < 0.9 {
+		t.Fatalf("pooled arm hit ratio: %+v, want >= 0.9", pooled)
+	}
+	wal := res.point("wal ch=8")
+	if wal == nil || wal.Journal != "wal" {
+		t.Fatalf("wal arm missing or mislabeled: %+v", wal)
+	}
+	// Short-read microbenchmark: a pooled point read must at least
+	// halve the cold-open p50 (it does no device I/O at all).
+	if res.ShortReadSpeedup < 2 {
+		t.Fatalf("short-read speedup %.1fx (pooled p50 %v vs cold %v), want >= 2x",
+			res.ShortReadSpeedup, res.ShortPooledP50, res.ShortColdP50)
+	}
 	// Rendering must not panic and should report the speedup note.
-	if tbl := res.Table(); len(tbl.RowData) != 4 || len(tbl.Notes) == 0 {
+	if tbl := res.Table(); len(tbl.RowData) != 6 || len(tbl.Notes) == 0 {
 		t.Fatalf("table: %d rows, %d notes", len(tbl.RowData), len(tbl.Notes))
 	}
 }

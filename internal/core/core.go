@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/ftl"
 	"repro/internal/metrics"
@@ -103,11 +104,19 @@ type Config struct {
 	// each full-map barrier of the baseline firmware. Zero keeps the
 	// exact dirty-group count (the idealized ablation).
 	CommitMapPages int
+	// CompactPinned triggers a version-list compaction pass from the
+	// commit path whenever the pinned-page count reaches this many
+	// entries, reclaiming superseded versions that fell between the open
+	// snapshots' sequences. Snapshot close always compacts; this knob
+	// bounds growth between closes. Zero disables the commit-time pass.
+	CompactPinned int
 }
 
 // DefaultConfig matches the paper's small-table configuration with the
 // Table-1-calibrated commit cost.
-func DefaultConfig() Config { return Config{TableEntries: 500, CommitMapPages: 20} }
+func DefaultConfig() Config {
+	return Config{TableEntries: 500, CommitMapPages: 20, CompactPinned: 256}
+}
 
 // entry is one volatile X-L2P row.
 type entry struct {
@@ -139,6 +148,11 @@ type Stats struct {
 	Snapshots   int64 // snapshot handles opened
 	SnapReads   int64 // reads served through a snapshot handle
 	SnapOldHits int64 // snapshot reads that needed a superseded version
+	// SnapEvictions counts superseded versions reclaimed by compaction
+	// while other snapshots stayed open — versions whose readable
+	// sequence interval held no open snapshot (the long-lived-snapshot
+	// leak fix; plain oldest-snapshot pruning cannot touch these).
+	SnapEvictions int64
 }
 
 // XFTL is a transactional FTL layered over the baseline page-mapping
@@ -170,6 +184,10 @@ type XFTL struct {
 	// committed versions some snapshot can still read, in ascending
 	// `until` order; pinned indexes their physical pages for the GC hook.
 	commitSeq uint64
+	// seqMirror shadows commitSeq atomically so concurrent host-side
+	// consumers (the reader pool's generation check) can sample the
+	// committed sequence without entering the firmware's command queue.
+	seqMirror atomic.Uint64
 	nextSnap  SnapID
 	snaps     map[SnapID]uint64
 	versions  map[ftl.LPN][]oldVersion
@@ -310,7 +328,7 @@ func (x *XFTL) Write(lpn ftl.LPN, data []byte) error {
 		return err
 	}
 	x.supersede(lpn)
-	x.commitSeq++
+	x.bumpSeq()
 	return x.base.Map(lpn, newPPN)
 }
 
@@ -327,7 +345,7 @@ func (x *XFTL) Trim(lpn ftl.LPN) error {
 		}
 	}
 	x.supersede(lpn)
-	x.commitSeq++
+	x.bumpSeq()
 	return x.base.Unmap(lpn)
 }
 
@@ -427,8 +445,11 @@ func (x *XFTL) Commit(tid TxID) error {
 		delete(x.byLPN, e.lpn)
 		delete(x.byPPN, e.newPPN)
 	}
-	x.commitSeq++
+	x.bumpSeq()
 	delete(x.byTx, tid)
+	if x.cfg.CompactPinned > 0 && len(x.pinned) >= x.cfg.CompactPinned {
+		x.compact()
+	}
 	flushed, err := x.base.FlushDirtyGroups()
 	if err != nil {
 		return err
@@ -588,8 +609,21 @@ func (x *XFTL) CloseSnapshot(id SnapID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownSnapshot, id)
 	}
 	delete(x.snaps, id)
-	x.prune()
+	x.compact()
 	return nil
+}
+
+// CommitSeq reports the current committed-batch sequence. It is safe to
+// call from any goroutine without entering the firmware command queue:
+// the reader pool compares pooled snapshots against it on every
+// checkout, where an exclusive queue pass would dominate the saved
+// open cost.
+func (x *XFTL) CommitSeq() uint64 { return x.seqMirror.Load() }
+
+// bumpSeq advances the committed-batch sequence and its atomic mirror.
+func (x *XFTL) bumpSeq() {
+	x.commitSeq++
+	x.seqMirror.Store(x.commitSeq)
 }
 
 // OpenSnapshots reports how many snapshot handles are currently open.
@@ -673,30 +707,58 @@ func (x *XFTL) supersede(lpn ftl.LPN) {
 	}
 }
 
-// prune drops version records no open snapshot can read — those whose
-// `until` is not newer than the oldest open snapshot — and hands their
-// physical pages back to garbage collection.
-func (x *XFTL) prune() {
-	minSeq := ^uint64(0)
+// compact drops every version record no open snapshot can read and
+// hands its physical page back to garbage collection. A version v with
+// predecessor until `start` (0 for the head of the list) serves exactly
+// the snapshots whose sequence lies in [start, v.until): SnapshotRead
+// returns the first version with until > seq. The old prefix-only prune
+// handled the [0, minSeq] range; this pass also reclaims interior
+// versions stranded between live snapshots — the leak a long-lived
+// snapshot plus churning short snapshots creates over hot pages.
+// Dropping an interval-empty version is safe against future opens too:
+// a new snapshot's sequence is the current commitSeq, which is >= every
+// recorded until, so it can never land inside a dropped interval.
+func (x *XFTL) compact() {
+	if len(x.versions) == 0 {
+		return
+	}
+	seqs := make([]uint64, 0, len(x.snaps))
 	for _, seq := range x.snaps {
-		if seq < minSeq {
-			minSeq = seq
-		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	// anyIn reports whether some open snapshot sequence lies in
+	// [start, until).
+	anyIn := func(start, until uint64) bool {
+		i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= start })
+		return i < len(seqs) && seqs[i] < until
 	}
 	for lpn, vs := range x.versions {
-		i := 0
-		for i < len(vs) && vs[i].until <= minSeq {
-			if vs[i].ppn != nand.InvalidPPN {
-				delete(x.pinned, vs[i].ppn)
-				x.base.ReleaseOrphan(vs[i].ppn)
+		start := uint64(0)
+		w := 0
+		for _, v := range vs {
+			if anyIn(start, v.until) {
+				vs[w] = v
+				w++
+			} else {
+				if v.ppn != nand.InvalidPPN {
+					delete(x.pinned, v.ppn)
+					x.base.ReleaseOrphan(v.ppn)
+				}
+				if len(seqs) > 0 {
+					x.xstats.SnapEvictions++
+				}
 			}
-			i++
+			// The dropped interval is snapshot-free, so folding it into
+			// the successor's range changes which snapshots it serves by
+			// nothing; keeping start at v.until keeps the checks exact.
+			start = v.until
 		}
 		switch {
-		case i == len(vs):
+		case w == 0:
 			delete(x.versions, lpn)
-		case i > 0:
-			x.versions[lpn] = append(vs[:0:0], vs[i:]...)
+		case w < len(vs):
+			x.versions[lpn] = append(vs[:0:0], vs[:w]...)
 		}
 	}
 }

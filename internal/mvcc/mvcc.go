@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/readpool"
 	"repro/internal/simfs"
 	"repro/internal/sqlite"
 	"repro/internal/sqlite/pager"
@@ -50,13 +51,24 @@ const (
 	// Serialized models the rollback-journal baseline: one connection,
 	// one lock, every transaction exclusive.
 	Serialized
+	// WALConc is the write-ahead-log concurrent-reader baseline: the
+	// writer commits through the WAL while readers capture a consistent
+	// (database file, log index) view and read it without taking the
+	// lock. It is the journal-level analogue of the MVCC snapshot arm,
+	// runnable on a plain (non-transactional) device. Requires journal
+	// mode WAL.
+	WALConc
 )
 
 func (m Mode) String() string {
-	if m == MVCC {
+	switch m {
+	case MVCC:
 		return "mvcc"
+	case WALConc:
+		return "walconc"
+	default:
+		return "serialized"
 	}
-	return "serialized"
 }
 
 // Options configures a Manager.
@@ -72,12 +84,22 @@ type Options struct {
 	// across channels. Reads are still synchronous from the caller's
 	// point of view.
 	Pipelined bool
+	// PoolCapacity enables the warm reader pool in MVCC mode: finished
+	// read sessions park their snapshot connection (pager cache and
+	// catalog intact) for reuse by the next reader at the same committed
+	// generation, up to this many idle connections. Zero disables
+	// pooling.
+	PoolCapacity int
+	// PoolIdleTTL expires pooled connections idle longer than this much
+	// virtual time (0 = never).
+	PoolIdleTTL time.Duration
 }
 
 // Stats are cumulative session-layer counters.
 type Stats struct {
 	ReadTx       atomic.Int64 // read sessions ended
 	WriteTx      atomic.Int64 // write sessions ended
+	WALReads     atomic.Int64 // WALConc reader sessions ended
 	WriterWaits  atomic.Int64 // write-begins that queued behind another writer
 	SnapsOpen    atomic.Int64 // currently open reader snapshots
 	SnapsMax     atomic.Int64 // high-water mark of SnapsOpen
@@ -95,6 +117,10 @@ type Manager struct {
 	// db is the single persistent writer connection (and, in
 	// Serialized mode, the only connection).
 	db *sqlite.DB
+
+	// pool keeps warm reader connections between MVCC read sessions.
+	// Nil unless Options.PoolCapacity enabled it.
+	pool *readpool.Pool
 
 	// FIFO ticket lock for the writer queue. head/tail are guarded by
 	// mu; a writer holds the lock while head != its ticket.
@@ -124,6 +150,9 @@ func NewManager(fsys *simfs.FS, name string, opts Options) (*Manager, error) {
 	if opts.Mode == MVCC && opts.Journal != pager.Off {
 		return nil, fmt.Errorf("mvcc: MVCC mode requires journal mode Off, got %v", opts.Journal)
 	}
+	if opts.Mode == WALConc && opts.Journal != pager.WAL {
+		return nil, fmt.Errorf("mvcc: WALConc mode requires journal mode WAL, got %v", opts.Journal)
+	}
 	cfg := sqlite.Config{JournalMode: opts.Journal, CacheSize: opts.CacheSize}
 	db, err := sqlite.Open(fsys, name, cfg)
 	if err != nil {
@@ -131,6 +160,12 @@ func NewManager(fsys *simfs.FS, name string, opts Options) (*Manager, error) {
 	}
 	m := &Manager{fs: fsys, name: name, opts: opts, cfg: cfg, db: db}
 	m.cond = sync.NewCond(&m.mu)
+	if opts.Mode == MVCC && opts.PoolCapacity > 0 {
+		m.pool = readpool.New(readpool.Options{
+			Capacity: opts.PoolCapacity,
+			IdleTTL:  opts.PoolIdleTTL,
+		})
+	}
 	return m, nil
 }
 
@@ -144,6 +179,11 @@ func (m *Manager) Close() error {
 	m.closed = true
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	// Drain the reader pool while the device is still serviceable:
+	// pooled connections hold open device snapshots.
+	if m.pool != nil {
+		m.pool.Close()
+	}
 	return m.db.Close()
 }
 
@@ -157,6 +197,8 @@ type Session struct {
 	m        *Manager
 	db       *sqlite.DB
 	snap     *simfs.Snapshot
+	pc       *readpool.Conn // pool membership of (db, snap), if pooled
+	view     *pager.WALView // WALConc reader's captured log view
 	readonly bool
 	done     bool
 
@@ -198,6 +240,9 @@ func (m *Manager) BeginWith(readonly bool, sc *metrics.IOStats) (*Session, error
 	if m.opts.Mode == MVCC && readonly {
 		return m.beginSnapshotReader(sc)
 	}
+	if m.opts.Mode == WALConc && readonly {
+		return m.beginWALReader(sc)
+	}
 	// Writer path, and every Serialized-mode transaction: take the
 	// exclusive lock in FIFO order.
 	if err := m.lockExclusive(); err != nil {
@@ -211,6 +256,9 @@ func (m *Manager) BeginWith(readonly bool, sc *metrics.IOStats) (*Session, error
 func (m *Manager) TryBegin(readonly bool) (*Session, error) {
 	if m.opts.Mode == MVCC && readonly {
 		return m.beginSnapshotReader(nil)
+	}
+	if m.opts.Mode == WALConc && readonly {
+		return m.beginWALReader(nil)
 	}
 	if !m.tryLockExclusive() {
 		return nil, ErrBusy
@@ -236,6 +284,9 @@ const (
 func (m *Manager) BeginWithTimeout(readonly bool, d time.Duration) (*Session, error) {
 	if m.opts.Mode == MVCC && readonly {
 		return m.beginSnapshotReader(nil)
+	}
+	if m.opts.Mode == WALConc && readonly {
+		return m.beginWALReader(nil)
 	}
 	clock := m.fs.Device().Clock()
 	start := clock.Now()
@@ -263,6 +314,27 @@ func (m *Manager) BeginWithTimeout(readonly bool, d time.Duration) (*Session, er
 }
 
 func (m *Manager) beginSnapshotReader(sc *metrics.IOStats) (*Session, error) {
+	if m.pool != nil {
+		// A warm connection is only valid at the CURRENT committed
+		// generation. Reading the generation first and checking out
+		// second is race-free in the useful direction: a commit that
+		// lands in between just turns this checkout into a miss at the
+		// next reader, exactly as if the snapshot had opened a moment
+		// earlier.
+		dev := m.fs.Device()
+		if c := m.pool.Checkout(dev.CommitSeq(), m.fs.Epoch(), dev.Clock().Now()); c != nil {
+			s := &Session{m: m, db: c.DB, snap: c.Snap, pc: c, readonly: true,
+				id: m.sessionID(sc), trStart: m.fs.Tracer().Now()}
+			c.Snap.SetPipelined(m.opts.Pipelined)
+			if sc != nil {
+				c.Snap.SetIOContext(s.id, &m.ReaderIO, sc)
+			} else {
+				c.Snap.SetIOContext(s.id, &m.ReaderIO)
+			}
+			m.noteSnapOpen()
+			return s, nil
+		}
+	}
 	snap, err := m.fs.OpenSnapshot()
 	if err != nil {
 		return nil, err
@@ -281,6 +353,45 @@ func (m *Manager) beginSnapshotReader(sc *metrics.IOStats) (*Session, error) {
 		return nil, err
 	}
 	s.db = db
+	if m.pool != nil {
+		s.pc = readpool.NewConn(db, snap)
+	}
+	m.noteSnapOpen()
+	return s, nil
+}
+
+// beginWALReader starts a WALConc read session: capture a consistent
+// view of the shared connection's (database file, published log index)
+// pair and open a private read-only connection over it. The capture is
+// lock-free with respect to the writer queue — only the log mutex is
+// taken, briefly — so readers proceed while a write transaction is in
+// flight, and see exactly the last committed state.
+func (m *Manager) beginWALReader(sc *metrics.IOStats) (*Session, error) {
+	view, err := m.db.Pager().CaptureWALView()
+	if err != nil {
+		return nil, err
+	}
+	view.SetPipelined(m.opts.Pipelined)
+	s := &Session{m: m, view: view, readonly: true,
+		id: m.sessionID(sc), trStart: m.fs.Tracer().Now()}
+	if sc != nil {
+		view.SetIOContext(s.id, &m.ReaderIO, sc)
+	} else {
+		view.SetIOContext(s.id, &m.ReaderIO)
+	}
+	db, err := sqlite.OpenWALReaderDB(m.fs, m.name, view, m.cfg)
+	if err != nil {
+		view.Release()
+		return nil, err
+	}
+	s.db = db
+	m.noteSnapOpen()
+	return s, nil
+}
+
+// noteSnapOpen counts a concurrent reader (snapshot or WAL view) in
+// and maintains the high-water mark.
+func (m *Manager) noteSnapOpen() {
 	n := m.Stats.SnapsOpen.Add(1)
 	for {
 		max := m.Stats.SnapsMax.Load()
@@ -288,7 +399,6 @@ func (m *Manager) beginSnapshotReader(sc *metrics.IOStats) (*Session, error) {
 			break
 		}
 	}
-	return s, nil
 }
 
 // beginLocked finishes Begin after the exclusive lock is held. Holding
@@ -375,7 +485,7 @@ func (s *Session) Exec(sql string, args ...any) (int64, error) {
 	if s.done {
 		return 0, ErrSessionDone
 	}
-	if s.readonly && s.snap != nil {
+	if s.readonly && (s.snap != nil || s.view != nil) {
 		return 0, pager.ErrReadOnly
 	}
 	return s.db.Exec(sql, args...)
@@ -392,22 +502,41 @@ func (s *Session) Rollback() error {
 	return s.end(false)
 }
 
+// endReader finishes a session that owns a private reader connection:
+// pooled snapshot readers park it warm for the next reader (the pool
+// closes it instead if the committed generation moved on), WAL readers
+// release their captured view so checkpointing can resume, and cold
+// snapshot readers tear the connection down.
+func (s *Session) endReader() error {
+	var err error
+	switch {
+	case s.view != nil:
+		err = s.db.Close()
+		s.view.Release()
+		s.m.Stats.WALReads.Add(1)
+	case s.pc != nil:
+		s.m.pool.Return(s.pc, s.m.fs.Device().Clock().Now())
+	default:
+		// Tear down the private connection, then release the pinned
+		// versions so GC can reclaim them.
+		err = s.db.Close()
+		if cerr := s.snap.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.m.Stats.SnapsOpen.Add(-1)
+	s.m.Stats.ReadTx.Add(1)
+	s.noteSession(0)
+	return err
+}
+
 func (s *Session) end(commit bool) error {
 	if s.done {
 		return ErrSessionDone
 	}
 	s.done = true
-	if s.snap != nil {
-		// Snapshot reader: tear down the private connection, then
-		// release the pinned versions so GC can reclaim them.
-		err := s.db.Close()
-		if cerr := s.snap.Close(); err == nil {
-			err = cerr
-		}
-		s.m.Stats.SnapsOpen.Add(-1)
-		s.m.Stats.ReadTx.Add(1)
-		s.noteSession(0)
-		return err
+	if s.snap != nil || s.view != nil {
+		return s.endReader()
 	}
 	var err error
 	if !s.readonly {
@@ -452,15 +581,8 @@ func (s *Session) FinishExternal(commit bool) error {
 	}
 	_ = commit
 	s.done = true
-	if s.snap != nil {
-		err := s.db.Close()
-		if cerr := s.snap.Close(); err == nil {
-			err = cerr
-		}
-		s.m.Stats.SnapsOpen.Add(-1)
-		s.m.Stats.ReadTx.Add(1)
-		s.noteSession(0)
-		return err
+	if s.snap != nil || s.view != nil {
+		return s.endReader()
 	}
 	if !s.readonly {
 		s.m.Stats.WriteTx.Add(1)
@@ -477,6 +599,42 @@ func (s *Session) FinishExternal(commit bool) error {
 // FS exposes the manager's file system (each shard's managers share
 // one), letting coordination layers reach simfs.ResolveInDoubt.
 func (m *Manager) FS() *simfs.FS { return m.fs }
+
+// PoolStats copies the warm reader pool's counters. ok is false when
+// pooling is disabled.
+func (m *Manager) PoolStats() (st readpool.Stats, ok bool) {
+	if m.pool == nil {
+		return readpool.Stats{}, false
+	}
+	return m.pool.Stats(), true
+}
+
+// RegisterGauges publishes the manager's session-layer observability
+// into a gauge registry (typically the owning stack's, so the serving
+// tier's /metrics endpoint picks them up): reader-pool hit/miss/
+// eviction counters when pooling is on, and WAL checkpoint activity
+// when the writer journals through the log. prefix namespaces the
+// gauges when several managers share one registry (e.g. per-database
+// on a shard); "" registers the bare names.
+func (m *Manager) RegisterGauges(reg *trace.Registry, prefix string) {
+	if m.pool != nil {
+		reg.Register(prefix+"readpool.hits", func() int64 { return m.pool.Stats().Hits })
+		reg.Register(prefix+"readpool.misses", func() int64 { return m.pool.Stats().Misses })
+		reg.Register(prefix+"readpool.evictions", func() int64 { return m.pool.Stats().Evictions })
+		reg.Register(prefix+"readpool.invalidations", func() int64 { return m.pool.Stats().Invalidations })
+		reg.Register(prefix+"readpool.idle", func() int64 { return int64(m.pool.Idle()) })
+	}
+	if m.opts.Journal == pager.WAL {
+		reg.Register(prefix+"wal.checkpoints", func() int64 {
+			ck, _ := m.db.Pager().WALStats()
+			return ck
+		})
+		reg.Register(prefix+"wal.ckpt_deferred", func() int64 {
+			_, def := m.db.Pager().WALStats()
+			return def
+		})
+	}
+}
 
 // Name reports the database file name this manager owns.
 func (m *Manager) Name() string { return m.name }

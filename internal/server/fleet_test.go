@@ -148,6 +148,8 @@ func TestWritePrometheus(t *testing.T) {
 		`xftl_stack_gauge{shard="0",`,
 		`xftl_stack_gauge{shard="1",`,
 		`xftl_stack_gauge{shard="fleet",name="cross_tx"}`,
+		`name="serve.db.readpool.hits"`,
+		`name="serve.db.readpool.idle"`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q in:\n%s", want, out)

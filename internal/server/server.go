@@ -78,6 +78,14 @@ type Options struct {
 	// degraded rwconc leg's sizing.
 	CmdDeadline time.Duration
 	CmdRetries  int
+
+	// ReadPool is the warm snapshot reader-pool capacity per database
+	// manager in MVCC mode: a finished read request parks its snapshot
+	// connection (pager cache and catalog hot) for the next reader at
+	// the same committed generation, so short point-read requests skip
+	// the cold-open cost. 0 takes the default (8); negative disables
+	// pooling. Ignored outside MVCC mode.
+	ReadPool int
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +130,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CmdRetries == 0 {
 		o.CmdRetries = 8
+	}
+	if o.ReadPool == 0 {
+		o.ReadPool = 8
 	}
 	return o
 }
@@ -175,10 +186,11 @@ func New(opts Options) (*Server, error) {
 			CmdRetries:  opts.CmdRetries,
 		},
 		Session: &mvcc.Options{
-			Mode:      opts.Mode,
-			Journal:   journal,
-			CacheSize: opts.CacheSize,
-			Pipelined: opts.Mode == mvcc.MVCC,
+			Mode:         opts.Mode,
+			Journal:      journal,
+			CacheSize:    opts.CacheSize,
+			Pipelined:    opts.Mode == mvcc.MVCC,
+			PoolCapacity: max(opts.ReadPool, 0),
 		},
 	})
 	if err != nil {

@@ -195,6 +195,10 @@ func (f *Fleet) Manager(db string) (*mvcc.Manager, int, error) {
 	if err != nil {
 		return nil, shard, err
 	}
+	// Session-layer gauges ride the owning stack's registry (prefixed
+	// per database), so Fleet.Gauges — and the serving tier's /metrics
+	// — report reader-pool and WAL-checkpoint health per shard.
+	m.RegisterGauges(f.stacks[shard].Gauges, db+".")
 	f.mgrs[shard][db] = m
 	return m, shard, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -138,6 +139,20 @@ type FS struct {
 	// transactional writes do not change committed state, so snapshot
 	// opens may interleave with them freely.
 	mu sync.Mutex
+
+	// imu guards inode page tables and the files map against FileImage,
+	// the one reader-side consumer (WAL view capture) that walks them
+	// from a foreign goroutine. The writer goroutine is the sole
+	// mutator, so its own reads stay lock-free; only mutations and
+	// FileImage's copies take the lock.
+	imu sync.Mutex
+
+	// epoch counts power cuts. Pooled snapshot readers key their
+	// generation on (commit sequence, epoch): the sequence alone is not
+	// comparable across a cut — recovery can land on a state the
+	// sequence does not reflect, and every pre-cut snapshot handle is
+	// dead regardless.
+	epoch atomic.Uint64
 
 	files map[string]*inode
 	// persisted is what a remount after power loss recovers: the
@@ -364,7 +379,9 @@ func (fs *FS) Create(name string, role Role) (*File, error) {
 		return nil, fmt.Errorf("%w: %s", ErrExists, name)
 	}
 	ino := &inode{name: name, role: role}
+	fs.imu.Lock()
 	fs.files[name] = ino
+	fs.imu.Unlock()
 	fs.markMeta(fs.dirPage(), fs.inodePage(name))
 	return fs.newFile(ino), nil
 }
@@ -412,7 +429,9 @@ func (fs *FS) Remove(name string) error {
 		fs.pendingFree = append(fs.pendingFree, lpn)
 		fs.markMeta(fs.bitmapPage(lpn))
 	}
+	fs.imu.Lock()
 	delete(fs.files, name)
+	fs.imu.Unlock()
 	fs.markMeta(fs.dirPage(), fs.inodePage(name))
 	// Deletion durability rides the next journal commit; SQLite's
 	// correctness only needs atomicity, which the journal (or X-FTL
@@ -494,9 +513,14 @@ func (fs *FS) journalCommit(dataPages [][]byte) error {
 // PowerCut simulates power loss below the file system: caches vanish
 // and the device loses its volatile state.
 func (fs *FS) PowerCut() {
+	fs.epoch.Add(1)
 	fs.mounted = false
 	fs.dev.PowerCut()
 }
+
+// Epoch reports how many power cuts this file system has absorbed.
+// Lock-free; pooled readers compare it on every checkout.
+func (fs *FS) Epoch() uint64 { return fs.epoch.Load() }
 
 // Remount recovers after a power cut: the device runs its firmware
 // recovery, then the file system reloads the namespace image from its
@@ -531,6 +555,7 @@ func (fs *FS) Remount() error {
 		}
 		delete(fs.prepared, tid)
 	}
+	fs.imu.Lock()
 	fs.files = make(map[string]*inode)
 	used := make(map[int64]bool)
 	for name, img := range fs.persisted {
@@ -543,6 +568,7 @@ func (fs *FS) Remount() error {
 			}
 		}
 	}
+	fs.imu.Unlock()
 	// Pages referenced only by a still-in-doubt prepared image must not
 	// be reallocated while the coordinator's decision is pending.
 	for _, prep := range fs.prepared {
@@ -633,9 +659,13 @@ func (f *File) WritePage(idx int64, data []byte) error {
 	if idx < 0 {
 		return fmt.Errorf("%w: %d", ErrOutOfBounds, idx)
 	}
-	for int64(len(f.ino.pages)) <= idx {
-		f.ino.pages = append(f.ino.pages, -1)
-		f.fs.markMeta(f.fs.inodePage(f.ino.name)) // size change
+	if int64(len(f.ino.pages)) <= idx {
+		f.fs.imu.Lock()
+		for int64(len(f.ino.pages)) <= idx {
+			f.ino.pages = append(f.ino.pages, -1)
+			f.fs.markMeta(f.fs.inodePage(f.ino.name)) // size change
+		}
+		f.fs.imu.Unlock()
 	}
 	if _, ok := f.dirty[idx]; !ok {
 		f.order = append(f.order, idx)
@@ -696,7 +726,9 @@ func (f *File) ensureLPN(idx int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	f.fs.imu.Lock()
 	f.ino.pages[idx] = lpn
+	f.fs.imu.Unlock()
 	f.fs.markMeta(f.fs.bitmapPage(lpn), f.fs.inodePage(f.ino.name))
 	return lpn, nil
 }
@@ -977,6 +1009,8 @@ func (fs *FS) ResolveInDoubt(tid uint64, commit bool) error {
 	delete(fs.prepared, tid)
 	// Reconcile exactly the prepared group's files; every other file on
 	// this file system keeps whatever state its own commits established.
+	fs.imu.Lock()
+	defer fs.imu.Unlock()
 	for name, img := range prep.images {
 		if commit {
 			// Promote the prepared image to the durable commit point and
@@ -1072,14 +1106,18 @@ func (f *File) Abort() error {
 				f.fs.freeList = append(f.fs.freeList, l)
 			}
 		}
+		f.fs.imu.Lock()
 		f.ino.pages = pages
+		f.fs.imu.Unlock()
 	} else {
 		for _, l := range f.ino.pages {
 			if l >= 0 {
 				f.fs.freeList = append(f.fs.freeList, l)
 			}
 		}
+		f.fs.imu.Lock()
 		f.ino.pages = nil
+		f.fs.imu.Unlock()
 	}
 	return nil
 }
@@ -1103,10 +1141,16 @@ func (f *File) Truncate(n int64) error {
 			f.fs.markMeta(f.fs.bitmapPage(lpn))
 		}
 		delete(f.dirty, idx)
+		f.fs.imu.Lock()
 		f.ino.pages = f.ino.pages[:idx]
+		f.fs.imu.Unlock()
 	}
-	for int64(len(f.ino.pages)) < n {
-		f.ino.pages = append(f.ino.pages, -1)
+	if int64(len(f.ino.pages)) < n {
+		f.fs.imu.Lock()
+		for int64(len(f.ino.pages)) < n {
+			f.ino.pages = append(f.ino.pages, -1)
+		}
+		f.fs.imu.Unlock()
 	}
 	f.fs.markMeta(f.fs.inodePage(f.ino.name))
 	// Drop cached pages beyond the new end from the write order.
@@ -1148,6 +1192,8 @@ func (f *File) FlushAll() error {
 type Snapshot struct {
 	fs        *FS
 	id        core.SnapID
+	seq       uint64 // commit sequence the snapshot observed at open
+	epoch     uint64 // power-cut epoch at open
 	inodes    map[string]inodeImage
 	pipelined bool
 	closed    bool
@@ -1172,7 +1218,7 @@ func (fs *FS) OpenSnapshot() (*Snapshot, error) {
 	if fs.cfg.Mode != OffXFTL {
 		return nil, ErrSnapshotMode
 	}
-	id, err := fs.dev.SnapshotOpen()
+	id, seq, err := fs.dev.SnapshotOpen()
 	if err != nil {
 		return nil, err
 	}
@@ -1186,7 +1232,7 @@ func (fs *FS) OpenSnapshot() (*Snapshot, error) {
 		copy(pages, im.pages)
 		img[name] = inodeImage{role: im.role, pages: pages}
 	}
-	return &Snapshot{fs: fs, id: id, inodes: img}, nil
+	return &Snapshot{fs: fs, id: id, seq: seq, epoch: fs.epoch.Load(), inodes: img}, nil
 }
 
 // SetPipelined selects asynchronous page reads: ReadPage submits
@@ -1205,6 +1251,16 @@ func (s *Snapshot) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
 
 // Session reports the session id the snapshot's reads attribute to.
 func (s *Snapshot) Session() uint64 { return s.sess }
+
+// Seq reports the commit sequence the snapshot observed at open. Two
+// snapshots with equal Seq and Epoch pin identical committed states —
+// the reader pool's reuse condition.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Epoch reports the file system's power-cut epoch at the snapshot's
+// open; a pooled snapshot from an older epoch is dead regardless of
+// its sequence.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Exists reports whether the file existed at the snapshot's commit
 // point.
@@ -1254,4 +1310,67 @@ func (s *Snapshot) Close() error {
 	}
 	s.closed = true
 	return s.fs.dev.SnapshotClose(s.id)
+}
+
+// FileImage copies a file's current device page table (file page index
+// → LPN, -1 for holes). Unlike OpenSnapshot it reads the LIVE inode,
+// not the persisted image, and pins nothing on the device: WAL-mode
+// reader views use it, where the WAL file's committed frames are
+// durable device pages already and the view's consistency comes from
+// the pager's frame index, not from device version pinning. Safe to
+// call from any goroutine.
+func (fs *FS) FileImage(name string) ([]int64, bool) {
+	fs.imu.Lock()
+	defer fs.imu.Unlock()
+	ino, ok := fs.files[name]
+	if !ok {
+		return nil, false
+	}
+	pages := make([]int64, len(ino.pages))
+	copy(pages, ino.pages)
+	return pages, true
+}
+
+// RawReader issues plain device page reads outside any file handle or
+// snapshot: WAL-mode reader views resolve their own file-page-to-LPN
+// mapping (a captured FileImage plus the pager's frame index) and only
+// need the device hop. Each reader carries its own I/O attribution, so
+// concurrent readers never touch the writer's context fields. Safe for
+// use by one goroutine at a time per reader; create one per session.
+type RawReader struct {
+	fs        *FS
+	pipelined bool
+	sess      uint64
+	obs       []*metrics.IOStats
+}
+
+// NewRawReader returns a device-page reader for WAL view resolution.
+func (fs *FS) NewRawReader() *RawReader { return &RawReader{fs: fs} }
+
+// SetPipelined selects asynchronous reads (see Snapshot.SetPipelined):
+// content is valid on return either way, only the simulated completion
+// time differs.
+func (r *RawReader) SetPipelined(on bool) { r.pipelined = on }
+
+// SetIOContext attributes this reader's I/O to a session id and credits
+// the supplied stat sets.
+func (r *RawReader) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
+	r.sess = sess
+	r.obs = obs
+}
+
+// Session reports the session id the reader's I/O attributes to.
+func (r *RawReader) Session() uint64 { return r.sess }
+
+// ReadLPN reads one device page by LPN.
+func (r *RawReader) ReadLPN(lpn int64, buf []byte) error {
+	req := ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf, Sess: r.sess}
+	var err error
+	if r.pipelined {
+		err = r.fs.dev.Queue().Submit(&req)
+	} else {
+		err = r.fs.dev.Queue().SubmitWait(&req)
+	}
+	r.fs.noteRead(&req, r.obs)
+	return err
 }

@@ -78,6 +78,27 @@ func OpenSnapshotDB(fsys *simfs.FS, name string, snap *simfs.Snapshot, cfg Confi
 	return &DB{fs: fsys, pg: p, cat: cat, name: name, rngState: 0x9E3779B97F4A7C15}, nil
 }
 
+// OpenWALReaderDB opens a read-only connection over a captured WAL
+// view: page reads resolve through the committed frame index pinned at
+// capture time, so the connection sees one committed state while the
+// writer keeps appending to the live log. The view stays owned by the
+// caller (release it after closing the DB). Any write statement fails
+// with pager.ErrReadOnly.
+func OpenWALReaderDB(fsys *simfs.FS, name string, view *pager.WALView, cfg Config) (*DB, error) {
+	p, err := pager.OpenWALReader(fsys, name, view, pager.Config{
+		CacheSize: cfg.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := newCatalog(p)
+	if err != nil {
+		_ = p.Close()
+		return nil, err
+	}
+	return &DB{fs: fsys, pg: p, cat: cat, name: name, rngState: 0x9E3779B97F4A7C15}, nil
+}
+
 // Close releases the connection, rolling back any open transaction.
 func (db *DB) Close() error {
 	return db.pg.Close()

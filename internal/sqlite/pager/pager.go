@@ -20,8 +20,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/simfs"
 	"repro/internal/trace"
 )
@@ -147,10 +149,28 @@ type Pager struct {
 	walHead   int64          // next wal file page to write
 	ckptAccum int64          // wal pages since last checkpoint
 
+	// WAL concurrent-reader state. walMu makes the committed frame
+	// index (and the checkpoint that rewrites what it points at) atomic
+	// with respect to CaptureWALView, the one consumer on a foreign
+	// goroutine; walReaders counts live views, which veto checkpoints —
+	// a checkpoint overwrites database pages in place and truncates the
+	// log, either of which would tear a captured view.
+	walMu      sync.Mutex
+	walReaders int
+
+	// view, when set, serves every stable-storage read of this
+	// (read-only) pager from a captured WAL view: the committed frame
+	// index plus device page tables as of the capture.
+	view *WALView
+
 	// Stats.
 	Commits     int64
 	Rollbacks   int64
 	Checkpoints int64
+	// CkptDeferred counts checkpoints skipped because reader views were
+	// live; the trigger re-arms on the next commit. Guarded by walMu,
+	// like Checkpoints, so gauges can sample it mid-run.
+	CkptDeferred int64
 
 	txStart time.Duration // virtual time of Begin, for the KTxn span
 }
@@ -164,6 +184,9 @@ func (p *Pager) tracer() *trace.Tracer { return p.fs.Tracer() }
 func (p *Pager) sess() uint64 {
 	if p.snap != nil {
 		return p.snap.Session()
+	}
+	if p.view != nil {
+		return p.view.rd.Session()
 	}
 	return p.fs.IOSession()
 }
@@ -240,6 +263,117 @@ func OpenSnapshot(fsys *simfs.FS, name string, snap *simfs.Snapshot, cfg Config)
 	return p, nil
 }
 
+// WALView is an immutable committed snapshot of a WAL-mode database:
+// the committed frame index plus the device page tables of the
+// database and log files, captured atomically against the writer's
+// commit path. A view reads the last committed transaction as of its
+// capture — later commits only append frames and update the live
+// index, never touching what the view references — and it holds off
+// checkpoints (which WOULD touch them) until released. Views cost no
+// device pinning: unlike X-FTL snapshots, the referenced pages stay
+// current mappings for the view's whole lifetime.
+type WALView struct {
+	pager    *Pager
+	db       []int64        // database file page table at capture
+	wal      []int64        // log file page table at capture
+	idx      map[Pgno]int64 // committed pgno -> wal frame at capture
+	rd       *simfs.RawReader
+	released bool
+}
+
+// CaptureWALView pins the committed WAL state for a concurrent reader.
+// Safe to call from any goroutine while the writer runs; only the
+// short index-copy critical section serializes with commits.
+func (p *Pager) CaptureWALView() (*WALView, error) {
+	if p.cfg.Mode != WAL {
+		return nil, fmt.Errorf("pager: WAL views need WAL mode, have %v", p.cfg.Mode)
+	}
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	idx := make(map[Pgno]int64, len(p.walIndex))
+	for pgno, frame := range p.walIndex {
+		idx[pgno] = frame
+	}
+	db, _ := p.fs.FileImage(p.name)
+	wal, _ := p.fs.FileImage(p.walName())
+	p.walReaders++
+	return &WALView{pager: p, db: db, wal: wal, idx: idx, rd: p.fs.NewRawReader()}, nil
+}
+
+// Release lets the writer checkpoint again once no views remain.
+// Releasing twice is a no-op.
+func (v *WALView) Release() {
+	if v.released {
+		return
+	}
+	v.released = true
+	v.pager.walMu.Lock()
+	v.pager.walReaders--
+	v.pager.walMu.Unlock()
+}
+
+// SetPipelined selects asynchronous device reads for the view.
+func (v *WALView) SetPipelined(on bool) { v.rd.SetPipelined(on) }
+
+// SetIOContext attributes the view's reads to a session id and stat
+// sets (see Snapshot.SetIOContext).
+func (v *WALView) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
+	v.rd.SetIOContext(sess, obs...)
+}
+
+// empty reports whether the view holds no committed database at all.
+func (v *WALView) empty() bool {
+	if len(v.db) > 0 {
+		return false
+	}
+	_, ok := v.idx[1]
+	return !ok
+}
+
+// readPage serves one database page from the view: the committed WAL
+// frame if the page was in the log at capture, the database file page
+// otherwise, zeros for holes.
+func (v *WALView) readPage(pgno Pgno, buf []byte) error {
+	if frame, ok := v.idx[pgno]; ok {
+		if frame >= int64(len(v.wal)) || v.wal[frame] < 0 {
+			return fmt.Errorf("%w: wal frame %d outside captured log (%d pages)", ErrCorrupt, frame, len(v.wal))
+		}
+		return v.rd.ReadLPN(v.wal[frame], buf)
+	}
+	if int64(pgno-1) < int64(len(v.db)) {
+		if lpn := v.db[pgno-1]; lpn >= 0 {
+			return v.rd.ReadLPN(lpn, buf)
+		}
+	}
+	clear(buf)
+	return nil
+}
+
+// OpenWALReader opens a read-only pager over a captured WAL view: the
+// reader's cache warms against immutable committed state while the
+// writer keeps appending to the live log. No recovery runs — the view
+// is committed state by construction. The view's lifetime is owned by
+// the caller; Close does not release it.
+func OpenWALReader(fsys *simfs.FS, name string, view *WALView, cfg Config) (*Pager, error) {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 2000
+	}
+	cfg.Mode = WAL
+	p := &Pager{
+		fs:       fsys,
+		name:     name,
+		cfg:      cfg,
+		cache:    make(map[Pgno]*Page),
+		dirty:    make(map[Pgno]bool),
+		view:     view,
+		readOnly: true,
+	}
+	if err := p.loadHeader(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // Name returns the database file name.
 func (p *Pager) Name() string { return p.name }
 
@@ -274,14 +408,22 @@ func (p *Pager) walName() string { return p.name + "-wal" }
 // loadHeader reads page 1, initializing a fresh database if the file is
 // empty.
 func (p *Pager) loadHeader() error {
-	if p.snap != nil {
+	switch {
+	case p.view != nil:
+		if p.view.empty() {
+			p.nPages = 1
+			return nil
+		}
+	case p.snap != nil:
 		if p.snap.Pages(p.name) == 0 {
 			p.nPages = 1
 			return nil
 		}
-	} else if p.file.Pages() == 0 {
-		p.nPages = 1
-		return nil
+	default:
+		if p.file.Pages() == 0 {
+			p.nPages = 1
+			return nil
+		}
 	}
 	buf := make([]byte, p.PageSize())
 	if err := p.readDBPage(1, buf); err != nil {
@@ -338,6 +480,9 @@ func (p *Pager) dirtyHeader() error {
 // readDBPage fetches a page image from stable storage, consulting the
 // WAL first in WAL mode (the paper's "reading the two files" overhead).
 func (p *Pager) readDBPage(pgno Pgno, buf []byte) error {
+	if p.view != nil {
+		return p.view.readPage(pgno, buf)
+	}
 	if p.cfg.Mode == WAL {
 		if idx, ok := p.txFrames[pgno]; ok {
 			return p.walFile.ReadPage(idx, buf)
@@ -728,8 +873,9 @@ func (p *Pager) attachWAL() error {
 			}
 		}
 		// The paper measures WAL restart time as the cost of copying
-		// the committed pages back into the database (§6.4).
-		if err := p.checkpoint(); err != nil {
+		// the committed pages back into the database (§6.4). No views
+		// can exist at open, so the checkpoint runs unguarded.
+		if err := p.checkpointLocked(); err != nil {
 			return err
 		}
 	}
@@ -872,20 +1018,34 @@ func (p *Pager) commitWAL() error {
 	if err := p.walFile.Fsync(); err != nil {
 		return err
 	}
+	// The committed-index publish and the checkpoint decision run under
+	// walMu: a concurrent view capture sees the whole commit or none of
+	// it, and never runs during a checkpoint's in-place rewrites. The
+	// frames are device-durable before the index update (the Fsync
+	// above), so every indexed frame a view copies is safely readable.
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	for pgno, frame := range p.txFrames {
 		p.walIndex[pgno] = frame
 	}
 	p.ckptAccum += int64(len(p.txFrames)) + 1
 	p.txFrames = nil
 	if p.ckptAccum >= p.cfg.CheckpointPages {
-		return p.checkpoint()
+		if p.walReaders > 0 {
+			// A live view still references pre-checkpoint database pages
+			// and log frames; retry at the next commit.
+			p.CkptDeferred++
+			return nil
+		}
+		return p.checkpointLocked()
 	}
 	return nil
 }
 
-// checkpoint copies the latest committed version of every page in the
-// WAL into the database file, fsyncs it, and resets the log.
-func (p *Pager) checkpoint() error {
+// checkpointLocked copies the latest committed version of every page in
+// the WAL into the database file, fsyncs it, and resets the log. Caller
+// holds walMu (or is single-threaded at open) with no views live.
+func (p *Pager) checkpointLocked() error {
 	if len(p.walIndex) == 0 {
 		p.ckptAccum = 0
 		return nil
@@ -916,11 +1076,27 @@ func (p *Pager) checkpoint() error {
 }
 
 // Checkpoint forces a WAL checkpoint outside the automatic threshold.
+// Call from the writer's goroutine; with reader views live it defers,
+// like the automatic trigger.
 func (p *Pager) Checkpoint() error {
 	if p.cfg.Mode != WAL {
 		return nil
 	}
-	return p.checkpoint()
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	if p.walReaders > 0 {
+		p.CkptDeferred++
+		return nil
+	}
+	return p.checkpointLocked()
+}
+
+// WALStats samples the checkpoint counters (walMu-consistent, safe
+// mid-run from any goroutine).
+func (p *Pager) WALStats() (checkpoints, deferred int64) {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	return p.Checkpoints, p.CkptDeferred
 }
 
 func (p *Pager) commitOff() error {

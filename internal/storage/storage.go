@@ -353,6 +353,7 @@ func (d *Device) RegisterGauges(reg *trace.Registry) {
 		reg.Register("xftl.peak_pinned_pages", func() int64 { return int64(d.x.PeakPinnedPages()) })
 		reg.Register("xftl.active_entries", func() int64 { return int64(d.x.ActiveEntries()) })
 		reg.Register("xftl.open_snapshots", func() int64 { return int64(d.x.OpenSnapshots()) })
+		reg.Register("xftl.snap_evictions", func() int64 { return d.x.Stats().SnapEvictions })
 	}
 }
 
@@ -553,22 +554,37 @@ func (d *Device) InDoubt() []uint64 {
 }
 
 // SnapshotOpen pins the committed state as of now and returns a
-// snapshot handle id. It is a control-plane command (DRAM-only in the
-// firmware: one sequence number is recorded), so it carries no
-// simulated latency; it serializes with in-flight command execution on
-// the queue lock, observing exactly the commits that have executed.
-func (d *Device) SnapshotOpen() (core.SnapID, error) {
+// snapshot handle id plus the commit sequence the snapshot observed.
+// It is a control-plane command (DRAM-only in the firmware: one
+// sequence number is recorded), so it carries no simulated latency; it
+// serializes with in-flight command execution on the queue lock,
+// observing exactly the commits that have executed. The sequence keys
+// reader-pool generations: two snapshots with equal sequence (and no
+// intervening power cut) pin identical committed states.
+func (d *Device) SnapshotOpen() (core.SnapID, uint64, error) {
 	if d.x == nil {
-		return 0, ErrNotTransactional
+		return 0, 0, ErrNotTransactional
 	}
 	var (
 		id  core.SnapID
+		seq uint64
 		err error
 	)
 	d.q.Exclusive(func() {
 		id, err = d.x.OpenSnapshot()
+		seq = d.x.CommitSeq()
 	})
-	return id, err
+	return id, seq, err
+}
+
+// CommitSeq samples the device's committed-batch sequence without
+// entering the command queue (lock-free atomic mirror). Returns 0 on a
+// non-transactional device.
+func (d *Device) CommitSeq() uint64 {
+	if d.x == nil {
+		return 0
+	}
+	return d.x.CommitSeq()
 }
 
 // SnapshotClose releases a snapshot handle, letting the device reclaim

@@ -1,0 +1,323 @@
+// Reader-pool and WAL-reader crash torture: the two PR-9 concurrency
+// arms under a mid-run power cut. RunPooledCut drives pooled MVCC
+// snapshot readers against a streaming writer, cuts power with pooled
+// connections both checked out and parked warm, and then keeps using
+// the SAME manager across the remount — the pool's power-cut epoch
+// must invalidate every pre-cut connection on the first post-recovery
+// checkout, so no reader can ever be served a pre-crash cache.
+// RunWALConcCut does the same for the WAL concurrent-reader baseline:
+// captured log views live when power dies, recovery replaying the log
+// to the last committed (or in-doubt) generation.
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/mvcc"
+	"repro/internal/simclock"
+	"repro/internal/simfs"
+	"repro/internal/sqlite/pager"
+	"repro/internal/storage"
+)
+
+// orderedStack builds a plain (non-transactional) stack on the torture
+// geometry — the substrate the journal-mode baselines run on.
+func orderedStack() (*simfs.FS, *storage.Device, error) {
+	prof := sqlProfile()
+	dev, err := storage.New(prof, simclock.New(), storage.Options{QueueDepth: 16})
+	if err != nil {
+		return nil, nil, err
+	}
+	fsys, err := simfs.New(dev, simfs.Config{Mode: simfs.Ordered}, &metrics.HostCounters{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fsys, dev, nil
+}
+
+// cutWorkload runs the shared reader/writer race: one writer advancing
+// the whole table a generation per transaction, o.Readers concurrent
+// read sessions checking every view is uniform and inside the
+// [commit floor, floor+1] window, with a power cut usually landing
+// mid-stream. Returns the last committed generation, the in-doubt one
+// (0 = none), and whether the cut tripped.
+func cutWorkload(mgr *mvcc.Manager, o MVCCOptions, rep *Report) (int64, int64, bool, error) {
+	var (
+		wg            sync.WaitGroup
+		lastCommitted atomic.Int64
+		inDoubt       atomic.Int64
+		writerDone    atomic.Bool
+		cut           atomic.Bool
+		violation     atomic.Value
+	)
+	violate := func(err error) { violation.CompareAndSwap(nil, err) }
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for g := int64(1); g <= int64(o.WriterTx); g++ {
+			s, err := mgr.Begin(false)
+			if err != nil {
+				if !powerLost(err) {
+					violate(fmt.Errorf("writer begin g=%d: %w", g, err))
+				}
+				cut.Store(true)
+				return
+			}
+			if _, err := s.Exec("UPDATE kv SET v = ?", g); err != nil {
+				_ = s.Rollback()
+				if !powerLost(err) {
+					violate(fmt.Errorf("writer update g=%d: %w", g, err))
+				}
+				cut.Store(true)
+				return
+			}
+			if err := s.Commit(); err != nil {
+				if !powerLost(err) {
+					violate(fmt.Errorf("writer commit g=%d: %w", g, err))
+				} else {
+					inDoubt.Store(g)
+					rep.InDoubt++
+				}
+				cut.Store(true)
+				return
+			}
+			lastCommitted.Store(g)
+			rep.Committed++
+			rep.Transactions++
+		}
+	}()
+	for i := 0; i < o.Readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !writerDone.Load() && !cut.Load() {
+				floor := lastCommitted.Load()
+				s, err := mgr.Begin(true)
+				if err != nil {
+					if !powerLost(err) {
+						violate(fmt.Errorf("reader %d begin: %w", i, err))
+					}
+					return
+				}
+				vs, err := readGenerations(s, o.Rows)
+				if err != nil {
+					_ = s.Rollback()
+					if !powerLost(err) {
+						violate(fmt.Errorf("reader %d: %w", i, err))
+					}
+					return
+				}
+				g, err := uniform(vs)
+				if err != nil {
+					_ = s.Rollback()
+					violate(fmt.Errorf("reader %d: %w", i, err))
+					return
+				}
+				if ceil := lastCommitted.Load() + 1; g < floor || g > ceil {
+					_ = s.Rollback()
+					violate(fmt.Errorf("reader %d: generation %d outside [%d, %d]", i, g, floor, ceil))
+					return
+				}
+				if err := s.Commit(); err != nil && !powerLost(err) {
+					violate(fmt.Errorf("reader %d end: %w", i, err))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	err, _ := violation.Load().(error)
+	return lastCommitted.Load(), inDoubt.Load(), cut.Load(), err
+}
+
+// checkRecovered asserts a recovered read is uniform and equals the
+// last committed or in-doubt generation.
+func checkRecovered(s *mvcc.Session, rows int, committed, inDoubt int64) error {
+	vs, err := readGenerations(s, rows)
+	if err != nil {
+		return fmt.Errorf("post-recovery read: %w", err)
+	}
+	g, err := uniform(vs)
+	if err != nil {
+		return fmt.Errorf("post-recovery: %w", err)
+	}
+	if g == committed || (inDoubt != 0 && g == inDoubt) {
+		return nil
+	}
+	return fmt.Errorf("recovered generation %d, want %d or in-doubt %d", g, committed, inDoubt)
+}
+
+// RunPooledCut tortures the warm reader pool across a power cut: the
+// manager (and its pool) survives the crash, so the pool's epoch check
+// is the only thing standing between a post-recovery reader and a
+// pre-crash page cache. After remount the first checkout must close
+// every parked pre-cut connection, the recovered read must land on the
+// last committed (or in-doubt) generation, and the pool must then warm
+// back up and serve hits again.
+func RunPooledCut(o MVCCOptions) (*Report, error) {
+	fsys, dev, err := mvccStack()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Runs: 1}
+	mgr, err := mvcc.NewManager(fsys, "pool.db", mvcc.Options{
+		Mode: mvcc.MVCC, Journal: pager.Off, CacheSize: 32,
+		PoolCapacity: o.Readers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := mgr.Begin(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		return nil, err
+	}
+	for k := 0; k < o.Rows; k++ {
+		if _, err := w.Exec("INSERT INTO kv (k, v) VALUES (?, 0)", int64(k)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed * 9463))
+	if o.CutAfter > 0 {
+		dev.PowerCutAfter(1 + rng.Int63n(o.CutAfter))
+	}
+	committed, inDoubt, cut, err := cutWorkload(mgr, o, rep)
+	if err != nil {
+		_ = mgr.Close()
+		return rep, err
+	}
+	if cut {
+		rep.Crashes++
+		fsys.PowerCut()
+		if err := fsys.Remount(); err != nil {
+			_ = mgr.Close()
+			return rep, fmt.Errorf("remount: %w", err)
+		}
+	} else {
+		dev.PowerCutAfter(0)
+	}
+	defer mgr.Close()
+
+	// Same manager, same pool, across the crash boundary.
+	before, _ := mgr.PoolStats()
+	s, err := mgr.Begin(true)
+	if err != nil {
+		return rep, fmt.Errorf("post-recovery begin: %w", err)
+	}
+	if err := checkRecovered(s, o.Rows, committed, inDoubt); err != nil {
+		_ = s.Rollback()
+		return rep, err
+	}
+	if err := s.Commit(); err != nil {
+		return rep, fmt.Errorf("post-recovery end: %w", err)
+	}
+	mid, _ := mgr.PoolStats()
+	if cut {
+		// Every connection parked before the cut is a stale epoch: the
+		// first post-recovery checkout must have closed them all.
+		if got, want := mid.Invalidations-before.Invalidations, int64(before.Idle); got != want {
+			return rep, fmt.Errorf("post-cut checkout invalidated %d pooled conns, want %d", got, want)
+		}
+	}
+	// The pool must come back warm: the next read at the unchanged
+	// generation is a hit off the connection the check above pooled.
+	s2, err := mgr.Begin(true)
+	if err != nil {
+		return rep, fmt.Errorf("post-recovery warm begin: %w", err)
+	}
+	if err := checkRecovered(s2, o.Rows, committed, inDoubt); err != nil {
+		_ = s2.Rollback()
+		return rep, err
+	}
+	if err := s2.Commit(); err != nil {
+		return rep, fmt.Errorf("post-recovery warm end: %w", err)
+	}
+	after, _ := mgr.PoolStats()
+	if after.Hits <= mid.Hits {
+		return rep, fmt.Errorf("pool did not serve a warm hit after recovery: %+v", after)
+	}
+	rep.Flash = dev.FlashStats().Snapshot()
+	return rep, nil
+}
+
+// RunWALConcCut tortures the WAL concurrent-reader baseline across a
+// power cut: readers hold captured log views when power dies, and
+// recovery (log replay on reopen) must land on the last committed or
+// in-doubt generation. The live invariant is the same as the snapshot
+// arm's: every captured view reads one uniform generation inside the
+// commit window, even with the writer appending to the log under it.
+func RunWALConcCut(o MVCCOptions) (*Report, error) {
+	fsys, dev, err := orderedStack()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Runs: 1}
+	opts := mvcc.Options{Mode: mvcc.WALConc, Journal: pager.WAL, CacheSize: 32}
+	mgr, err := mvcc.NewManager(fsys, "wal.db", opts)
+	if err != nil {
+		return nil, err
+	}
+	w, err := mgr.Begin(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		return nil, err
+	}
+	for k := 0; k < o.Rows; k++ {
+		if _, err := w.Exec("INSERT INTO kv (k, v) VALUES (?, 0)", int64(k)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed * 7577))
+	if o.CutAfter > 0 {
+		dev.PowerCutAfter(1 + rng.Int63n(o.CutAfter))
+	}
+	committed, inDoubt, cut, err := cutWorkload(mgr, o, rep)
+	_ = mgr.Close()
+	if err != nil {
+		return rep, err
+	}
+	if cut {
+		rep.Crashes++
+		fsys.PowerCut()
+		if err := fsys.Remount(); err != nil {
+			return rep, fmt.Errorf("remount: %w", err)
+		}
+	} else {
+		dev.PowerCutAfter(0)
+	}
+	// Reopen runs WAL recovery; a fresh reader must see the last
+	// committed (or in-doubt) generation.
+	mgr2, err := mvcc.NewManager(fsys, "wal.db", opts)
+	if err != nil {
+		return rep, fmt.Errorf("reopen: %w", err)
+	}
+	defer mgr2.Close()
+	s, err := mgr2.Begin(true)
+	if err != nil {
+		return rep, fmt.Errorf("post-recovery begin: %w", err)
+	}
+	defer s.Commit()
+	if err := checkRecovered(s, o.Rows, committed, inDoubt); err != nil {
+		return rep, err
+	}
+	rep.Flash = dev.FlashStats().Snapshot()
+	return rep, nil
+}
