@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc|fleet}
+//	xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc|fleet|perf}
 //	xftlbench [-quick] -torture
 //
 // -quick shrinks workloads for a fast smoke run; the published numbers
@@ -29,12 +29,19 @@
 // support it (rwconc) and writes a Chrome trace-event JSON file that
 // loads directly into Perfetto (ui.perfetto.dev) or chrome://tracing;
 // a per-layer flame summary is printed to stderr.
+//
+// perf is the wall-clock leg: it times the standard rwconc and mtenant
+// configurations with the host clock and reports simulator ops per
+// wall second (tracked across runs as BENCH_10.json). -profile PATH
+// writes a CPU profile of the whole invocation, viewable with
+// go tool pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	xftl "repro"
@@ -44,6 +51,12 @@ import (
 )
 
 func main() {
+	os.Exit(benchMain())
+}
+
+// benchMain is main with an exit status, so deferred cleanup (the CPU
+// profile writer) runs on every path.
+func benchMain() int {
 	quick := flag.Bool("quick", false, "run reduced workloads (smoke mode)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	faults := flag.Float64("faults", 0, "NAND fault-model scale (0 = ideal flash, 1 = realistic MLC rates)")
@@ -55,41 +68,59 @@ func main() {
 	recoveryScan := flag.Bool("recovery-scan", false, "run the recovery-hierarchy experiment: image fast path vs full-device OOB scan with the mapping image destroyed")
 	jsonPath := flag.String("json", "", "also write machine-readable results (tables, ops, NAND counts, latency percentiles) to this path")
 	tracePath := flag.String("trace", "", "record cross-layer events and write Chrome trace-event JSON (Perfetto-loadable) to this path")
+	profilePath := flag.String("profile", "", "write a CPU profile of the whole invocation to this path (go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] [-trace PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc|fleet}\n")
+		fmt.Fprintf(os.Stderr, "usage: xftlbench [-quick] [-quiet] [-faults N] [-seed N] [-json PATH] [-trace PATH] [-profile PATH] {all|fig5|table1|fig6|table2|fig7|table3|table4|fig8|fig9|table5|ablate|mtenant|rwconc|fleet|perf}\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] [-seed N] -torture\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] [-seed N] -chaos\n")
 		fmt.Fprintf(os.Stderr, "       xftlbench [-quick] -recovery-scan\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -profile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xftlbench -profile: %v\n", err)
+			_ = f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+			fmt.Fprintf(os.Stderr, "[xftlbench] wrote CPU profile to %s\n", *profilePath)
+		}()
+	}
 	wallStart := time.Now()
 	if *tortureMode {
 		if flag.NArg() != 0 {
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		if err := runTorture(*quick, *faults, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -torture: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *chaosMode {
 		if flag.NArg() != 0 {
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		if err := runChaos(*quick, *quiet, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -chaos: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *recoveryScan {
 		if flag.NArg() != 0 {
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		opts := bench.Options{Quick: *quick, FaultScale: *faults, Seed: *seed}
 		if !*quiet {
@@ -100,7 +131,7 @@ func main() {
 		runs, err := bench.RunRecoveryScan(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -recovery-scan: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		t := bench.RecoveryScanTable(runs)
 		fmt.Println(t)
@@ -112,14 +143,14 @@ func main() {
 			doc.WallSeconds = time.Since(wallStart).Seconds()
 			if err := bench.WriteJSON(*jsonPath, doc); err != nil {
 				fmt.Fprintf(os.Stderr, "xftlbench -json: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	opts := bench.Options{Quick: *quick, FaultScale: *faults, Seed: *seed}
 	if !*quiet {
@@ -135,26 +166,27 @@ func main() {
 	opts.FleetShards = *shards
 	if *journal != "rbj" && *journal != "wal" {
 		fmt.Fprintf(os.Stderr, "xftlbench: -journal must be rbj or wal, got %q\n", *journal)
-		os.Exit(2)
+		return 2
 	}
 	opts.Journal = *journal
 	if err := run(what, opts, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "xftlbench %s: %v\n", what, err)
-		os.Exit(1)
+		return 1
 	}
 	if *jsonPath != "" {
 		doc.WallSeconds = time.Since(wallStart).Seconds()
 		if err := bench.WriteJSON(*jsonPath, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, opts.Trace); err != nil {
 			fmt.Fprintf(os.Stderr, "xftlbench -trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // writeTrace dumps the recorded events as Chrome trace-event JSON and
@@ -344,6 +376,20 @@ func run(what string, opts bench.Options, doc *bench.JSONDoc) error {
 			fmt.Println(t)
 			doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
 				Name: "fleet", Tables: []*bench.Table{t}, Fleet: fb,
+			})
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := do("perf", func() error {
+			p, err := bench.RunPerf(opts)
+			if err != nil {
+				return err
+			}
+			t := p.Table()
+			fmt.Println(t)
+			doc.Experiments = append(doc.Experiments, bench.JSONExperiment{
+				Name: "perf", Tables: []*bench.Table{t}, Perf: p,
 			})
 			return nil
 		}); err != nil {

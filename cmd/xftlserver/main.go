@@ -39,7 +39,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7890", "listen address (serve mode)")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text-format metrics on this address at /metrics (serve mode; empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve observability HTTP on this address: /metrics, /debug/slow, /debug/pprof/ (empty disables)")
 	modeFlag := flag.String("mode", "xftl", "session model: xftl (MVCC snapshot readers) or rollback (serialized baseline)")
 	channels := flag.Int("channels", 8, "flash array channel count")
 	shards := flag.Int("shards", 1, "shard the tier across N independent X-FTL stacks, routing requests by database name")
@@ -63,7 +63,7 @@ func main() {
 	}
 
 	if *loadtestMode {
-		os.Exit(runLoadtest(mode, *quick, *quiet, *seed, *jsonPath))
+		os.Exit(runLoadtest(mode, *quick, *quiet, *seed, *jsonPath, *metricsAddr))
 	}
 	os.Exit(serve(*addr, *metricsAddr, mode, *channels, *shards, *readPool))
 }
@@ -83,19 +83,14 @@ func serve(addr, metricsAddr string, mode mvcc.Mode, channels, shards, readPool 
 		mode, got)
 	var msrv *http.Server
 	if metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			srv.WritePrometheus(w)
-		})
-		msrv = &http.Server{Addr: metricsAddr, Handler: mux}
+		msrv = &http.Server{Addr: metricsAddr, Handler: srv.MetricsMux()}
 		mlis, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xftlserver: metrics: %v\n", err)
 			_ = srv.Shutdown()
 			return 1
 		}
-		fmt.Printf("xftlserver: metrics on http://%s/metrics\n", mlis.Addr())
+		fmt.Printf("xftlserver: metrics on http://%s/metrics (also /debug/slow, /debug/pprof/)\n", mlis.Addr())
 		go func() {
 			if err := msrv.Serve(mlis); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "xftlserver: metrics: %v\n", err)
@@ -129,8 +124,8 @@ type loadtestDoc struct {
 	Scenario    *loadtest.Scenario `json:"scenario"`
 }
 
-func runLoadtest(mode mvcc.Mode, quick, quiet bool, seed int64, jsonPath string) int {
-	cfg := loadtest.ScenarioConfig{Quick: quick, Seed: seed, Mode: mode}
+func runLoadtest(mode mvcc.Mode, quick, quiet bool, seed int64, jsonPath, metricsAddr string) int {
+	cfg := loadtest.ScenarioConfig{Quick: quick, Seed: seed, Mode: mode, MetricsAddr: metricsAddr}
 	if !quiet {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "loadtest: "+format+"\n", args...)

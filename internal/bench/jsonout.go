@@ -32,6 +32,7 @@ type JSONExperiment struct {
 	MultiTenant *MT         `json:"multi_tenant,omitempty"`
 	RWConc      *RWC        `json:"rwconc,omitempty"`
 	Fleet       *FleetBench `json:"fleet,omitempty"`
+	Perf        *Perf       `json:"perf,omitempty"`
 }
 
 // WriteJSON writes the document, indented, to path.

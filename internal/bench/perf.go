@@ -1,0 +1,80 @@
+// Wall-clock performance leg: how fast the simulator itself runs the
+// standard beyond-the-paper workloads on the host. Every other
+// experiment reports virtual (simulated-device) time; this one reports
+// the real cost of producing those results, so regressions in the
+// simulator's own hot paths (queue locking, trace recording, page
+// copies) show up as a drop in ops per wall second across runs.
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// PerfLeg is one workload's wall-clock cost: simulated operations
+// completed against real elapsed host time.
+type PerfLeg struct {
+	Name        string  `json:"name"`
+	Ops         int64   `json:"ops"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// Perf is the perf leg's report: the standard rwconc and mtenant
+// configurations timed with the host clock.
+type Perf struct {
+	Quick bool      `json:"quick"`
+	Legs  []PerfLeg `json:"legs"`
+}
+
+// RunPerf times the standard rwconc sweep (ops = reader + writer
+// transactions across all points) and the standard multi-tenant sweep
+// (ops = page writes across all points) with the host clock.
+func RunPerf(opts Options) (*Perf, error) {
+	out := &Perf{Quick: opts.Quick}
+	leg := func(name string, ops int64, wall time.Duration) {
+		l := PerfLeg{Name: name, Ops: ops, WallSeconds: wall.Seconds()}
+		if l.WallSeconds > 0 {
+			l.OpsPerSec = float64(ops) / l.WallSeconds
+		}
+		out.Legs = append(out.Legs, l)
+	}
+
+	start := time.Now()
+	rw, err := RunRWConc(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rwOps int64
+	for _, pt := range rw.Points {
+		rwOps += pt.ReaderTx + pt.WriterTx
+	}
+	leg("rwconc", rwOps, time.Since(start))
+
+	start = time.Now()
+	mt, err := RunMultiTenant(opts)
+	if err != nil {
+		return nil, err
+	}
+	var mtOps int64
+	for _, pt := range mt.Points {
+		mtOps += pt.Writes
+	}
+	leg("mtenant", mtOps, time.Since(start))
+	return out, nil
+}
+
+// Table renders the perf report.
+func (p *Perf) Table() *Table {
+	t := &Table{
+		Title:  "Perf: simulator wall-clock throughput",
+		Header: []string{"leg", "ops", "wall (s)", "ops/s"},
+	}
+	for _, l := range p.Legs {
+		t.AddRow(l.Name, fmt.Sprintf("%d", l.Ops),
+			fmt.Sprintf("%.2f", l.WallSeconds), fmt.Sprintf("%.0f", l.OpsPerSec))
+	}
+	t.Notes = append(t.Notes,
+		"ops/s is the host wall-clock cost of the simulator, not simulated-device performance")
+	return t
+}

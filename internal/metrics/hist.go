@@ -116,6 +116,38 @@ func bucketBounds(i int) (lo, hi time.Duration) {
 	return time.Microsecond << (i - 1), time.Microsecond << i
 }
 
+// CumBucket is one cumulative histogram bucket in Prometheus terms:
+// the count of observations at or below the upper bound.
+type CumBucket struct {
+	Upper time.Duration // inclusive upper bound; the last bucket is +Inf
+	Inf   bool          // true for the catch-all +Inf bucket
+	Count int64         // cumulative count ≤ Upper
+}
+
+// CumBuckets returns the histogram as cumulative Prometheus-style
+// buckets plus the total count and sum. The upper bound of log2 bucket
+// i is 1µs<<i (its exclusive limit, which cumulative ≤ semantics make
+// an inclusive bound one observable unit below); the final bucket is
+// +Inf and always equals the count. Trailing empty buckets above
+// maxUpper are trimmed — they carry no information and bloat the
+// exposition — but the +Inf bucket always remains.
+func (h *LatencyHist) CumBuckets(maxUpper time.Duration) (buckets []CumBucket, count int64, sum time.Duration) {
+	h.mu.Lock()
+	raw, count, sum := h.buckets, h.count, h.sum
+	h.mu.Unlock()
+	var cum int64
+	for i := 0; i < latBuckets-1; i++ {
+		cum += raw[i]
+		upper := time.Microsecond << i
+		if maxUpper > 0 && upper > maxUpper {
+			break
+		}
+		buckets = append(buckets, CumBucket{Upper: upper, Count: cum})
+	}
+	buckets = append(buckets, CumBucket{Inf: true, Count: count})
+	return buckets, count, sum
+}
+
 // LatencySnapshot is an immutable summary of a LatencyHist.
 type LatencySnapshot struct {
 	Count int64         `json:"count"`

@@ -210,6 +210,23 @@ type Session struct {
 // events and per-session counters are tagged with.
 func (s *Session) ID() uint64 { return s.id }
 
+// SetReq tags all I/O the session issues from here on with a
+// serving-tier request id (0 clears it): readers tag their private
+// snapshot or WAL-view handle, writers tag the shared writer context
+// they hold for the session's lifetime. The tag flows into every
+// ncq.Request and trace event the I/O produces, linking device work
+// back to the server request that caused it.
+func (s *Session) SetReq(req uint64) {
+	switch {
+	case s.snap != nil:
+		s.snap.SetIOReq(req)
+	case s.view != nil:
+		s.view.SetIOReq(req)
+	default:
+		s.m.fs.SetIOReq(req)
+	}
+}
+
 // sessionID resolves the identity for a new session: a caller-supplied
 // IOStats keeps one stable id across all its sessions (assigned on
 // first use); an anonymous session gets a fresh id.

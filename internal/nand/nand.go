@@ -261,7 +261,8 @@ func (c *Chip) note(k trace.Kind, addr int64, unit int, st, en time.Duration) {
 		Layer: trace.LNAND, Kind: k,
 		Start: st, Dur: en - st,
 		Addr: addr, Unit: int32(unit),
-		Sess: c.tracer.FirmSession(), Origin: c.tracer.FirmOrigin(),
+		Sess: c.tracer.FirmSession(), Req: c.tracer.FirmReq(),
+		Origin: c.tracer.FirmOrigin(),
 	})
 }
 

@@ -28,6 +28,27 @@ func TestSubmitNoAllocsWhenTracingDisabled(t *testing.T) {
 	}
 }
 
+// Request-id attribution rides the same disabled-tracing fast path:
+// carrying a ReqID must not reintroduce allocations (the firmware
+// context update is gated behind the nil-tracer check).
+func TestSubmitNoAllocsWithReqID(t *testing.T) {
+	_, q := newQueue(4, 8)
+	r := &Request{Op: OpWrite, LPN: 3, Sess: 9, Req: 7}
+	for i := 0; i < 32; i++ {
+		if err := q.SubmitWait(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := q.SubmitWait(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SubmitWait allocates %.1f objects/op with ReqID set and tracing disabled, want 0", allocs)
+	}
+}
+
 // With a tracer attached, every submitted command must produce exactly
 // one KCmd event carrying the request's attribution.
 func TestSubmitRecordsCmdEvents(t *testing.T) {

@@ -100,10 +100,12 @@ type Request struct {
 	Data []byte // page payload for writes; owned by the queue until return
 	Buf  []byte // destination for reads
 
-	// Sess and Origin attribute the command for tracing: the host
-	// session (mvcc.Session or raw I/O context) that issued it and why.
-	// Both are zero-valued (no session, host origin) when untraced.
+	// Sess, Req and Origin attribute the command for tracing: the host
+	// session (mvcc.Session or raw I/O context) that issued it, the
+	// serving-tier request it serves, and why. All are zero-valued (no
+	// session, no request, host origin) when untraced.
 	Sess   uint64
+	Req    uint64
 	Origin trace.Origin
 
 	// Deadline, when positive, overrides the queue policy's per-attempt
@@ -295,10 +297,12 @@ func (q *Queue) submitLocked(r *Request) error {
 			// Firmware about to run on this session's behalf: NAND events
 			// it emits inherit the command's attribution.
 			q.tracer.SetFirmSession(r.Sess)
+			q.tracer.SetFirmReq(r.Req)
 		}
 		r.Err = q.exec(r)
 		if q.tracer != nil {
 			q.tracer.SetFirmSession(0)
+			q.tracer.SetFirmReq(0)
 		}
 		r.Started = start
 		r.Done = q.sched.End()
@@ -328,7 +332,7 @@ func (q *Queue) submitLocked(r *Request) error {
 				q.tracer.Record(trace.Event{
 					Layer: trace.LNCQ, Kind: trace.KTimeout,
 					Start: start, Dur: deadline,
-					Sess: r.Sess, TID: r.TID, Addr: r.LPN,
+					Sess: r.Sess, Req: r.Req, TID: r.TID, Addr: r.LPN,
 					Aux: int64(attempt), Unit: int32(unit),
 					Origin: r.Origin, Op: uint8(r.Op),
 				})
@@ -366,7 +370,7 @@ func (q *Queue) submitLocked(r *Request) error {
 			q.tracer.Record(trace.Event{
 				Layer: trace.LNCQ, Kind: trace.KRetry,
 				Start: q.clock.Now(),
-				Sess: r.Sess, TID: r.TID, Addr: r.LPN,
+				Sess: r.Sess, Req: r.Req, TID: r.TID, Addr: r.LPN,
 				Aux: int64(attempt), Unit: int32(unit),
 				Origin: r.Origin, Op: uint8(r.Op),
 			})
@@ -385,7 +389,7 @@ func (q *Queue) submitLocked(r *Request) error {
 		q.tracer.Record(trace.Event{
 			Layer: trace.LNCQ, Kind: trace.KCmd,
 			Start: r.Submitted, Dur: r.Done - r.Submitted, Disp: r.Started,
-			Sess: r.Sess, TID: r.TID, Addr: r.LPN,
+			Sess: r.Sess, Req: r.Req, TID: r.TID, Addr: r.LPN,
 			Depth: int32(len(q.outstanding)), Origin: origin, Op: uint8(r.Op),
 		})
 	}

@@ -170,3 +170,12 @@ func (c *Client) Stats() (*WireStats, error) {
 	}
 	return resp.Stats, nil
 }
+
+// Slow fetches the server's slow-request capture, slowest first.
+func (c *Client) Slow() ([]SlowEntry, error) {
+	resp, err := c.Do(Request{Op: OpSlow})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Slow, nil
+}

@@ -13,12 +13,26 @@
 //	{"id":1,"op":"query","sql":"SELECT v FROM kv WHERE k = ?","args":[7]}
 //	{"id":2,"op":"exec","sql":"UPDATE kv SET v = ? WHERE k = ?","args":[1,7],"deadline_ms":100}
 //	{"op":"begin"} {"op":"begin","readonly":true} {"op":"commit"} {"op":"rollback"}
-//	{"op":"ping"} {"op":"stats"}
+//	{"op":"ping"} {"op":"stats"} {"op":"slow"}
 //
 // query/exec outside an explicit transaction autocommit. Responses echo
 // the id and carry either the result ({"ok":true,"rows":...}) or a
 // typed failure ({"ok":false,"code":"overload","retryable":true,
 // "retry_after_ms":5,...}).
+//
+// Every data-path response also carries req_id, the server-minted
+// monotonic request id. The same id tags the request's device I/O all
+// the way down (mvcc session → file system → NCQ → NAND trace events),
+// names the request in the slow capture, and labels its KRequest span
+// in a trace export — quote it when reporting a slow query and the
+// server side can find everything that request did.
+//
+// The slow op returns the server's slow-request capture: the N slowest
+// requests seen so far (Options.SlowCount), each with its req_id, op,
+// database, outcome and a per-stage wall-time breakdown (admission
+// wait, service-floor pacing, session begin, execution, commit, other)
+// that sums to the request's wall latency. The same capture is served
+// as JSON at /debug/slow on the metrics listener (MetricsMux).
 //
 // # Error taxonomy
 //

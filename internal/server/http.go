@@ -1,0 +1,38 @@
+// HTTP observability surface. One mux bundles everything an operator
+// points a browser or scraper at: the Prometheus exposition, the
+// slow-request capture, and net/http/pprof. The serving tier keeps
+// this off the SQL listener — profiling and scraping must stay
+// reachable when the data path is saturated, and must never be
+// exposed on the SQL port.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsMux returns the observability endpoints on one mux:
+//
+//	/metrics        Prometheus text format 0.0.4
+//	/debug/slow     slow-request capture as JSON, slowest first
+//	/debug/pprof/   net/http/pprof index (profile, heap, goroutine, ...)
+func (s *Server) MetricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Slow())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -19,6 +19,8 @@ package loadtest
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -349,6 +351,11 @@ type ScenarioConfig struct {
 	Seed int64
 	// Mode selects the session model (default mvcc.MVCC).
 	Mode mvcc.Mode
+	// MetricsAddr, when non-empty, serves the tier's observability HTTP
+	// (/metrics, /debug/slow, /debug/pprof/) on this address for the
+	// scenario's duration — so a scraper or profiler can watch the
+	// legs live. The listener closes before the goroutine-leak check.
+	MetricsAddr string
 	// Progress, when set, receives leg-by-leg narration.
 	Progress func(format string, args ...any)
 }
@@ -416,6 +423,25 @@ func RunScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	var msrv *http.Server
+	stopMetrics := func() {
+		if msrv != nil {
+			_ = msrv.Close()
+			msrv = nil
+		}
+	}
+	defer stopMetrics()
+	if cfg.MetricsAddr != "" {
+		mlis, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			_ = srv.Shutdown()
+			return nil, fmt.Errorf("loadtest: metrics: %w", err)
+		}
+		msrv = &http.Server{Handler: srv.MetricsMux()}
+		cfg.progress("metrics on http://%s/metrics", mlis.Addr())
+		go func(h *http.Server) { _ = h.Serve(mlis) }(msrv)
+	}
+
 	sc := &Scenario{Mode: cfg.Mode.String()}
 	cfg.progress("seeding %d rows", rows)
 	if err := SeedRows(addr.String(), rows); err != nil {
@@ -490,6 +516,9 @@ func RunScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if err := srv.Shutdown(); err != nil {
 		return nil, fmt.Errorf("loadtest: shutdown: %w", err)
 	}
+	// The metrics listener must be down before the leak check — its
+	// serve goroutine is not part of the tier's drain guarantee.
+	stopMetrics()
 	// Graceful drain must leave zero goroutines beyond the pre-server
 	// baseline; poll briefly so handler teardown can finish.
 	deadline := time.Now().Add(3 * time.Second)

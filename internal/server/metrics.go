@@ -3,9 +3,12 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // WritePrometheus renders the tier's health as Prometheus text format
@@ -54,6 +57,34 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "xftl_request_latency_seconds_sum %g\n", (time.Duration(lat.Count) * lat.Mean).Seconds())
 	fmt.Fprintf(w, "xftl_request_latency_seconds_count %d\n", lat.Count)
 
+	// Per-stage, per-op and 2PC stage wall latencies as real histogram
+	// families: cumulative le buckets derived from the log2 histograms.
+	stageSeries := make([]labeledHist, numStages)
+	for i := range s.stageLat {
+		stageSeries[i] = labeledHist{stageNames[i], &s.stageLat[i]}
+	}
+	writeHistFamily(w, "xftl_stage_duration_seconds",
+		"Wall time served requests spent per pipeline stage.", "stage", stageSeries)
+	opSeries := make([]labeledHist, len(opHistNames))
+	for i := range s.opLat {
+		opSeries[i] = labeledHist{opHistNames[i], &s.opLat[i]}
+	}
+	writeHistFamily(w, "xftl_op_duration_seconds",
+		"Wall latency of served data-path requests by op.", "op", opSeries)
+	writeHistFamily(w, "xftl_2pc_stage_duration_seconds",
+		"Wall time of cross-shard two-phase-commit stages.", "stage", []labeledHist{
+			{"prepare", &s.fleet.PrepareLat},
+			{"decide", &s.fleet.DecideLat},
+			{"commit", &s.fleet.CommitLat},
+		})
+
+	// Build and configuration identity, Prometheus-idiom: constant 1
+	// with the interesting facts as labels.
+	fmt.Fprintf(w, "# HELP xftl_build_info Build and configuration identity (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE xftl_build_info gauge\n")
+	fmt.Fprintf(w, "xftl_build_info{go_version=%q,shards=\"%d\",queue_depth=\"%d\"} 1\n",
+		runtime.Version(), s.fleet.Shards(), s.opts.QueueDepth)
+
 	// Stack gauges: one metric family, shard and dotted gauge name as
 	// labels, deterministic order.
 	stats := s.fleet.Gauges()
@@ -63,6 +94,38 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	for _, st := range stats {
 		shard, name := splitShard(st.Name)
 		fmt.Fprintf(w, "xftl_stack_gauge{shard=%q,name=%q} %d\n", shard, name, st.Value)
+	}
+}
+
+// histMaxBucket trims histogram buckets whose upper bound exceeds it:
+// they carry no information for a serving tier (the +Inf bucket still
+// catches outliers) and would bloat the exposition with 20+ empty
+// multi-hour buckets per series.
+const histMaxBucket = 16 * time.Second
+
+// labeledHist pairs one label value with its latency histogram inside
+// a histogram family.
+type labeledHist struct {
+	label string
+	hist  *metrics.LatencyHist
+}
+
+// writeHistFamily renders one Prometheus histogram family: HELP/TYPE
+// once, then per series the cumulative le buckets (seconds), _sum and
+// _count. The final bucket is always le="+Inf" and equals _count.
+func writeHistFamily(w io.Writer, name, help, labelKey string, series []labeledHist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range series {
+		buckets, count, sum := s.hist.CumBuckets(histMaxBucket)
+		for _, b := range buckets {
+			if b.Inf {
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, s.label, b.Count)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, labelKey, s.label, b.Upper.Seconds(), b.Count)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, labelKey, s.label, sum.Seconds())
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, s.label, count)
 	}
 }
 

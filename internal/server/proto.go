@@ -16,6 +16,7 @@ const (
 	OpRollback = "rollback"
 	OpPing     = "ping"
 	OpStats    = "stats"
+	OpSlow     = "slow"
 )
 
 // Request is one client command: one JSON object per line.
@@ -49,6 +50,11 @@ type Response struct {
 	Rows     [][]any  `json:"rows,omitempty"`
 	Affected int64    `json:"affected,omitempty"`
 
+	// ReqID is the server-minted request id of this data-path request:
+	// the handle that links the response to the server's slow-request
+	// capture, stage timings and trace spans. 0 for non-data ops.
+	ReqID uint64 `json:"req_id,omitempty"`
+
 	// Failure taxonomy (ok == false): human-readable error, stable
 	// machine code, whether a retry can succeed, and an optional
 	// backoff hint.
@@ -58,6 +64,10 @@ type Response struct {
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 
 	Stats *WireStats `json:"stats,omitempty"`
+
+	// Slow is the slow-request capture returned by the slow op,
+	// slowest first.
+	Slow []SlowEntry `json:"slow,omitempty"`
 }
 
 // WireStats is the server health snapshot returned by the stats op.

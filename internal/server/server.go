@@ -16,6 +16,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/sqlite/pager"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Options tunes the serving tier. The zero value selects the defaults
@@ -86,6 +87,15 @@ type Options struct {
 	// the cold-open cost. 0 takes the default (8); negative disables
 	// pooling. Ignored outside MVCC mode.
 	ReadPool int
+
+	// SlowCount is how many of the slowest requests the server keeps
+	// with their per-stage breakdowns, served by the slow op and
+	// /debug/slow (default 32).
+	SlowCount int
+	// Trace attaches a virtual-time tracer to every shard and records a
+	// KRequest span per data-path request, linked to its device work by
+	// ReqID. Off by default: tracing grows unboundedly with traffic.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +144,9 @@ func (o Options) withDefaults() Options {
 	if o.ReadPool == 0 {
 		o.ReadPool = 8
 	}
+	if o.SlowCount <= 0 {
+		o.SlowCount = 32
+	}
 	return o
 }
 
@@ -160,6 +173,14 @@ type Server struct {
 	// lat is wall-clock latency of served (successful) data-path
 	// requests, admission wait included.
 	lat metrics.LatencyHist
+
+	// Per-request observability plane (obs.go): monotonic request ids,
+	// wall-clock stage and per-op histograms of served requests, and
+	// the slowest-request capture.
+	nextReq  atomic.Uint64
+	stageLat [numStages]metrics.LatencyHist
+	opLat    [len(opHistNames)]metrics.LatencyHist
+	slow     *slowRing
 }
 
 // New builds the fleet and default session manager for the given
@@ -179,6 +200,7 @@ func New(opts Options) (*Server, error) {
 		Shards:  opts.Shards,
 		Profile: prof,
 		Mode:    mode,
+		Trace:   opts.Trace,
 		Stack: xftl.StackOptions{
 			CacheSize:   opts.CacheSize,
 			QueueDepth:  opts.QueueDepth,
@@ -212,6 +234,7 @@ func New(opts Options) (*Server, error) {
 		adm:   newAdmission(opts.MaxConcurrent, opts.MaxQueue, opts.ShedRetryAfter),
 		brks:  brks,
 		conns: make(map[*conn]struct{}),
+		slow:  newSlowRing(opts.SlowCount),
 	}, nil
 }
 
@@ -359,6 +382,7 @@ type conn struct {
 	mu     sync.Mutex
 	sess   *shard.Session
 	sessRO bool
+	sessDB string // database the open transaction was begun on
 }
 
 func (c *conn) txnOpen() bool {
@@ -367,11 +391,21 @@ func (c *conn) txnOpen() bool {
 	return c.sess != nil
 }
 
-func (c *conn) setSess(s *shard.Session, readonly bool) {
+func (c *conn) setSess(s *shard.Session, readonly bool, db string) {
 	c.mu.Lock()
-	c.sess, c.sessRO = s, readonly
+	c.sess, c.sessRO, c.sessDB = s, readonly, db
 	c.mu.Unlock()
 	c.srv.openTxns.Add(1)
+}
+
+// sessDBName reports the open transaction's database ("" if none).
+func (c *conn) sessDBName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil {
+		return ""
+	}
+	return c.sessDB
 }
 
 // takeSess detaches the open session (nil if none).
@@ -436,68 +470,131 @@ func (c *conn) cleanup() {
 
 // handle executes one request end to end and returns its response.
 func (c *conn) handle(req *Request) *Response {
-	start := time.Now()
-	budget := c.srv.opts.DefaultDeadline
-	if req.DeadlineMS > 0 {
-		budget = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	deadline := start.Add(budget)
-
 	switch req.Op {
 	case OpPing:
 		return &Response{ID: req.ID, OK: true}
 	case OpStats:
 		return c.srv.statsResponse(req.ID)
-	case OpCommit, OpRollback:
+	case OpSlow:
+		return &Response{ID: req.ID, OK: true, Slow: c.srv.Slow()}
+	case OpQuery, OpExec, OpBegin, OpCommit, OpRollback:
+	default:
+		return failure(req.ID, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op))
+	}
+
+	// Data path: mint the request id and start the stage clock. The
+	// target database — the open transaction's if one exists, else the
+	// request's — decides which shard's tracer carries the span.
+	db := c.srv.dbName(req)
+	if open := c.sessDBName(); open != "" {
+		db = open
+	}
+	rt := c.srv.track(req.Op, db)
+	rt.vt = c.srv.tracerFor(db).Now()
+	deadline := rt.start.Add(c.srv.opts.DefaultDeadline)
+	if req.DeadlineMS > 0 {
+		deadline = rt.start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+
+	if req.Op == OpCommit || req.Op == OpRollback {
 		// Finishing an already-admitted transaction is always allowed —
 		// shedding a commit would waste the work and pin the writer
 		// lock — so commit/rollback bypass admission and the breaker.
-		return c.account(start, c.endTxn(req, req.Op == OpCommit))
-	case OpQuery, OpExec, OpBegin:
-	default:
-		return failure(req.ID, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op))
+		resp := c.endTxn(req, rt, req.Op == OpCommit)
+		rt.cut(stageCommit)
+		return c.srv.finish(rt, resp)
 	}
 
 	// New work is refused while draining; statements inside an open
 	// transaction may still run so the transaction can reach commit.
 	if c.srv.isDraining() && !c.txnOpen() {
-		c.srv.failed.Add(1)
-		return failure(req.ID, ErrShuttingDown)
+		return c.srv.finish(rt, failure(req.ID, ErrShuttingDown))
 	}
-	if err := c.srv.adm.acquire(deadline); err != nil {
-		c.srv.failed.Add(1)
-		return failure(req.ID, err)
+	err := c.srv.adm.acquire(deadline)
+	rt.cut(stageAdmission)
+	if err != nil {
+		return c.srv.finish(rt, failure(req.ID, err))
 	}
 	defer c.srv.adm.release()
 	if !time.Now().Before(deadline) {
-		c.srv.failed.Add(1)
-		return failure(req.ID, ErrDeadline)
+		return c.srv.finish(rt, failure(req.ID, ErrDeadline))
 	}
 	if d := c.srv.opts.ServiceFloor; d > 0 {
 		time.Sleep(d)
 	}
+	rt.cut(stageFloor)
 	var resp *Response
 	switch req.Op {
 	case OpBegin:
-		resp = c.beginTxn(req, deadline)
+		resp = c.beginTxn(req, rt, deadline)
 	case OpQuery:
-		resp = c.query(req, deadline)
+		resp = c.query(req, rt, deadline)
 	case OpExec:
-		resp = c.exec(req, deadline)
+		resp = c.exec(req, rt, deadline)
 	}
-	return c.account(start, resp)
+	return c.srv.finish(rt, resp)
 }
 
-// account credits a finished data-path request to the served/failed
-// counters and the latency histogram.
-func (c *conn) account(start time.Time, resp *Response) *Response {
+// finish closes out a data-path request: the final stage cut (into
+// "other", so the breakdown sums to the wall latency), the
+// served/failed counters, the latency/stage/op histograms, the
+// slow-request ring, and the KRequest trace span.
+func (s *Server) finish(rt *reqTrack, resp *Response) *Response {
+	resp.ReqID = rt.id
+	rt.cut(stageOther)
+	wall := rt.mark.Sub(rt.start)
 	if resp.OK {
-		c.srv.served.Add(1)
-		c.srv.lat.Observe(time.Since(start))
+		s.served.Add(1)
+		s.lat.Observe(wall)
+		if i := opIndex(rt.op); i >= 0 {
+			s.opLat[i].Observe(wall)
+		}
+		for i := range rt.stages {
+			if rt.touched[i] {
+				s.stageLat[i].Observe(rt.stages[i])
+			}
+		}
 	} else {
-		c.srv.failed.Add(1)
+		s.failed.Add(1)
+	}
+	s.slow.offer(rt.entry(resp.OK, resp.Code, wall))
+	if tr := s.tracerFor(rt.db); tr != nil {
+		aux := int64(0)
+		if resp.OK {
+			aux = 1
+		}
+		tr.Record(trace.Event{
+			Layer: trace.LServer, Kind: trace.KRequest,
+			Start: rt.vt, Dur: tr.Now() - rt.vt,
+			Req: rt.id, Aux: aux,
+		})
 	}
 	return resp
+}
+
+// tracerFor returns the tracer of the shard owning db (nil unless
+// Options.Trace; nil tracers are safe to call).
+func (s *Server) tracerFor(db string) *trace.Tracer {
+	trs := s.fleet.Tracers()
+	if len(trs) == 0 {
+		return nil
+	}
+	return trs[s.fleet.Route(db)]
+}
+
+// Tracer merges every shard's recorded events into one snapshot for
+// export (see trace.Merge); nil unless Options.Trace was set.
+func (s *Server) Tracer() *trace.Tracer {
+	var live []*trace.Tracer
+	for _, t := range s.fleet.Tracers() {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return trace.Merge(live...)
 }
 
 // beginSession routes to db's shard and propagates the request's
@@ -512,29 +609,31 @@ func (s *Server) beginSession(db string, readonly bool, deadline time.Time) (*sh
 	return s.fleet.BeginTimeout(db, readonly, budget)
 }
 
-func (c *conn) beginTxn(req *Request, deadline time.Time) *Response {
+func (c *conn) beginTxn(req *Request, rt *reqTrack, deadline time.Time) *Response {
 	if c.txnOpen() {
 		return failure(req.ID, fmt.Errorf("%w: transaction already open", ErrBadRequest))
 	}
-	db := c.srv.dbName(req)
 	if !req.Readonly {
-		if err := c.srv.brkFor(db).allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
+		if err := c.srv.brkFor(rt.db).allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
 			return failure(req.ID, err)
 		}
 	}
-	sess, err := c.srv.beginSession(db, req.Readonly, deadline)
+	sess, err := c.srv.beginSession(rt.db, req.Readonly, deadline)
+	rt.cut(stageBegin)
 	if err != nil {
 		return failure(req.ID, err)
 	}
-	c.setSess(sess, req.Readonly)
+	sess.SetReq(rt.id)
+	c.setSess(sess, req.Readonly, rt.db)
 	return &Response{ID: req.ID, OK: true}
 }
 
-func (c *conn) endTxn(req *Request, commit bool) *Response {
+func (c *conn) endTxn(req *Request, rt *reqTrack, commit bool) *Response {
 	sess, _ := c.takeSess()
 	if sess == nil {
 		return failure(req.ID, fmt.Errorf("%w: no open transaction", ErrBadRequest))
 	}
+	sess.SetReq(rt.id)
 	var err error
 	if commit {
 		err = sess.Commit()
@@ -547,18 +646,24 @@ func (c *conn) endTxn(req *Request, commit bool) *Response {
 	return &Response{ID: req.ID, OK: true}
 }
 
-func (c *conn) query(req *Request, deadline time.Time) *Response {
+func (c *conn) query(req *Request, rt *reqTrack, deadline time.Time) *Response {
 	sess := c.curSess()
 	autocommit := sess == nil
 	if autocommit {
-		s, err := c.srv.beginSession(c.srv.dbName(req), true, deadline)
+		s, err := c.srv.beginSession(rt.db, true, deadline)
+		rt.cut(stageBegin)
 		if err != nil {
 			return failure(req.ID, err)
 		}
 		sess = s
-		defer func() { _ = sess.Commit() }()
+		defer func() {
+			_ = sess.Commit()
+			rt.cut(stageCommit)
+		}()
 	}
+	sess.SetReq(rt.id)
 	rows, err := sess.Query(req.SQL, normalizeArgs(req.Args)...)
+	rt.cut(stageExec)
 	if err != nil {
 		return failure(req.ID, err)
 	}
@@ -566,30 +671,36 @@ func (c *conn) query(req *Request, deadline time.Time) *Response {
 	return &Response{ID: req.ID, OK: true, Columns: cols, Rows: data}
 }
 
-func (c *conn) exec(req *Request, deadline time.Time) *Response {
-	sess := c.curSess()
-	if sess != nil {
+func (c *conn) exec(req *Request, rt *reqTrack, deadline time.Time) *Response {
+	if sess := c.curSess(); sess != nil {
+		sess.SetReq(rt.id)
 		n, err := sess.Exec(req.SQL, normalizeArgs(req.Args)...)
+		rt.cut(stageExec)
 		if err != nil {
 			return failure(req.ID, err)
 		}
 		return &Response{ID: req.ID, OK: true, Affected: n}
 	}
 	// Autocommit write: breaker, begin, exec, commit.
-	db := c.srv.dbName(req)
-	if err := c.srv.brkFor(db).allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
+	if err := c.srv.brkFor(rt.db).allowWrite(c.srv.opts.BreakerRetryAfter); err != nil {
 		return failure(req.ID, err)
 	}
-	s, err := c.srv.beginSession(db, false, deadline)
+	s, err := c.srv.beginSession(rt.db, false, deadline)
+	rt.cut(stageBegin)
 	if err != nil {
 		return failure(req.ID, err)
 	}
+	s.SetReq(rt.id)
 	n, err := s.Exec(req.SQL, normalizeArgs(req.Args)...)
+	rt.cut(stageExec)
 	if err != nil {
 		_ = s.Rollback()
+		rt.cut(stageCommit)
 		return failure(req.ID, err)
 	}
-	if err := s.Commit(); err != nil {
+	err = s.Commit()
+	rt.cut(stageCommit)
+	if err != nil {
 		return failure(req.ID, err)
 	}
 	return &Response{ID: req.ID, OK: true, Affected: n}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	xftl "repro"
+	"repro/internal/metrics"
 	"repro/internal/mvcc"
 	"repro/internal/sqlite/pager"
 	"repro/internal/trace"
@@ -114,6 +115,14 @@ type Fleet struct {
 	CrossTx     int64 // cross-shard transactions committed
 	CrossAborts int64 // cross-shard transactions aborted
 	Resolved    int64 // in-doubt participants resolved at Remount
+
+	// Wall-clock 2PC stage timing, observed by Tx.Commit: phase-one
+	// prepares, the coordinator decision append, and phase-two commits.
+	// Unlike the virtual-time tracer these measure real elapsed time, so
+	// the serving tier can export them as Prometheus histograms.
+	PrepareLat metrics.LatencyHist
+	DecideLat  metrics.LatencyHist
+	CommitLat  metrics.LatencyHist
 }
 
 // New builds a fleet of opts.Shards independent stacks.

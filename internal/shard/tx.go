@@ -12,6 +12,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	xftl "repro"
 	"repro/internal/mvcc"
@@ -102,6 +103,16 @@ func (f *Fleet) BeginCross(dbs ...string) (*Tx, error) {
 
 // Gtid reports the transaction's fleet-global id.
 func (t *Tx) Gtid() uint64 { return t.gtid }
+
+// SetReq tags every participant session's I/O with a serving-tier
+// request id (0 clears it); see mvcc.Session.SetReq.
+func (t *Tx) SetReq(req uint64) {
+	for _, p := range t.parts {
+		for _, s := range p.sessions {
+			s.SetReq(req)
+		}
+	}
+}
 
 // Shards reports the participating shard ids in ascending order.
 func (t *Tx) Shards() []int {
@@ -198,6 +209,7 @@ func (t *Tx) Commit() error {
 	}
 
 	// Phase one: prepare every part, ascending shard order.
+	stage := time.Now()
 	for _, p := range t.parts {
 		tid, err := sqlite.PrepareAtomic(p.sqldbs...)
 		if err != nil {
@@ -210,6 +222,7 @@ func (t *Tx) Commit() error {
 			return fmt.Errorf("%w (after prepare of shard %d)", ErrCrashPoint, p.shard)
 		}
 	}
+	t.f.PrepareLat.Observe(time.Since(stage))
 
 	// Decision: the commit record on shard 0 is the global commit point.
 	// Read-only participants (tid 0) have nothing to resolve and are
@@ -221,10 +234,12 @@ func (t *Tx) Commit() error {
 		}
 	}
 	if len(named) > 0 {
+		stage = time.Now()
 		if err := t.f.coord.append(t.gtid, named); err != nil {
 			t.abortAfterFailure()
 			return fmt.Errorf("coordinator record: %w", err)
 		}
+		t.f.DecideLat.Observe(time.Since(stage))
 		if t.f.crash("decision-logged") {
 			return fmt.Errorf("%w (after decision log)", ErrCrashPoint)
 		}
@@ -234,6 +249,7 @@ func (t *Tx) Commit() error {
 	// revoke the decision — the record is durable — so errors surface
 	// but the fleet converges on commit at the next Remount.
 	var firstErr error
+	stage = time.Now()
 	for _, p := range t.parts {
 		if err := sqlite.FinishPrepared(true, p.sqldbs...); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("shard %d: commit: %w", p.shard, err)
@@ -242,6 +258,7 @@ func (t *Tx) Commit() error {
 			return fmt.Errorf("%w (after commit of shard %d)", ErrCrashPoint, p.shard)
 		}
 	}
+	t.f.CommitLat.Observe(time.Since(stage))
 	t.releaseSessions(true, firstErr == nil)
 	if firstErr != nil {
 		return firstErr

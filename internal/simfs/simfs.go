@@ -187,6 +187,7 @@ type FS struct {
 	// readers carry their own context on the Snapshot handle.
 	tracer *trace.Tracer
 	ioSess uint64
+	ioReq  uint64
 	ioObs  []*metrics.IOStats
 }
 
@@ -248,12 +249,18 @@ func (fs *FS) Tracer() *trace.Tracer { return fs.tracer }
 // the goroutine holding the write turn; ClearIOContext when done.
 func (fs *FS) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
 	fs.ioSess = sess
+	fs.ioReq = 0
 	fs.ioObs = obs
 }
+
+// SetIOReq tags subsequent writer-path I/O with a serving-tier request
+// id (0 = none). Same single-writer discipline as SetIOContext.
+func (fs *FS) SetIOReq(req uint64) { fs.ioReq = req }
 
 // ClearIOContext detaches the writer-path I/O attribution.
 func (fs *FS) ClearIOContext() {
 	fs.ioSess = 0
+	fs.ioReq = 0
 	fs.ioObs = nil
 }
 
@@ -274,7 +281,7 @@ func (fs *FS) noteRead(r *ncq.Request, obs []*metrics.IOStats) {
 		fs.tracer.Record(trace.Event{
 			Layer: trace.LFS, Kind: trace.KFSRead,
 			Start: r.Submitted, Dur: lat,
-			Addr: r.LPN, Sess: r.Sess, TID: r.TID, Origin: r.Origin,
+			Addr: r.LPN, Sess: r.Sess, Req: r.Req, TID: r.TID, Origin: r.Origin,
 		})
 	}
 }
@@ -309,14 +316,14 @@ func (fs *FS) noteWrite(class int64, lpn int64, tid uint64) {
 		fs.tracer.Record(trace.Event{
 			Layer: trace.LFS, Kind: trace.KFSWrite,
 			Start: fs.tracer.Now(),
-			Addr: lpn, Aux: class, Sess: fs.ioSess, TID: tid, Origin: origin,
+			Addr: lpn, Aux: class, Sess: fs.ioSess, Req: fs.ioReq, TID: tid, Origin: origin,
 		})
 	}
 }
 
 // barrier issues a session-attributed write barrier.
 func (fs *FS) barrier() error {
-	return fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpBarrier, Sess: fs.ioSess})
+	return fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpBarrier, Sess: fs.ioSess, Req: fs.ioReq})
 }
 
 // FreePages reports how many data pages remain unallocated.
@@ -420,7 +427,7 @@ func (fs *FS) Remove(name string) error {
 		if lpn < 0 {
 			continue
 		}
-		if err := fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn, Sess: fs.ioSess}); err != nil {
+		if err := fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn, Sess: fs.ioSess, Req: fs.ioReq}); err != nil {
 			return err
 		}
 		// The page becomes reusable only after the deletion is durable
@@ -483,7 +490,7 @@ func (fs *FS) journalCommit(dataPages [][]byte) error {
 		fs.noteWrite(trace.WFSMeta, lpn, 0)
 		return fs.dev.Queue().SubmitWait(&ncq.Request{
 			Op: ncq.OpWrite, LPN: lpn, Data: payload,
-			Sess: fs.ioSess, Origin: trace.OMeta,
+			Sess: fs.ioSess, Req: fs.ioReq, Origin: trace.OMeta,
 		})
 	}
 	blank := make([]byte, fs.PageSize())
@@ -698,7 +705,7 @@ func (f *File) ReadPage(idx int64, buf []byte) error {
 		clear(buf[:min(len(buf), f.fs.PageSize())])
 		return nil
 	}
-	r := ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf, Sess: f.fs.ioSess}
+	r := ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf, Sess: f.fs.ioSess, Req: f.fs.ioReq}
 	if f.fs.cfg.Mode == OffXFTL && f.tid != 0 {
 		r.Op, r.TID = ncq.OpReadTx, f.tid
 	}
@@ -740,7 +747,7 @@ func (f *File) writeData(idx int64, data []byte) error {
 	if err != nil {
 		return err
 	}
-	r := ncq.Request{Op: ncq.OpWrite, LPN: lpn, Data: data, Sess: f.fs.ioSess}
+	r := ncq.Request{Op: ncq.OpWrite, LPN: lpn, Data: data, Sess: f.fs.ioSess, Req: f.fs.ioReq}
 	if f.fs.cfg.Mode == OffXFTL {
 		r.Op, r.TID = ncq.OpWriteTx, f.tidFor()
 	}
@@ -866,7 +873,7 @@ func (f *File) fsync() error {
 				f.fs.noteWrite(trace.WFSMeta, lpn, tid)
 				if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
 					Op: ncq.OpWriteTx, TID: tid, LPN: lpn, Data: blank,
-					Sess: f.fs.ioSess, Origin: trace.OMeta,
+					Sess: f.fs.ioSess, Req: f.fs.ioReq, Origin: trace.OMeta,
 				}); err != nil {
 					return err
 				}
@@ -884,7 +891,7 @@ func (f *File) fsync() error {
 		f.fs.mu.Lock()
 		defer f.fs.mu.Unlock()
 		if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
-			Op: ncq.OpCommit, TID: tid, Sess: f.fs.ioSess,
+			Op: ncq.OpCommit, TID: tid, Sess: f.fs.ioSess, Req: f.fs.ioReq,
 		}); err != nil {
 			return err
 		}
@@ -928,7 +935,7 @@ func (f *File) Prepare(group ...string) (uint64, error) {
 			f.fs.noteWrite(trace.WFSMeta, lpn, tid)
 			if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
 				Op: ncq.OpWriteTx, TID: tid, LPN: lpn, Data: blank,
-				Sess: f.fs.ioSess, Origin: trace.OMeta,
+				Sess: f.fs.ioSess, Req: f.fs.ioReq, Origin: trace.OMeta,
 			}); err != nil {
 				return 0, err
 			}
@@ -944,7 +951,7 @@ func (f *File) Prepare(group ...string) (uint64, error) {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
 	if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
-		Op: ncq.OpPrepare, TID: tid, Sess: f.fs.ioSess,
+		Op: ncq.OpPrepare, TID: tid, Sess: f.fs.ioSess, Req: f.fs.ioReq,
 	}); err != nil {
 		return 0, err
 	}
@@ -1002,7 +1009,7 @@ func (fs *FS) ResolveInDoubt(tid uint64, commit bool) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.dev.Queue().SubmitWait(&ncq.Request{
-		Op: op, TID: tid, Sess: fs.ioSess,
+		Op: op, TID: tid, Sess: fs.ioSess, Req: fs.ioReq,
 	}); err != nil {
 		return err
 	}
@@ -1084,7 +1091,7 @@ func (f *File) Abort() error {
 	f.order = f.order[:0]
 	if f.fs.cfg.Mode == OffXFTL && f.tid != 0 {
 		if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{
-			Op: ncq.OpAbort, TID: f.tid, Sess: f.fs.ioSess,
+			Op: ncq.OpAbort, TID: f.tid, Sess: f.fs.ioSess, Req: f.fs.ioReq,
 		}); err != nil {
 			return err
 		}
@@ -1134,7 +1141,7 @@ func (f *File) Truncate(n int64) error {
 	for int64(len(f.ino.pages)) > n {
 		idx := int64(len(f.ino.pages)) - 1
 		if lpn := f.ino.pages[idx]; lpn >= 0 {
-			if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn, Sess: f.fs.ioSess}); err != nil {
+			if err := f.fs.dev.Queue().SubmitWait(&ncq.Request{Op: ncq.OpTrim, LPN: lpn, Sess: f.fs.ioSess, Req: f.fs.ioReq}); err != nil {
 				return err
 			}
 			f.fs.pendingFree = append(f.fs.pendingFree, lpn)
@@ -1202,6 +1209,7 @@ type Snapshot struct {
 	// first use (SetIOContext). Only this snapshot's goroutine reads
 	// them, so plain fields suffice.
 	sess uint64
+	req  uint64
 	obs  []*metrics.IOStats
 }
 
@@ -1246,8 +1254,13 @@ func (s *Snapshot) SetPipelined(on bool) { s.pipelined = on }
 // credits them into the supplied stat sets. Call before issuing reads.
 func (s *Snapshot) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
 	s.sess = sess
+	s.req = 0
 	s.obs = obs
 }
+
+// SetIOReq tags this snapshot's reads with a serving-tier request id
+// (0 = none). Reset by SetIOContext when the handle changes owner.
+func (s *Snapshot) SetIOReq(req uint64) { s.req = req }
 
 // Session reports the session id the snapshot's reads attribute to.
 func (s *Snapshot) Session() uint64 { return s.sess }
@@ -1289,7 +1302,7 @@ func (s *Snapshot) ReadPage(name string, idx int64, buf []byte) error {
 		clear(buf[:min(len(buf), s.fs.PageSize())])
 		return nil
 	}
-	r := ncq.Request{Op: ncq.OpSnapRead, TID: uint64(s.id), LPN: lpn, Buf: buf, Sess: s.sess}
+	r := ncq.Request{Op: ncq.OpSnapRead, TID: uint64(s.id), LPN: lpn, Buf: buf, Sess: s.sess, Req: s.req}
 	var err error
 	if s.pipelined {
 		// Asynchronous submit: Done is still filled in (virtual
@@ -1341,6 +1354,7 @@ type RawReader struct {
 	fs        *FS
 	pipelined bool
 	sess      uint64
+	req       uint64
 	obs       []*metrics.IOStats
 }
 
@@ -1356,15 +1370,20 @@ func (r *RawReader) SetPipelined(on bool) { r.pipelined = on }
 // the supplied stat sets.
 func (r *RawReader) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
 	r.sess = sess
+	r.req = 0
 	r.obs = obs
 }
+
+// SetIOReq tags this reader's I/O with a serving-tier request id
+// (0 = none). Reset by SetIOContext when the handle changes owner.
+func (r *RawReader) SetIOReq(req uint64) { r.req = req }
 
 // Session reports the session id the reader's I/O attributes to.
 func (r *RawReader) Session() uint64 { return r.sess }
 
 // ReadLPN reads one device page by LPN.
 func (r *RawReader) ReadLPN(lpn int64, buf []byte) error {
-	req := ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf, Sess: r.sess}
+	req := ncq.Request{Op: ncq.OpRead, LPN: lpn, Buf: buf, Sess: r.sess, Req: r.req}
 	var err error
 	if r.pipelined {
 		err = r.fs.dev.Queue().Submit(&req)

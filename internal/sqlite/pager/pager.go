@@ -321,6 +321,9 @@ func (v *WALView) SetIOContext(sess uint64, obs ...*metrics.IOStats) {
 	v.rd.SetIOContext(sess, obs...)
 }
 
+// SetIOReq tags the view's reads with a serving-tier request id.
+func (v *WALView) SetIOReq(req uint64) { v.rd.SetIOReq(req) }
+
 // empty reports whether the view holds no committed database at all.
 func (v *WALView) empty() bool {
 	if len(v.db) > 0 {

@@ -25,9 +25,13 @@ const (
 	tidUnitBase = 100 // NAND unit u renders as tid 100+u
 )
 
+// tidServer hosts serving-tier request spans inside the host process,
+// well above any plausible session id so the lanes never collide.
+const tidServer = 1 << 20
+
 func (l Layer) host() bool {
 	switch l {
-	case LSession, LSQL, LPager, LFS, LNCQ:
+	case LSession, LSQL, LPager, LFS, LNCQ, LServer:
 		return true
 	}
 	return false
@@ -74,7 +78,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			maxGen = ev.Gen
 		}
 		hostPid, devPid := genPids(ev.Gen)
-		if ev.Layer.host() {
+		if ev.Layer == LServer {
+			name(hostPid, tidServer, "server requests")
+		} else if ev.Layer.host() {
 			tid := int(ev.Sess)
 			tn := fmt.Sprintf("session %d", ev.Sess)
 			if ev.Sess == 0 {
@@ -104,13 +110,18 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		ev := &events[i]
 		hostPid, devPid := genPids(ev.Gen)
 		pid, tid := devPid, tidFirmware
-		if ev.Layer.host() {
+		if ev.Layer == LServer {
+			pid, tid = hostPid, tidServer
+		} else if ev.Layer.host() {
 			pid, tid = hostPid, int(ev.Sess)
 		} else if ev.Kind == KNandRead || ev.Kind == KNandProg {
 			tid = tidUnitBase + int(ev.Unit)
 		}
 		var args strings.Builder
 		fmt.Fprintf(&args, `"origin":"%s","sess":%d`, ev.Origin, ev.Sess)
+		if ev.Req != 0 {
+			fmt.Fprintf(&args, `,"req":%d`, ev.Req)
+		}
 		if ev.TID != 0 {
 			fmt.Fprintf(&args, `,"tid":%d`, ev.TID)
 		}

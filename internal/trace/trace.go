@@ -41,6 +41,7 @@ const (
 	LFTL                  // base FTL (GC episodes)
 	LXFTL                 // X-FTL commit / abort / recovery phases
 	LNAND                 // raw flash operations
+	LServer               // serving-tier request lifecycle
 )
 
 func (l Layer) String() string {
@@ -61,6 +62,8 @@ func (l Layer) String() string {
 		return "xftl"
 	case LNAND:
 		return "nand"
+	case LServer:
+		return "server"
 	default:
 		return "layer?"
 	}
@@ -90,6 +93,7 @@ const (
 	KTimeout                // NCQ command deadline exceeded; Addr=lpn, Aux=attempt, Unit set
 	KQuarantine             // unit quarantine transition; Unit set, Aux: 1=enter 0=re-admit
 	KXPrepare               // X-FTL 2PC prepare span; Aux=prepared entries
+	KRequest                // serving-tier request span; Req=request id, Aux: 1=served 0=failed
 )
 
 func (k Kind) String() string {
@@ -132,6 +136,8 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KXPrepare:
 		return "x-prepare"
+	case KRequest:
+		return "request"
 	default:
 		return "kind?"
 	}
@@ -183,6 +189,7 @@ type Event struct {
 	Disp  time.Duration // KCmd only: dispatch time (service could begin)
 
 	Sess uint64 // session id of the responsible host context; 0 = none
+	Req  uint64 // serving-tier request id the op serves; 0 = none
 	TID  uint64 // transaction / snapshot id when the op carries one
 	Addr int64  // lpn / ppn / pgno / block, per Kind
 	Aux  int64  // kind-specific payload (see Kind docs)
@@ -206,11 +213,12 @@ type Tracer struct {
 	gen    uint16   // current attach generation
 	labels []string // label per generation, index gen-1
 
-	// Firmware context: which host session and origin the serialized
-	// firmware path is currently working for. Written only while the
-	// device queue lock (or the exclusive control plane) is held, so
-	// plain fields suffice.
+	// Firmware context: which host session, serving-tier request and
+	// origin the serialized firmware path is currently working for.
+	// Written only while the device queue lock (or the exclusive
+	// control plane) is held, so plain fields suffice.
 	firmSess   uint64
+	firmReq    uint64
 	firmOrigin Origin
 }
 
@@ -355,6 +363,26 @@ func (t *Tracer) SetFirmSession(sess uint64) uint64 {
 	old := t.firmSess
 	t.firmSess = sess
 	return old
+}
+
+// SetFirmReq sets the firmware-context serving-tier request id and
+// returns the previous value. Call only while firmware execution is
+// serialized.
+func (t *Tracer) SetFirmReq(req uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	old := t.firmReq
+	t.firmReq = req
+	return old
+}
+
+// FirmReq reads the firmware-context serving-tier request id.
+func (t *Tracer) FirmReq() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.firmReq
 }
 
 // SetFirmOrigin sets the firmware-context origin and returns the
